@@ -1,0 +1,161 @@
+//! Criterion microbenches for the engine's hot components: the PIE
+//! rewrite, block sampling, heap-file block decode, the normal
+//! quantile, and Sample-Size-Determine (the per-stage bisection that
+//! runs inside every stage of every query).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use eram_core::{ops, predict, CostModel, SelectivityDefaults};
+use eram_relalg::{Catalog, CmpOp, Expr, PieRewrite, Predicate};
+use eram_sampling::{normal_quantile, BlockSampler};
+use eram_storage::{parse_schema_spec, read_csv, BlockCache};
+use eram_storage::{Block, ColumnType, DeviceProfile, Disk, HeapFile, Schema, SimClock, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn nested_expr() -> Expr {
+    let a = Expr::relation("a");
+    let b = Expr::relation("b");
+    let c = Expr::relation("c");
+    a.clone()
+        .union(b.clone())
+        .difference(c.clone())
+        .union(a.clone().intersect(c))
+        .select(Predicate::col_cmp(0, CmpOp::Lt, 5))
+        .union(a.union(b))
+}
+
+fn bench_pie_rewrite(c: &mut Criterion) {
+    let expr = nested_expr();
+    c.bench_function("pie_rewrite_nested", |b| {
+        b.iter(|| black_box(PieRewrite::rewrite(black_box(&expr)).unwrap()))
+    });
+}
+
+fn bench_block_sampler(c: &mut Criterion) {
+    c.bench_function("block_sampler_2000_blocks", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut s = BlockSampler::new(2_000, &mut rng);
+            black_box(s.draw(100).len())
+        })
+    });
+}
+
+fn bench_normal_quantile(c: &mut Criterion) {
+    c.bench_function("normal_quantile", |b| {
+        let mut p = 0.0001f64;
+        b.iter(|| {
+            p = if p > 0.999 { 0.0001 } else { p + 0.00037 };
+            black_box(normal_quantile(black_box(p)))
+        })
+    });
+}
+
+fn paper_setup() -> (Arc<Disk>, Catalog) {
+    let disk = Disk::new(
+        Arc::new(SimClock::new()),
+        DeviceProfile::sun_3_60().without_jitter(),
+        7,
+    );
+    let schema =
+        Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)]).padded_to(200);
+    let hf = HeapFile::load(
+        disk.clone(),
+        schema,
+        (0..10_000).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 10)])),
+    )
+    .unwrap();
+    let mut cat = Catalog::new();
+    cat.register("r", hf);
+    (disk, cat)
+}
+
+fn bench_heapfile_block_read(c: &mut Criterion) {
+    let (_, cat) = paper_setup();
+    let hf = cat.relation("r").unwrap();
+    c.bench_function("heapfile_read_block_decode", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % hf.num_blocks();
+            black_box(hf.read_block_uncharged(i).unwrap().len())
+        })
+    });
+}
+
+fn bench_sample_size_determine(c: &mut Criterion) {
+    let (disk, cat) = paper_setup();
+    let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 5));
+    let tree = ops::PhysTree::build(
+        &expr,
+        &cat,
+        &disk,
+        &SelectivityDefaults::default(),
+        ops::Fulfillment::Full,
+        &mut StdRng::seed_from_u64(3),
+    )
+    .unwrap();
+    let trees = [tree];
+    let model = CostModel::generic_default();
+    c.bench_function("sample_size_determine_bisection", |b| {
+        b.iter(|| {
+            black_box(predict::solve_fraction(
+                &trees,
+                &model,
+                &predict::SelPolicy::Inflated { d_beta: 12.0 },
+                black_box(10.0),
+                0.05,
+            ))
+        })
+    });
+}
+
+fn bench_expr_parser(c: &mut Criterion) {
+    let text = "select[#1 < 5000 and #2 >= 10](join[#0=#0]((a union b), select[#1 != 3](c)))";
+    c.bench_function("parse_expr_nested", |b| {
+        b.iter(|| black_box(eram_relalg::parse_expr(black_box(text)).unwrap()))
+    });
+}
+
+fn bench_block_cache(c: &mut Criterion) {
+    c.bench_function("block_cache_hit", |b| {
+        let mut cache = BlockCache::new(1_024);
+        for i in 0..1_024u64 {
+            cache.put(0, i, Block::zeroed(1_024));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1_024;
+            black_box(cache.get(0, i).is_some())
+        })
+    });
+}
+
+fn bench_csv_parse(c: &mut Criterion) {
+    let schema = parse_schema_spec("id:int,price:float,name:str12", None).unwrap();
+    let mut csv = String::new();
+    for i in 0..1_000 {
+        csv.push_str(&format!("{i},{}.5,\"row {i}\"\n", i % 97));
+    }
+    c.bench_function("csv_parse_1000_rows", |b| {
+        b.iter(|| {
+            black_box(
+                read_csv(std::io::Cursor::new(csv.as_bytes()), &schema, false)
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().measurement_time(Duration::from_secs(5));
+    targets = bench_pie_rewrite, bench_block_sampler, bench_normal_quantile,
+              bench_heapfile_block_read, bench_sample_size_determine,
+              bench_expr_parser, bench_block_cache, bench_csv_parse
+}
+criterion_main!(components);

@@ -1,0 +1,70 @@
+//! Criterion benches: one complete experiment trial per paper table.
+//!
+//! These track the *engine's own* execution cost (real CPU time per
+//! simulated trial), so regressions in the evaluator, the sampler, or
+//! the strategy sizing show up in `cargo bench`. The table
+//! *regeneration* (200-run sweeps, paper-format output) lives in the
+//! `fig5_*` binaries — that is an experiment, not a microbenchmark.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eram_bench::{harness::run_trial, TrialConfig, WorkloadKind};
+
+fn bench_fig5_1_select(c: &mut Criterion) {
+    let cfg = TrialConfig::paper(
+        WorkloadKind::Select {
+            output_tuples: 5_000,
+        },
+        Duration::from_secs(10),
+        12.0,
+    );
+    c.bench_function("fig5_1_select_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_trial(&cfg, seed))
+        })
+    });
+}
+
+fn bench_fig5_2_intersect(c: &mut Criterion) {
+    let cfg = TrialConfig::paper(
+        WorkloadKind::Intersect { overlap: 5_000 },
+        Duration::from_secs_f64(2.5),
+        12.0,
+    );
+    c.bench_function("fig5_2_intersect_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_trial(&cfg, seed))
+        })
+    });
+}
+
+fn bench_fig5_3_join(c: &mut Criterion) {
+    let cfg = TrialConfig::paper(
+        WorkloadKind::Join {
+            output_tuples: 70_000,
+        },
+        Duration::from_secs_f64(2.5),
+        12.0,
+    );
+    c.bench_function("fig5_3_join_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_trial(&cfg, seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(12));
+    targets = bench_fig5_1_select, bench_fig5_2_intersect, bench_fig5_3_join
+}
+criterion_main!(tables);

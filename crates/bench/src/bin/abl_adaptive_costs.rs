@@ -1,0 +1,67 @@
+//! Ablation — **adaptive vs. fixed-form cost formulas** (Section 4).
+//!
+//! "We think that using a fixed-form cost formula for an operation
+//! (i.e., one with all the values of coefficients fixed) is not
+//! flexible enough..." This ablation quantifies the claim: the same
+//! workload is run with (a) adaptive coefficients from generic
+//! initial values (the paper's design), (b) the same generic values
+//! *frozen* (fixed-form with a bad guess), and (c) frozen *oracle*
+//! values derived from the true device profile (the best any
+//! fixed-form formula could do — but note the oracle cannot track
+//! per-query specifics either).
+//!
+//! Usage: `abl_adaptive_costs [--runs N] [--quota SECS] [--jsonl]`
+
+use std::time::Duration;
+
+use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+use eram_core::{CostModel, Fulfillment, OneAtATimeInterval, SelectivityDefaults};
+use eram_storage::DeviceProfile;
+
+mod common;
+
+fn main() {
+    let opts = common::Opts::parse("abl_adaptive_costs");
+    let quota = Duration::from_secs_f64(opts.quota.unwrap_or(10.0));
+    let kind = WorkloadKind::Select {
+        output_tuples: 5_000,
+    };
+    let d_beta = 12.0;
+
+    let models: Vec<(&str, CostModel)> = vec![
+        ("adaptive", CostModel::generic_default()),
+        ("frozen-generic", CostModel::generic_default().frozen()),
+        (
+            "frozen-oracle",
+            CostModel::oracle(&DeviceProfile::sun_3_60(), 5.0).frozen(),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, model) in models {
+        let cfg = TrialConfig {
+            kind,
+            quota,
+            strategy: Box::new(move || Box::new(OneAtATimeInterval::new(d_beta))),
+            defaults: SelectivityDefaults::default(),
+            fulfillment: Fulfillment::Full,
+            memory: eram_core::MemoryMode::DiskResident,
+            cost_model: model,
+            cache_blocks: 0,
+            hybrid_leftover: false,
+            seed_from_stats: false,
+        };
+        let stats = run_row(&cfg, opts.runs, common::row_seed("abl-adaptive", 0, d_beta));
+        rows.push(PaperRow {
+            label: name.to_string(),
+            stats,
+        });
+    }
+    let title = format!(
+        "Ablation — adaptive vs fixed cost formulas, select(5000), quota {:.1} s, {} runs/row",
+        quota.as_secs_f64(),
+        opts.runs
+    );
+    common::emit(&opts, &title, "model", &rows);
+    println!("{}", render_table(&title, "model", &rows));
+}

@@ -1,0 +1,50 @@
+//! Ablation — **random vs. clustered tuple placement**.
+//!
+//! The paper's experiments state, almost in passing, "Tuples in a
+//! relation are randomly distributed" — a load-bearing sentence:
+//! cluster sampling (whole disk blocks as sample units) has variance
+//! proportional to the *between-block* variance of the quantity being
+//! counted. With qualifying tuples scattered randomly, a block total
+//! is a small binomial and the cluster estimator behaves like simple
+//! random sampling; with qualifying tuples packed into contiguous
+//! blocks (a clustered index, a sorted load), block totals are all-or-
+//! nothing and the same sample size buys a far worse estimate.
+//!
+//! Usage: `abl_clustering [--runs N] [--quota SECS] [--jsonl]`
+
+use std::time::Duration;
+
+use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+
+mod common;
+
+fn main() {
+    let opts = common::Opts::parse("abl_clustering");
+    let quota = Duration::from_secs_f64(opts.quota.unwrap_or(10.0));
+    let d_beta = 12.0;
+    let output_tuples = 2_000u64;
+
+    let mut rows = Vec::new();
+    for (label, kind) in [
+        ("random (paper)", WorkloadKind::Select { output_tuples }),
+        ("clustered", WorkloadKind::SelectClustered { output_tuples }),
+    ] {
+        let cfg = TrialConfig::paper(kind, quota, d_beta);
+        let stats = run_row(&cfg, opts.runs, common::row_seed(label, 3, d_beta));
+        rows.push(PaperRow {
+            label: label.to_string(),
+            stats,
+        });
+    }
+    let title = format!(
+        "Ablation — tuple placement, select({output_tuples}), quota {:.1} s, {} runs/row",
+        quota.as_secs_f64(),
+        opts.runs
+    );
+    common::emit(&opts, &title, "layout", &rows);
+    println!("{}", render_table(&title, "layout", &rows));
+    println!(
+        "Same control loop, same blocks — the clustered layout's estimate error is the\n\
+         between-block variance the paper dodged by loading tuples in random order."
+    );
+}

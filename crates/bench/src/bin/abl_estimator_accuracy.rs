@@ -1,0 +1,170 @@
+//! Ablation — **estimator accuracy vs. sample fraction** ([HoOT 88]).
+//!
+//! The paper defers estimator-quality results to its companion papers
+//! ("We do not report the performance of the estimation, which is
+//! already reported in [HoOT 88] ... and in [HouO 88]"). This
+//! ablation reproduces that companion experiment on our substrate:
+//! for each operator, sweep the sample fraction and report mean
+//! relative error and 95 % CI coverage of the count estimators
+//! (`û` for select/join/intersect, Goodman for projection).
+//!
+//! Usage: `abl_estimator_accuracy [--runs N]`
+
+use eram_bench::{Workload, WorkloadKind};
+use eram_core::{ops, term_estimate, term_estimate_with, SelectivityDefaults};
+use eram_sampling::DistinctEstimator;
+use eram_relalg::PieRewrite;
+use eram_storage::SeedSeq;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+mod common;
+
+fn measure(kind: WorkloadKind, name: &str, fractions: &[f64], runs: usize) {
+    println!("Estimator accuracy — {name} ({runs} runs per fraction, 95% CI coverage)");
+    println!(
+        "{:>9} | {:>12} | {:>10}",
+        "fraction", "mean rel.err", "coverage%"
+    );
+    println!("{}", "-".repeat(38));
+    let seeds = SeedSeq::new(0xACC0);
+    for &fraction in fractions {
+        let mut errs = Vec::new();
+        let mut covered = 0usize;
+        for run in 0..runs {
+            let seed = seeds.child(fraction.to_bits()).derive(run as u64);
+            let w = Workload::build(kind, seed);
+            let truth = w.truth as f64;
+            // Drive the physical tree directly at a fixed fraction —
+            // no time control, pure estimator quality.
+            let rewrite = PieRewrite::rewrite(&w.expr).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+            let mut tree = ops::PhysTree::build(
+                &rewrite.terms[0].expr,
+                w.db.catalog(),
+                w.db.disk(),
+                &SelectivityDefaults::default(),
+                ops::Fulfillment::Full,
+                &mut rng,
+            )
+            .unwrap();
+            let mut env = ops::StageEnv {
+                disk: w.db.disk().clone(),
+                deadline: None,
+                fraction,
+                fulfillment_override: None,
+                observations: Vec::new(),
+            };
+            tree.advance(&mut env).expect("no deadline to abort");
+            let est = term_estimate(&tree);
+            if truth > 0.0 {
+                errs.push((est.estimate - truth).abs() / truth);
+            }
+            let (lo, hi) = est.ci(0.95);
+            if lo <= truth && truth <= hi {
+                covered += 1;
+            }
+        }
+        println!(
+            "{:>9.3} | {:>12.4} | {:>10.1}",
+            fraction,
+            errs.iter().sum::<f64>() / errs.len().max(1) as f64,
+            100.0 * covered as f64 / runs as f64
+        );
+    }
+    println!();
+}
+
+/// Compares the distinct-count estimators on the projection workload
+/// (Goodman is the paper's choice; Chao1/jackknife are the stable
+/// alternatives this library adds).
+fn measure_distinct(fractions: &[f64], runs: usize) {
+    let kind = WorkloadKind::Project { groups: 100 };
+    println!("Distinct-count estimators — project workload, truth 100 groups ({runs} runs)");
+    println!(
+        "{:>9} | {:>14} | {:>14} | {:>14}",
+        "fraction", "goodman", "chao1", "jackknife1"
+    );
+    println!("{}", "-".repeat(60));
+    let seeds = SeedSeq::new(0xD157);
+    for &fraction in fractions {
+        let mut errs = [0.0f64; 3];
+        for run in 0..runs {
+            let seed = seeds.child(fraction.to_bits()).derive(run as u64);
+            let w = Workload::build(kind, seed);
+            let truth = w.truth as f64;
+            let rewrite = PieRewrite::rewrite(&w.expr).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+            let mut tree = ops::PhysTree::build(
+                &rewrite.terms[0].expr,
+                w.db.catalog(),
+                w.db.disk(),
+                &SelectivityDefaults::default(),
+                ops::Fulfillment::Full,
+                &mut rng,
+            )
+            .unwrap();
+            let mut env = ops::StageEnv {
+                disk: w.db.disk().clone(),
+                deadline: None,
+                fraction,
+                fulfillment_override: None,
+                observations: Vec::new(),
+            };
+            tree.advance(&mut env).expect("no deadline");
+            for (i, est) in [
+                DistinctEstimator::Goodman,
+                DistinctEstimator::Chao1,
+                DistinctEstimator::Jackknife1,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let e = term_estimate_with(&tree, est);
+                errs[i] += (e.estimate - truth).abs() / truth;
+            }
+        }
+        println!(
+            "{:>9.3} | {:>14.3} | {:>14.3} | {:>14.3}",
+            fraction,
+            errs[0] / runs as f64,
+            errs[1] / runs as f64,
+            errs[2] / runs as f64
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let opts = common::Opts::parse("abl_estimator_accuracy");
+    let runs = opts.runs.min(400);
+    measure(
+        WorkloadKind::Select {
+            output_tuples: 5_000,
+        },
+        "COUNT(select), truth 5000",
+        &[0.01, 0.02, 0.05, 0.1, 0.2],
+        runs,
+    );
+    measure(
+        WorkloadKind::Join {
+            output_tuples: 70_000,
+        },
+        "COUNT(join), truth 70000",
+        &[0.01, 0.02, 0.05, 0.1],
+        runs,
+    );
+    measure(
+        WorkloadKind::Intersect { overlap: 5_000 },
+        "COUNT(intersect), truth 5000",
+        &[0.02, 0.05, 0.1, 0.2],
+        runs,
+    );
+    measure(
+        WorkloadKind::Project { groups: 100 },
+        "COUNT(project), truth 100 groups",
+        &[0.01, 0.02, 0.05, 0.1],
+        runs,
+    );
+    measure_distinct(&[0.01, 0.05, 0.2, 0.5], runs);
+}

@@ -1,0 +1,59 @@
+//! Ablation — **full vs. partial fulfillment** (Section 4 /
+//! [HoOT 88a]).
+//!
+//! "The full fulfillment approach has the advantage of making the
+//! most use of the sampled data, and hence it is time-efficient. The
+//! disadvantage is that the intermediate results, from all the
+//! previous stages, have to be kept ... (Another implementation, a
+//! partial fulfillment, is less costly)". The paper also suggests
+//! partial fulfillment "may have its place" to use small leftover
+//! slices that cannot fund a full-fulfillment stage.
+//!
+//! This ablation runs the intersection workload under both plans and
+//! reports points covered (via blocks and estimate quality) and the
+//! usual time-control columns.
+//!
+//! Usage: `abl_fulfillment [--runs N] [--quota SECS] [--jsonl]`
+
+use std::time::Duration;
+
+use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+use eram_core::{CostModel, Fulfillment, OneAtATimeInterval, SelectivityDefaults};
+
+mod common;
+
+fn main() {
+    let opts = common::Opts::parse("abl_fulfillment");
+    let quota = Duration::from_secs_f64(opts.quota.unwrap_or(2.5));
+    let kind = WorkloadKind::Intersect { overlap: 5_000 };
+    let d_beta = 12.0;
+
+    let mut rows = Vec::new();
+    for (name, fulfillment) in [("full", Fulfillment::Full), ("partial", Fulfillment::Partial)]
+    {
+        let cfg = TrialConfig {
+            kind,
+            quota,
+            strategy: Box::new(move || Box::new(OneAtATimeInterval::new(d_beta))),
+            defaults: SelectivityDefaults::default(),
+            fulfillment,
+            memory: eram_core::MemoryMode::DiskResident,
+            cost_model: CostModel::generic_default(),
+            cache_blocks: 0,
+            hybrid_leftover: false,
+            seed_from_stats: false,
+        };
+        let stats = run_row(&cfg, opts.runs, common::row_seed("abl-fulfill", 0, d_beta));
+        rows.push(PaperRow {
+            label: name.to_string(),
+            stats,
+        });
+    }
+    let title = format!(
+        "Ablation — full vs partial fulfillment, intersect(5000), quota {:.1} s, {} runs/row",
+        quota.as_secs_f64(),
+        opts.runs
+    );
+    common::emit(&opts, &title, "plan", &rows);
+    println!("{}", render_table(&title, "plan", &rows));
+}

@@ -1,0 +1,100 @@
+//! Ablation — **time-control strategy comparison** (Section 3.3).
+//!
+//! The paper argues qualitatively that One-at-a-Time-Interval is
+//! simpler and likely more efficient than Single-Interval (which
+//! "requires more effort in computing the expected time cost ... a
+//! very expensive procedure") and mentions an undescribed heuristic.
+//! This ablation puts all three on the same workloads and reports the
+//! paper's columns, so the trade-off (risk control vs. quota
+//! utilization vs. stages) is measurable.
+//!
+//! Usage: `abl_strategies [--runs N] [--quota SECS] [--jsonl]`
+
+use std::time::Duration;
+
+use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+use eram_core::{
+    CostModel, Fulfillment, HeuristicStrategy, OneAtATimeInterval, SelectivityDefaults,
+    SingleInterval, TimeControlStrategy,
+};
+
+mod common;
+
+/// A named factory producing a fresh strategy per trial.
+type StrategyFactory = Box<dyn Fn() -> Box<dyn TimeControlStrategy> + Sync>;
+
+fn main() {
+    let opts = common::Opts::parse("abl_strategies");
+    let workloads: [(&str, WorkloadKind, f64); 2] = [
+        (
+            "select(5000)",
+            WorkloadKind::Select {
+                output_tuples: 5_000,
+            },
+            opts.quota.unwrap_or(10.0),
+        ),
+        (
+            "join(70000)",
+            WorkloadKind::Join {
+                output_tuples: 70_000,
+            },
+            opts.quota.unwrap_or(10.0).min(2.5),
+        ),
+    ];
+
+    for (wname, kind, quota_secs) in workloads {
+        let quota = Duration::from_secs_f64(quota_secs);
+        let strategies: Vec<(&str, StrategyFactory)> = vec![
+            (
+                "one-at-a-time(d=12)",
+                Box::new(|| Box::new(OneAtATimeInterval::new(12.0))),
+            ),
+            (
+                "one-at-a-time(d=0)",
+                Box::new(|| Box::new(OneAtATimeInterval::new(0.0))),
+            ),
+            (
+                "single-interval(d=2)",
+                Box::new(|| Box::new(SingleInterval::new(2.0))),
+            ),
+            (
+                "heuristic(0.5,1.25)",
+                Box::new(|| Box::new(HeuristicStrategy::new(0.5, 1.25))),
+            ),
+        ];
+        let mut rows = Vec::new();
+        for (sname, factory) in strategies {
+            let defaults = match kind {
+                WorkloadKind::Join { .. } => SelectivityDefaults::paper_join_experiment(),
+                _ => SelectivityDefaults::default(),
+            };
+            let cfg = TrialConfig {
+                kind,
+                quota,
+                strategy: factory,
+                defaults,
+                fulfillment: Fulfillment::Full,
+                memory: eram_core::MemoryMode::DiskResident,
+                cost_model: CostModel::generic_default(),
+                cache_blocks: 0,
+            hybrid_leftover: false,
+            seed_from_stats: false,
+            };
+            let stats = run_row(
+                &cfg,
+                opts.runs,
+                common::row_seed("abl-strategy", quota_secs.to_bits(), 0.0),
+            );
+            rows.push(PaperRow {
+                label: sname.to_string(),
+                stats,
+            });
+        }
+        let title = format!(
+            "Ablation — strategies on {wname}, quota {quota_secs:.1} s, {} runs/row",
+            opts.runs
+        );
+        common::emit(&opts, &title, "strategy", &rows);
+        println!("{}", render_table(&title, "strategy", &rows));
+    }
+}

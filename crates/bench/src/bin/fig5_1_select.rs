@@ -1,0 +1,45 @@
+//! Regenerates **Figure 5.1** — performance of the time-control
+//! algorithm for the selection operation.
+//!
+//! Paper setup: `COUNT(σ(r))` over a 10 000-tuple relation, time
+//! quota 10 s, selection formula with one integer comparison, assumed
+//! maximum selectivity 1 at the first stage; sub-tables for 0, 5 000,
+//! and 10 000 output tuples; `d_β ∈ {0, 12, 24, 48, 72}`;
+//! 200 independent runs per row.
+//!
+//! Usage: `fig5_1_select [--runs N] [--quota SECS] [--jsonl]`
+
+use std::time::Duration;
+
+use eram_bench::{run_row, render_table, PaperRow, TrialConfig, WorkloadKind};
+
+mod common;
+
+fn main() {
+    let opts = common::Opts::parse("fig5_1_select");
+    let quota = Duration::from_secs_f64(opts.quota.unwrap_or(10.0));
+    let d_betas = [0.0, 12.0, 24.0, 48.0, 72.0];
+
+    for output_tuples in [0u64, 5_000, 10_000] {
+        let mut rows = Vec::new();
+        for d_beta in d_betas {
+            let cfg = TrialConfig::paper(
+                WorkloadKind::Select { output_tuples },
+                quota,
+                d_beta,
+            );
+            let stats = run_row(&cfg, opts.runs, common::row_seed("fig5.1", output_tuples, d_beta));
+            rows.push(PaperRow {
+                label: format!("{d_beta}"),
+                stats,
+            });
+        }
+        let title = format!(
+            "Figure 5.1 — Selection, {output_tuples} output tuples, quota {:.1} s, {} runs/row",
+            quota.as_secs_f64(),
+            opts.runs
+        );
+        common::emit(&opts, &title, "d_beta", &rows);
+        println!("{}", render_table(&title, "d_beta", &rows));
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Figure 5.2** — performance of the time-control
+//! algorithm for the intersection operation.
+//!
+//! Paper setup: `COUNT(r₁ ∩ r₂)` over two 10 000-tuple relations,
+//! time quota 2.5 s, stage-1 selectivity `1/max(|r₁|,|r₂|)`
+//! (Figure 3.3), full-fulfillment cluster sampling,
+//! `d_β ∈ {0, 12, 24, 48, 72}`, 200 runs per row. The paper observed
+//! that at high `d_β` "the amount of time left was not enough for a
+//! further stage" and that blocks *decrease* from `d_β = 48` to `72`
+//! "due to the increase in the overhead and the increase in the time
+//! complexity of Intersection".
+//!
+//! Usage: `fig5_2_intersect [--runs N] [--quota SECS] [--jsonl]`
+
+use std::time::Duration;
+
+use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+
+mod common;
+
+fn main() {
+    let opts = common::Opts::parse("fig5_2_intersect");
+    let quota = Duration::from_secs_f64(opts.quota.unwrap_or(2.5));
+    let overlap = 5_000u64;
+
+    let mut rows = Vec::new();
+    for d_beta in [0.0, 12.0, 24.0, 48.0, 72.0] {
+        let cfg = TrialConfig::paper(WorkloadKind::Intersect { overlap }, quota, d_beta);
+        let stats = run_row(&cfg, opts.runs, common::row_seed("fig5.2", overlap, d_beta));
+        rows.push(PaperRow {
+            label: format!("{d_beta}"),
+            stats,
+        });
+    }
+    let title = format!(
+        "Figure 5.2 — Intersection, overlap {overlap}, quota {:.1} s, {} runs/row",
+        quota.as_secs_f64(),
+        opts.runs
+    );
+    common::emit(&opts, &title, "d_beta", &rows);
+    println!("{}", render_table(&title, "d_beta", &rows));
+}

@@ -1,0 +1,117 @@
+//! Paper-format table rendering.
+//!
+//! Each Section 5 table has one row per `d_β` with the columns
+//! `stages | risk | ovsp | utilization | blocks`. [`render_table`]
+//! prints that layout (plus our extra accuracy column) and
+//! [`PaperRow`] pairs a measured row with the paper's published
+//! values so EXPERIMENTS.md can show paper-vs-measured side by side.
+
+use serde::{Deserialize, Serialize};
+
+use crate::harness::RowStats;
+
+/// One rendered row: the sweep parameter and the measured stats.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PaperRow {
+    /// The swept `d_β` (or other parameter) label.
+    pub label: String,
+    /// Measured statistics.
+    pub stats: RowStats,
+}
+
+/// Renders a Section 5-style table to a string.
+pub fn render_table(title: &str, param_name: &str, rows: &[PaperRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:>8} | {:>7} | {:>6} | {:>7} | {:>11} | {:>8} | {:>8}\n",
+        param_name, "stages", "risk%", "ovsp(s)", "utilization%", "blocks", "rel.err"
+    ));
+    out.push_str(&"-".repeat(74));
+    out.push('\n');
+    for row in rows {
+        let s = &row.stats;
+        let err = if s.mean_rel_error.is_nan() {
+            "  n/a".to_string()
+        } else {
+            format!("{:>8.3}", s.mean_rel_error)
+        };
+        out.push_str(&format!(
+            "{:>8} | {:>7.2} | {:>6.1} | {:>7.2} | {:>11.1} | {:>8.1} | {err}\n",
+            row.label, s.stages, s.risk_pct, s.ovsp_secs, s.utilization_pct, s.blocks
+        ));
+    }
+    out
+}
+
+/// Emits rows as JSON lines (experiment provenance for
+/// EXPERIMENTS.md).
+pub fn render_jsonl(rows: &[PaperRow]) -> String {
+    rows.iter()
+        .map(|r| serde_json::to_string(r).expect("row serializes"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> RowStats {
+        RowStats {
+            runs: 200,
+            stages: 1.56,
+            risk_pct: 56.0,
+            ovsp_secs: 0.11,
+            utilization_pct: 63.0,
+            blocks: 54.0,
+            mean_rel_error: 0.08,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_columns() {
+        let rows = vec![PaperRow {
+            label: "0".into(),
+            stats: stats(),
+        }];
+        let t = render_table("Figure 5.1 — Selection", "d_beta", &rows);
+        assert!(t.contains("Figure 5.1"));
+        assert!(t.contains("stages"));
+        assert!(t.contains("1.56"));
+        assert!(t.contains("56.0"));
+        assert!(t.contains("0.11"));
+        assert!(t.contains("63.0"));
+        assert!(t.contains("54.0"));
+    }
+
+    #[test]
+    fn nan_error_renders_as_na() {
+        let mut s = stats();
+        s.mean_rel_error = f64::NAN;
+        let rows = vec![PaperRow {
+            label: "12".into(),
+            stats: s,
+        }];
+        let t = render_table("x", "d", &rows);
+        assert!(t.contains("n/a"));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let rows = vec![
+            PaperRow {
+                label: "0".into(),
+                stats: stats(),
+            },
+            PaperRow {
+                label: "12".into(),
+                stats: stats(),
+            },
+        ];
+        let jsonl = render_jsonl(&rows);
+        assert_eq!(jsonl.lines().count(), 2);
+        let back: PaperRow = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(back.label, "0");
+    }
+}

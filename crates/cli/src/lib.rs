@@ -1,0 +1,426 @@
+//! Command-line plumbing for the `eram` binary.
+//!
+//! The binary itself (`src/main.rs`) is a thin shell over this
+//! library so argument parsing and command dispatch are unit-tested.
+//!
+//! ```text
+//! eram --load orders=orders.csv:id:int,price:float \
+//!      [--device sun|modern] [--cache BLOCKS] [--seed N] [--header]
+//!      [--quota SECS --query 'select[#1 < 5](orders)' [--agg count|sum:N|avg:N]]
+//! ```
+//!
+//! With `--query` the command runs once and exits; without it an
+//! interactive shell starts (`count <expr> within <secs>`,
+//! `sum <col> <expr> within <secs>`, `avg <col> <expr> within <secs>`,
+//! `exact <expr>`, `relations`, `help`, `quit`).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use eram_core::{AggregateFn, Database};
+use eram_relalg::parse_expr;
+use eram_storage::{parse_schema_spec, DeviceProfile};
+
+/// Which simulated device profile to run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Device {
+    /// The paper's SUN 3/60 (seconds-scale quotas).
+    #[default]
+    Sun,
+    /// A modern NVMe-scale device (millisecond quotas).
+    Modern,
+}
+
+/// One `--load` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadSpec {
+    /// Relation name.
+    pub name: String,
+    /// CSV path.
+    pub path: PathBuf,
+    /// Compact schema spec (`col:type,...`).
+    pub schema_spec: String,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cli {
+    /// Relations to load.
+    pub loads: Vec<LoadSpec>,
+    /// Device profile.
+    pub device: Device,
+    /// Buffer-cache blocks (0 = none, the paper's setup).
+    pub cache_blocks: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// CSV files carry a header row.
+    pub header: bool,
+    /// One-shot query (otherwise: interactive shell).
+    pub query: Option<String>,
+    /// One-shot quota in seconds.
+    pub quota_secs: Option<f64>,
+    /// One-shot aggregate.
+    pub agg: AggregateFn,
+}
+
+/// A CLI-level error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: eram --load NAME=FILE.csv:COL:TYPE[,COL:TYPE...] \
+[--load ...] [--device sun|modern] [--cache BLOCKS] [--seed N] [--header] \
+[--query EXPR --quota SECS [--agg count|sum:COL|avg:COL]]";
+
+impl Cli {
+    /// Parses arguments (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<Cli, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut cli = Cli::default();
+        let mut args = args.into_iter().map(Into::into);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--load" => {
+                    let spec = args.next().ok_or_else(|| err("--load needs NAME=FILE:SCHEMA"))?;
+                    cli.loads.push(parse_load(&spec)?);
+                }
+                "--device" => {
+                    cli.device = match args.next().as_deref() {
+                        Some("sun") => Device::Sun,
+                        Some("modern") => Device::Modern,
+                        other => return Err(err(format!("bad --device {other:?}"))),
+                    };
+                }
+                "--cache" => {
+                    cli.cache_blocks = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("--cache needs a block count"))?;
+                }
+                "--seed" => {
+                    cli.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("--seed needs an integer"))?;
+                }
+                "--header" => cli.header = true,
+                "--query" => {
+                    cli.query = Some(args.next().ok_or_else(|| err("--query needs an expression"))?)
+                }
+                "--quota" => {
+                    let secs: f64 = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("--quota needs seconds"))?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err(err("--quota must be a non-negative number of seconds"));
+                    }
+                    cli.quota_secs = Some(secs);
+                }
+                "--agg" => {
+                    cli.agg = parse_agg(
+                        &args.next().ok_or_else(|| err("--agg needs count|sum:COL|avg:COL"))?,
+                    )?;
+                }
+                "--help" | "-h" => return Err(err(USAGE)),
+                other => return Err(err(format!("unknown argument {other:?}\n{USAGE}"))),
+            }
+        }
+        if cli.query.is_some() && cli.quota_secs.is_none() {
+            return Err(err("--query requires --quota"));
+        }
+        Ok(cli)
+    }
+}
+
+fn parse_load(spec: &str) -> Result<LoadSpec, CliError> {
+    let (name, rest) = spec
+        .split_once('=')
+        .ok_or_else(|| err(format!("bad --load {spec:?}: expected NAME=FILE:SCHEMA")))?;
+    let (path, schema_spec) = rest
+        .split_once(':')
+        .ok_or_else(|| err(format!("bad --load {spec:?}: expected NAME=FILE:SCHEMA")))?;
+    if name.is_empty() || path.is_empty() || schema_spec.is_empty() {
+        return Err(err(format!("bad --load {spec:?}")));
+    }
+    Ok(LoadSpec {
+        name: name.to_owned(),
+        path: PathBuf::from(path),
+        schema_spec: schema_spec.to_owned(),
+    })
+}
+
+fn parse_agg(text: &str) -> Result<AggregateFn, CliError> {
+    if text == "count" {
+        return Ok(AggregateFn::Count);
+    }
+    if let Some(col) = text.strip_prefix("sum:") {
+        let column = col.parse().map_err(|_| err("bad sum column"))?;
+        return Ok(AggregateFn::Sum { column });
+    }
+    if let Some(col) = text.strip_prefix("avg:") {
+        let column = col.parse().map_err(|_| err("bad avg column"))?;
+        return Ok(AggregateFn::Avg { column });
+    }
+    Err(err(format!("bad --agg {text:?} (count|sum:COL|avg:COL)")))
+}
+
+/// Builds the database and loads every `--load` relation.
+pub fn build_database(cli: &Cli) -> Result<Database, CliError> {
+    let profile = match cli.device {
+        Device::Sun => DeviceProfile::sun_3_60(),
+        Device::Modern => DeviceProfile::modern(),
+    };
+    let mut db = if cli.cache_blocks > 0 {
+        Database::sim_cached(profile, cli.seed, cli.cache_blocks)
+    } else {
+        Database::sim(profile, cli.seed)
+    };
+    if cli.device == Device::Modern {
+        db.set_default_cost_model(eram_core::CostModel::modern_default());
+    }
+    for load in &cli.loads {
+        let schema = parse_schema_spec(&load.schema_spec, None)
+            .map_err(|e| err(format!("--load {}: {e}", load.name)))?;
+        let n = db
+            .load_csv(load.name.clone(), schema, &load.path, cli.header)
+            .map_err(|e| err(format!("--load {}: {e}", load.name)))?;
+        eprintln!("loaded {} ({n} tuples)", load.name);
+    }
+    Ok(db)
+}
+
+/// Runs a one-shot aggregate and renders the outcome.
+pub fn run_one_shot(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
+    let text = cli.query.as_deref().expect("caller checked");
+    let quota = Duration::from_secs_f64(cli.quota_secs.expect("caller checked"));
+    let expr = parse_expr(text).map_err(|e| err(e.to_string()))?;
+    let out = db
+        .aggregate(cli.agg, expr)
+        .within(quota)
+        .run()
+        .map_err(|e| err(e.to_string()))?;
+    let (lo, hi) = out.estimate.ci(0.95);
+    Ok(format!(
+        "estimate {:.2}\n95% CI [{lo:.2}, {hi:.2}]\nstages {} | blocks {} | utilization {:.1}% | elapsed {:?}",
+        out.estimate.estimate,
+        out.report.completed_stages(),
+        out.report.blocks_evaluated(),
+        100.0 * out.report.utilization(),
+        out.report.total_elapsed,
+    ))
+}
+
+/// Dispatches one interactive command. `Ok(None)` means quit.
+pub fn dispatch(db: &mut Database, input: &str) -> Result<Option<String>, CliError> {
+    let input = input.trim();
+    if input.is_empty() {
+        return Ok(Some(String::new()));
+    }
+    if input == "quit" || input == "exit" {
+        return Ok(None);
+    }
+    if input == "help" {
+        return Ok(Some(
+            "  count <expr> within <secs>\n  sum <col> <expr> within <secs>\n  \
+             avg <col> <expr> within <secs>\n  exact <expr>\n  relations\n  quit"
+                .into(),
+        ));
+    }
+    if input == "relations" {
+        let mut out = String::new();
+        for name in db.catalog().names() {
+            if let Some(r) = db.catalog().relation(name) {
+                out.push_str(&format!(
+                    "  {name}: {} tuples, {} blocks\n",
+                    r.num_tuples(),
+                    r.num_blocks()
+                ));
+            }
+        }
+        return Ok(Some(out.trim_end().to_string()));
+    }
+    if let Some(rest) = input.strip_prefix("exact ") {
+        let expr = parse_expr(rest.trim()).map_err(|e| err(e.to_string()))?;
+        let n = db.exact_count(&expr).map_err(|e| err(e.to_string()))?;
+        return Ok(Some(format!("  exact COUNT = {n}")));
+    }
+    for (prefix, make) in [
+        ("count ", None),
+        ("sum ", Some(true)),
+        ("avg ", Some(false)),
+    ] {
+        if let Some(rest) = input.strip_prefix(prefix) {
+            let (agg, rest) = match make {
+                None => (AggregateFn::Count, rest),
+                Some(is_sum) => {
+                    let (col, tail) = rest
+                        .trim_start()
+                        .split_once(' ')
+                        .ok_or_else(|| err(format!("usage: {prefix}<col> <expr> within <secs>")))?;
+                    let column: usize = col.parse().map_err(|_| err("bad column index"))?;
+                    let agg = if is_sum {
+                        AggregateFn::Sum { column }
+                    } else {
+                        AggregateFn::Avg { column }
+                    };
+                    (agg, tail)
+                }
+            };
+            let (expr_text, quota_text) = rest
+                .rsplit_once(" within ")
+                .ok_or_else(|| err(format!("usage: {prefix}... <expr> within <secs>")))?;
+            let expr = parse_expr(expr_text.trim()).map_err(|e| err(e.to_string()))?;
+            let secs: f64 = quota_text
+                .trim()
+                .parse()
+                .map_err(|_| err("quota must be a number of seconds"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(err("quota must be a non-negative number of seconds"));
+            }
+            let out = db
+                .aggregate(agg, expr)
+                .within(Duration::from_secs_f64(secs))
+                .run()
+                .map_err(|e| err(e.to_string()))?;
+            let (lo, hi) = out.estimate.ci(0.95);
+            return Ok(Some(format!(
+                "  ≈ {:.2}   (95% CI [{lo:.2}, {hi:.2}])\n  {} stages, {} blocks, {:.1}% of quota used",
+                out.estimate.estimate,
+                out.report.completed_stages(),
+                out.report.blocks_evaluated(),
+                100.0 * out.report.utilization(),
+            )));
+        }
+    }
+    Err(err(format!("unknown command {input:?}; try `help`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_csv(name: &str, content: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("eram-cli-{name}-{}.csv", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let cli = Cli::parse([
+            "--load",
+            "orders=o.csv:id:int,price:float",
+            "--device",
+            "modern",
+            "--cache",
+            "128",
+            "--seed",
+            "9",
+            "--header",
+            "--query",
+            "select[#0 < 5](orders)",
+            "--quota",
+            "2.5",
+            "--agg",
+            "sum:1",
+        ])
+        .unwrap();
+        assert_eq!(cli.loads.len(), 1);
+        assert_eq!(cli.loads[0].name, "orders");
+        assert_eq!(cli.loads[0].schema_spec, "id:int,price:float");
+        assert_eq!(cli.device, Device::Modern);
+        assert_eq!(cli.cache_blocks, 128);
+        assert_eq!(cli.seed, 9);
+        assert!(cli.header);
+        assert_eq!(cli.quota_secs, Some(2.5));
+        assert_eq!(cli.agg, AggregateFn::Sum { column: 1 });
+    }
+
+    #[test]
+    fn rejects_malformed_arguments() {
+        assert!(Cli::parse(["--load", "noequals"]).is_err());
+        assert!(Cli::parse(["--quota", "nan"]).is_err());
+        assert!(Cli::parse(["--quota", "inf"]).is_err());
+        assert!(Cli::parse(["--quota", "-2"]).is_err());
+        assert!(Cli::parse(["--device", "vax"]).is_err());
+        assert!(Cli::parse(["--agg", "median:1"]).is_err());
+        assert!(Cli::parse(["--query", "r"]).is_err()); // no quota
+        assert!(Cli::parse(["--flux"]).is_err());
+        assert!(Cli::parse(["--cache"]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_one_shot() {
+        let csv = write_csv(
+            "oneshot",
+            "id,price\n0,10\n1,20\n2,30\n3,40\n4,50\n5,60\n6,70\n7,80\n",
+        );
+        let cli = Cli::parse([
+            "--load".to_string(),
+            format!("orders={}:id:int,price:int", csv.display()),
+            "--header".to_string(),
+            "--query".to_string(),
+            "select[#1 >= 50](orders)".to_string(),
+            "--quota".to_string(),
+            "60".to_string(),
+        ])
+        .unwrap();
+        let mut db = build_database(&cli).unwrap();
+        let rendered = run_one_shot(&mut db, &cli).unwrap();
+        // Tiny relation + big quota → census → exact 4.
+        assert!(rendered.contains("estimate 4.00"), "{rendered}");
+        let _ = std::fs::remove_file(csv);
+    }
+
+    #[test]
+    fn interactive_dispatch_round_trip() {
+        let csv = write_csv("shell", "0,5\n1,15\n2,25\n3,35\n");
+        let cli = Cli::parse([
+            "--load".to_string(),
+            format!("t={}:k:int,v:int", csv.display()),
+        ])
+        .unwrap();
+        let mut db = build_database(&cli).unwrap();
+
+        let out = dispatch(&mut db, "relations").unwrap().unwrap();
+        assert!(out.contains("t: 4 tuples"));
+
+        let out = dispatch(&mut db, "exact select[#1 > 10](t)").unwrap().unwrap();
+        assert!(out.contains("= 3"));
+
+        let out = dispatch(&mut db, "count select[#1 > 10](t) within 60")
+            .unwrap()
+            .unwrap();
+        assert!(out.contains("≈ 3.00"), "{out}");
+
+        let out = dispatch(&mut db, "sum 1 t within 60").unwrap().unwrap();
+        assert!(out.contains("≈ 80.00"), "{out}");
+
+        let out = dispatch(&mut db, "avg 1 t within 60").unwrap().unwrap();
+        assert!(out.contains("≈ 20.00"), "{out}");
+
+        assert!(dispatch(&mut db, "quit").unwrap().is_none());
+        assert!(dispatch(&mut db, "explode").is_err());
+        assert!(dispatch(&mut db, "count t").is_err()); // missing within
+        let _ = std::fs::remove_file(csv);
+    }
+}

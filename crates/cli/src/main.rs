@@ -1,0 +1,56 @@
+//! The `eram` binary: load CSV relations, then answer time-quota
+//! aggregate queries one-shot or interactively. See `eram --help`.
+
+use std::io::{BufRead, Write};
+
+use eram_cli::{build_database, dispatch, run_one_shot, Cli};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut db = match build_database(&cli) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+
+    if cli.query.is_some() {
+        match run_one_shot(&mut db, &cli) {
+            Ok(rendered) => println!("{rendered}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!("eram shell — `help` for commands");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("eram> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        match dispatch(&mut db, &line) {
+            Ok(Some(out)) => {
+                if !out.is_empty() {
+                    println!("{out}");
+                }
+            }
+            Ok(None) => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Aggregate functions beyond COUNT.
+//!
+//! The paper poses the general problem — "Evaluate f(E) within T time
+//! units where f is an aggregate function" — and then "restricts f to
+//! COUNT". SUM and AVG are the natural generalization (taken up in
+//! the authors' follow-on work), and the point-space estimators
+//! extend directly:
+//!
+//! * **SUM(col)**: attach to every point of the point space the value
+//!   `z = col(output tuple)` if the point is a 1-point and `z = 0`
+//!   otherwise; then `SUM = Σ z` over the space, and the SRS
+//!   estimator is `N·z̄` with variance `N²·(1−m/N)·s²_z/m`. Like
+//!   COUNT, SUM is additive, so the inclusion–exclusion rewrite
+//!   applies with the same coefficients.
+//! * **AVG(col)**: the mean over *qualifying* tuples. The sampled
+//!   1-points are a simple random sample of the qualifying
+//!   population, so the sample mean of their values estimates AVG
+//!   with variance `s²_v/y` (y = qualifying sample size). AVG is not
+//!   additive, so it is only supported when the inclusion–exclusion
+//!   rewrite is trivial (no union/difference).
+//!
+//! Aggregate results reuse [`CountEstimate`] with
+//! `total_points = ∞` (no upper clamp on the confidence interval);
+//! the lower CI clamp at 0 assumes a non-negative summed column.
+
+use eram_relalg::{Catalog, Expr, ExprError};
+use eram_sampling::CountEstimate;
+use eram_storage::{ColumnType, Tuple, Value};
+
+/// The aggregate function of a time-constrained query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregateFn {
+    /// `COUNT(E)` — the paper's function.
+    #[default]
+    Count,
+    /// `SUM(E.column)` over the output tuples.
+    Sum {
+        /// Output-schema column to sum (must be Int or Float).
+        column: usize,
+    },
+    /// `AVG(E.column)` over the output tuples.
+    Avg {
+        /// Output-schema column to average (must be Int or Float).
+        column: usize,
+    },
+}
+
+impl AggregateFn {
+    /// The value column, if any.
+    pub fn column(&self) -> Option<usize> {
+        match self {
+            AggregateFn::Count => None,
+            AggregateFn::Sum { column } | AggregateFn::Avg { column } => Some(*column),
+        }
+    }
+
+    /// Validates the aggregate against the expression's output schema.
+    pub fn validate(&self, expr: &Expr, catalog: &Catalog) -> Result<(), ExprError> {
+        let Some(column) = self.column() else {
+            return Ok(());
+        };
+        let schema = expr.output_schema(catalog)?;
+        if column >= schema.arity() {
+            return Err(ExprError::ColumnOutOfRange {
+                column,
+                arity: schema.arity(),
+            });
+        }
+        match schema.columns()[column].ty {
+            ColumnType::Int | ColumnType::Float => Ok(()),
+            other => Err(ExprError::IncompatibleSchemas(format!(
+                "aggregate column #{column} must be numeric, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Numeric view of a value for aggregation.
+fn numeric(v: &Value) -> f64 {
+    match v {
+        Value::Int(x) => *x as f64,
+        Value::Float(x) => *x,
+        // validate() rejects non-numeric columns; treat defensively.
+        Value::Bool(b) => f64::from(u8::from(*b)),
+        Value::Str(_) => 0.0,
+    }
+}
+
+/// Running value statistics of one term's output tuples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TermValues {
+    /// Σ of the value column over output tuples.
+    pub sum: f64,
+    /// Σ of squares.
+    pub sum_sq: f64,
+}
+
+impl TermValues {
+    /// Absorbs a stage's new output tuples.
+    pub fn absorb(&mut self, tuples: &[Tuple], column: usize) {
+        for t in tuples {
+            let v = numeric(t.value(column));
+            self.sum += v;
+            self.sum_sq += v * v;
+        }
+    }
+}
+
+/// SUM estimator for one term: `N·(Σz/m)` with the SRS variance of
+/// the per-point contribution `z` (0 off the output, the value on
+/// it).
+pub fn sum_estimate(
+    total_points: f64,
+    points_covered: f64,
+    values: &TermValues,
+) -> CountEstimate {
+    let m = points_covered;
+    if m <= 0.0 {
+        return CountEstimate {
+            estimate: 0.0,
+            variance: 0.0,
+            points_sampled: 0.0,
+            total_points: f64::INFINITY,
+        };
+    }
+    let mean = values.sum / m;
+    let estimate = total_points * mean;
+    let variance = if m > 1.0 && total_points > m {
+        let s2 = ((values.sum_sq - values.sum * values.sum / m) / (m - 1.0)).max(0.0);
+        total_points * total_points * (1.0 - m / total_points) * s2 / m
+    } else {
+        0.0
+    };
+    CountEstimate {
+        estimate,
+        variance,
+        points_sampled: m,
+        total_points: f64::INFINITY,
+    }
+}
+
+/// AVG estimator for one term: the sample mean of the qualifying
+/// tuples' values, with the SRS mean variance `s²_v/y` (finite-
+/// population-corrected against the estimated qualifying total).
+pub fn avg_estimate(
+    ones_found: f64,
+    points_covered: f64,
+    total_points: f64,
+    values: &TermValues,
+) -> CountEstimate {
+    let y = ones_found;
+    if y <= 0.0 {
+        return CountEstimate {
+            estimate: 0.0,
+            variance: 0.0,
+            points_sampled: points_covered,
+            total_points: f64::INFINITY,
+        };
+    }
+    let mean = values.sum / y;
+    let variance = if y > 1.0 {
+        let s2 = ((values.sum_sq - values.sum * values.sum / y) / (y - 1.0)).max(0.0);
+        // Estimated qualifying population: N·(y/m).
+        let est_qualifying = if points_covered > 0.0 {
+            total_points * y / points_covered
+        } else {
+            y
+        };
+        let fpc = (1.0 - y / est_qualifying.max(y)).max(0.0);
+        fpc * s2 / y
+    } else {
+        0.0
+    };
+    CountEstimate {
+        estimate: mean,
+        variance,
+        points_sampled: points_covered,
+        total_points: f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eram_relalg::Catalog;
+    use eram_storage::Schema;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_schema(
+            "r",
+            Schema::new(vec![
+                ("k", ColumnType::Int),
+                ("v", ColumnType::Float),
+                ("s", ColumnType::Str { width: 4 }),
+            ]),
+        );
+        c
+    }
+
+    #[test]
+    fn validation_checks_column_and_type() {
+        let c = catalog();
+        let e = Expr::relation("r");
+        assert!(AggregateFn::Count.validate(&e, &c).is_ok());
+        assert!(AggregateFn::Sum { column: 0 }.validate(&e, &c).is_ok());
+        assert!(AggregateFn::Avg { column: 1 }.validate(&e, &c).is_ok());
+        assert!(matches!(
+            AggregateFn::Sum { column: 2 }.validate(&e, &c),
+            Err(ExprError::IncompatibleSchemas(_))
+        ));
+        assert!(matches!(
+            AggregateFn::Avg { column: 9 }.validate(&e, &c),
+            Err(ExprError::ColumnOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn term_values_accumulate() {
+        let mut tv = TermValues::default();
+        tv.absorb(
+            &[
+                Tuple::new(vec![Value::Int(3), Value::Float(1.5)]),
+                Tuple::new(vec![Value::Int(4), Value::Float(2.5)]),
+            ],
+            1,
+        );
+        assert_eq!(tv.sum, 4.0);
+        assert_eq!(tv.sum_sq, 1.5 * 1.5 + 2.5 * 2.5);
+    }
+
+    #[test]
+    fn sum_estimator_scales_sample_mean() {
+        // 100 points, sampled 10, Σz over the sample = 30 → SUM ≈ 300.
+        let tv = TermValues {
+            sum: 30.0,
+            sum_sq: 200.0,
+        };
+        let e = sum_estimate(100.0, 10.0, &tv);
+        assert!((e.estimate - 300.0).abs() < 1e-9);
+        assert!(e.variance > 0.0);
+        assert_eq!(e.total_points, f64::INFINITY);
+    }
+
+    #[test]
+    fn sum_census_has_zero_variance() {
+        let tv = TermValues {
+            sum: 10.0,
+            sum_sq: 40.0,
+        };
+        let e = sum_estimate(10.0, 10.0, &tv);
+        assert_eq!(e.estimate, 10.0);
+        assert_eq!(e.variance, 0.0);
+    }
+
+    #[test]
+    fn avg_estimator_is_sample_mean_of_qualifiers() {
+        // 5 qualifying tuples out of 50 sampled points, Σv = 25.
+        let tv = TermValues {
+            sum: 25.0,
+            sum_sq: 135.0,
+        };
+        let e = avg_estimate(5.0, 50.0, 1_000.0, &tv);
+        assert!((e.estimate - 5.0).abs() < 1e-9);
+        assert!(e.variance > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let tv = TermValues::default();
+        assert_eq!(sum_estimate(100.0, 0.0, &tv).estimate, 0.0);
+        assert_eq!(avg_estimate(0.0, 10.0, 100.0, &tv).estimate, 0.0);
+    }
+
+    #[test]
+    fn confidence_interval_is_unclamped_above() {
+        let tv = TermValues {
+            sum: 500.0,
+            sum_sq: 300_000.0,
+        };
+        let e = sum_estimate(1_000.0, 10.0, &tv);
+        let (lo, hi) = e.ci(0.95);
+        assert!(hi > e.estimate, "upper bound must not clamp at N");
+        assert!(lo >= 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Adaptive time-cost coefficients (Section 4).
+//!
+//! "We think that using a fixed-form cost formula for an operation is
+//! not flexible enough ... Our approach is to use *adaptive time cost
+//! formulas* ... during run-time, the cost formulas (more
+//! specifically, their coefficients) are adjusted based on the sample
+//! results to better fit a specific query. As for the initialization,
+//! the coefficients are assigned initial values that are based on the
+//! experimental relations which (designers think) are commonly
+//! encountered."
+//!
+//! [`CostModel`] holds the per-unit coefficients the cost formulas of
+//! [`crate::predict`] consume. The physical operators time each of
+//! their steps (temp write, sort, merge, scan, block read) and report
+//! `(coefficient, units, measured duration)`; the model folds the
+//! observation in with an exponential moving average, so by stage 2
+//! the formulas reflect the actual device and tuple sizes rather than
+//! the designers' guesses.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use eram_storage::DeviceProfile;
+
+/// The per-unit coefficients of the operator cost formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostCoeff {
+    /// Seconds per disk block read while drawing a sample.
+    BlockRead,
+    /// Seconds per tuple scanned and predicate-checked (the select
+    /// formula's `c₁`).
+    ScanTuple,
+    /// Seconds per `n·log₂n` unit of sorting (eq. 4.3's `C₂`).
+    SortUnit,
+    /// Seconds per tuple read-and-compared during a merge pass
+    /// (eq. 4.4's `C₄`, "the time for reading and comparing tuples").
+    MergeTuple,
+    /// Seconds per tuple written to a temporary or output file
+    /// (the page-write terms `C₃·p`, amortized per tuple).
+    WriteTuple,
+    /// Seconds of fixed per-stage bookkeeping (sample-size
+    /// determination, random block selection, estimator update) —
+    /// "considered as part of the overhead, which is measured at
+    /// run-time".
+    StageOverhead,
+}
+
+/// All coefficient kinds, for iteration.
+pub const ALL_COEFFS: [CostCoeff; 6] = [
+    CostCoeff::BlockRead,
+    CostCoeff::ScanTuple,
+    CostCoeff::SortUnit,
+    CostCoeff::MergeTuple,
+    CostCoeff::WriteTuple,
+    CostCoeff::StageOverhead,
+];
+
+fn index(c: CostCoeff) -> usize {
+    match c {
+        CostCoeff::BlockRead => 0,
+        CostCoeff::ScanTuple => 1,
+        CostCoeff::SortUnit => 2,
+        CostCoeff::MergeTuple => 3,
+        CostCoeff::WriteTuple => 4,
+        CostCoeff::StageOverhead => 5,
+    }
+}
+
+/// Adaptive per-unit cost coefficients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Seconds per unit, indexed by [`CostCoeff`].
+    per_unit: [f64; 6],
+    /// EMA smoothing: weight of the newest observation.
+    alpha: f64,
+    /// When false, observations are ignored (the paper's fixed-form
+    /// baseline, used by the adaptivity ablation).
+    adaptive: bool,
+}
+
+impl CostModel {
+    /// Generic initial coefficients "based on the experimental
+    /// relations designers think are commonly encountered" — i.e.
+    /// *not* tuned to the actual device. The paper initialized from
+    /// "the experiments with the largest possible tuples (1 K bytes)",
+    /// i.e. deliberately pessimistic values: overestimating stage cost
+    /// at stage 1 only wastes a little quota, while underestimating
+    /// would overrun it before any adaptation has happened. These sit
+    /// ~1.5–2× above the calibrated SUN 3/60 truth; stage-1
+    /// measurements pull them down.
+    pub fn generic_default() -> Self {
+        CostModel {
+            per_unit: [
+                0.045,  // BlockRead   (truth ≈ 0.030)
+                0.014,  // ScanTuple   (truth ≈ 0.009)
+                0.0008, // SortUnit    (truth ≈ 0.00045)
+                0.011,  // MergeTuple  (truth ≈ 0.0065)
+                0.011,  // WriteTuple  (truth ≈ 0.0064)
+                0.300,  // StageOverhead (truth ≈ 0.180)
+            ],
+            alpha: 1.0,
+            adaptive: true,
+        }
+    }
+
+    /// Pessimistic initial coefficients for a *modern* device
+    /// ([`DeviceProfile::modern`] or real wall-clock hardware) —
+    /// microsecond-scale rather than the 1989 defaults.
+    pub fn modern_default() -> Self {
+        CostModel {
+            per_unit: [
+                40e-6,  // BlockRead
+                0.4e-6, // ScanTuple
+                60e-9,  // SortUnit
+                0.3e-6, // MergeTuple
+                0.5e-6, // WriteTuple
+                100e-6, // StageOverhead
+            ],
+            alpha: 1.0,
+            adaptive: true,
+        }
+    }
+
+    /// Oracle coefficients derived from a known [`DeviceProfile`] and
+    /// blocking factor — the best a *fixed-form* formula could do.
+    /// Used by the adaptive-vs-fixed ablation.
+    pub fn oracle(profile: &DeviceProfile, blocking_factor: f64) -> Self {
+        let bf = blocking_factor.max(1.0);
+        let read = profile.block_read.as_secs_f64();
+        let write = profile.block_write.as_secs_f64();
+        let tuple = profile.tuple_cpu.as_secs_f64();
+        let cmp = profile.compare.as_secs_f64();
+        CostModel {
+            per_unit: [
+                read,              // BlockRead: one block
+                tuple,             // ScanTuple: per-tuple CPU
+                cmp,               // SortUnit: one comparison
+                cmp + read / bf,   // MergeTuple: compare + amortized read
+                write / bf + tuple * 0.0, // WriteTuple: amortized page write
+                profile.stage_overhead.as_secs_f64(),
+            ],
+            alpha: 1.0,
+            adaptive: true,
+        }
+    }
+
+    /// Disables run-time adaptation (fixed-form formulas).
+    pub fn frozen(mut self) -> Self {
+        self.adaptive = false;
+        self
+    }
+
+    /// Sets the EMA weight of new observations.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Whether run-time adaptation is enabled.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Current per-unit cost of a coefficient, in seconds.
+    pub fn per_unit(&self, c: CostCoeff) -> f64 {
+        self.per_unit[index(c)]
+    }
+
+    /// Predicted cost of `units` units of `c`, in seconds.
+    pub fn predict(&self, c: CostCoeff, units: f64) -> f64 {
+        self.per_unit(c) * units.max(0.0)
+    }
+
+    /// Folds in a measured step: `units` units of `c` took
+    /// `elapsed`. Ignored when `units` is not positive or the model
+    /// is frozen.
+    pub fn observe(&mut self, c: CostCoeff, units: f64, elapsed: Duration) {
+        if !self.adaptive || units <= 0.0 {
+            return;
+        }
+        let observed = elapsed.as_secs_f64() / units;
+        let v = &mut self.per_unit[index(c)];
+        *v = self.alpha * observed + (1.0 - self.alpha) * *v;
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::generic_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_is_linear_in_units() {
+        let m = CostModel::generic_default();
+        let one = m.predict(CostCoeff::ScanTuple, 1.0);
+        assert!((m.predict(CostCoeff::ScanTuple, 10.0) - 10.0 * one).abs() < 1e-12);
+        assert_eq!(m.predict(CostCoeff::ScanTuple, -5.0), 0.0);
+    }
+
+    #[test]
+    fn observation_moves_coefficient_toward_truth() {
+        let mut m = CostModel::generic_default().with_alpha(0.5);
+        let before = m.per_unit(CostCoeff::BlockRead);
+        // True device: 30 ms per block; observe 100 blocks taking 3 s.
+        m.observe(CostCoeff::BlockRead, 100.0, Duration::from_secs(3));
+        let after = m.per_unit(CostCoeff::BlockRead);
+        assert!((after - (0.5 * 0.03 + 0.5 * before)).abs() < 1e-12);
+        // Repeated observation converges.
+        for _ in 0..20 {
+            m.observe(CostCoeff::BlockRead, 100.0, Duration::from_secs(3));
+        }
+        assert!((m.per_unit(CostCoeff::BlockRead) - 0.03).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frozen_model_ignores_observations() {
+        let mut m = CostModel::generic_default().frozen();
+        let before = m.per_unit(CostCoeff::MergeTuple);
+        m.observe(CostCoeff::MergeTuple, 1_000.0, Duration::from_secs(60));
+        assert_eq!(m.per_unit(CostCoeff::MergeTuple), before);
+        assert!(!m.is_adaptive());
+    }
+
+    #[test]
+    fn zero_units_ignored() {
+        let mut m = CostModel::generic_default();
+        let before = m.per_unit(CostCoeff::SortUnit);
+        m.observe(CostCoeff::SortUnit, 0.0, Duration::from_secs(9));
+        assert_eq!(m.per_unit(CostCoeff::SortUnit), before);
+    }
+
+    #[test]
+    fn oracle_reflects_profile() {
+        let p = DeviceProfile::sun_3_60();
+        let m = CostModel::oracle(&p, 5.0);
+        assert!((m.per_unit(CostCoeff::BlockRead) - p.block_read.as_secs_f64()).abs() < 1e-12);
+        assert!(
+            (m.per_unit(CostCoeff::WriteTuple) - p.block_write.as_secs_f64() / 5.0).abs() < 1e-12
+        );
+        assert!(
+            (m.per_unit(CostCoeff::StageOverhead) - p.stage_overhead.as_secs_f64()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_bounds_enforced() {
+        let _ = CostModel::generic_default().with_alpha(0.0);
+    }
+
+    #[test]
+    fn all_coeffs_covers_every_variant() {
+        let m = CostModel::generic_default();
+        for c in ALL_COEFFS {
+            assert!(m.per_unit(c) > 0.0);
+        }
+    }
+}

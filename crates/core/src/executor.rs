@@ -1,0 +1,872 @@
+//! The time-constrained query evaluation algorithm (Figure 3.1).
+//!
+//! "Essentially, the algorithm repetitively gets a set of sample disk
+//! blocks and evaluates the estimator until the stopping criterion is
+//! satisfied. Each iteration of the while-loop is called a *stage*,
+//! and includes the steps of determining the sample size, retrieving
+//! and evaluating the sample tuples, and computing an estimate of
+//! COUNT(E)."
+//!
+//! [`execute_count`] drives the loop: it rewrites `COUNT(E)` by
+//! inclusion–exclusion, compiles each term to a [`PhysTree`], arms
+//! the [`Deadline`], and then alternates
+//! Revise-Selectivities → Sample-Size-Determine → sample → evaluate →
+//! estimate, adapting the cost-model coefficients from each stage's
+//! measured step timings. Under a hard constraint the in-flight stage
+//! is aborted the moment the quota expires (the paper's timer
+//! interrupt) and its work is discarded from the answer.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use eram_relalg::{push_selections, Catalog, Expr, ExprError, PieRewrite};
+use eram_sampling::{srs_proportion_variance, CountEstimate, DistinctEstimator};
+use eram_storage::{Deadline, DeviceOp, Disk};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::aggregate::{avg_estimate, sum_estimate, AggregateFn, TermValues};
+use crate::costs::{CostCoeff, CostModel};
+use crate::ops::{Fulfillment, MemoryMode, PhysTree, PlanOptions, StageEnv};
+use crate::predict::{solve_fraction_with, SelPolicy};
+use crate::strategy::StagePlan;
+use crate::report::{ExecutionReport, StageReport};
+use crate::seltrack::SelectivityDefaults;
+use crate::stopping::StoppingCriterion;
+use crate::strategy::TimeControlStrategy;
+
+/// Errors from setting up or running a time-constrained count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The expression failed validation or rewriting.
+    Expr(ExprError),
+    /// The aggregate function cannot be evaluated on this expression
+    /// (AVG over union/difference, SUM/AVG over a projection root).
+    UnsupportedAggregate(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Expr(e) => write!(f, "expression error: {e}"),
+            EngineError::UnsupportedAggregate(msg) => {
+                write!(f, "unsupported aggregate: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ExprError> for EngineError {
+    fn from(e: ExprError) -> Self {
+        EngineError::Expr(e)
+    }
+}
+
+/// Everything a time-constrained execution needs besides the query.
+pub struct ExecParams<'a> {
+    /// The time-control strategy.
+    pub strategy: &'a dyn TimeControlStrategy,
+    /// When to stop.
+    pub stopping: StoppingCriterion,
+    /// Initial cost-model coefficients (adapted during the run unless
+    /// frozen).
+    pub cost_model: CostModel,
+    /// Stage-1 selectivity assumptions.
+    pub defaults: SelectivityDefaults,
+    /// Full or partial fulfillment for binary operators.
+    pub fulfillment: Fulfillment,
+    /// Disk-resident (the prototype) or main-memory evaluation.
+    pub memory: MemoryMode,
+    /// Seed for the block samplers.
+    pub seed: u64,
+    /// Safety cap on the number of stages.
+    pub max_stages: usize,
+    /// Distinct-count estimator for projection roots (the paper uses
+    /// Goodman's).
+    pub distinct: DistinctEstimator,
+    /// When the leftover cannot fund a full-fulfillment stage, try a
+    /// cheaper partial-fulfillment stage before giving up — the
+    /// paper's suggestion ("the partial fulfillment sampling plan may
+    /// have its place here to use the small amount of time left").
+    pub hybrid_leftover: bool,
+    /// Apply selection pushdown before compiling (on by default;
+    /// semantically equivalence-preserving).
+    pub optimize: bool,
+}
+
+impl<'a> ExecParams<'a> {
+    /// Defaults: hard deadline, generic cost model, Figure 3.3
+    /// selectivities, full fulfillment.
+    pub fn new(strategy: &'a dyn TimeControlStrategy) -> Self {
+        ExecParams {
+            strategy,
+            stopping: StoppingCriterion::HardDeadline,
+            cost_model: CostModel::generic_default(),
+            defaults: SelectivityDefaults::default(),
+            fulfillment: Fulfillment::Full,
+            memory: MemoryMode::DiskResident,
+            seed: 0,
+            max_stages: 1_000,
+            distinct: DistinctEstimator::Goodman,
+            hybrid_leftover: false,
+            optimize: true,
+        }
+    }
+}
+
+/// The result of a time-constrained count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// The estimate delivered to the caller (under a hard constraint,
+    /// the one from the last stage that completed within the quota).
+    pub estimate: CountEstimate,
+    /// Full accounting of the run.
+    pub report: ExecutionReport,
+}
+
+fn zero_estimate() -> CountEstimate {
+    CountEstimate {
+        estimate: 0.0,
+        variance: 0.0,
+        points_sampled: 0.0,
+        total_points: 0.0,
+    }
+}
+
+/// The count estimate for one compiled term in its current state —
+/// `û = N·(y/m)` with the SRS variance for ordinary roots, Goodman's
+/// estimator over group occupancies for projection roots.
+pub fn term_estimate(tree: &PhysTree) -> CountEstimate {
+    term_estimate_with(tree, DistinctEstimator::Goodman)
+}
+
+/// [`term_estimate`] with a configurable distinct-count estimator for
+/// projection roots (Goodman is the paper's choice; Chao1/jackknife
+/// are the stable alternatives).
+pub fn term_estimate_with(tree: &PhysTree, distinct: DistinctEstimator) -> CountEstimate {
+    let n = tree.total_points();
+    let m = tree.points_covered();
+    if m <= 0.0 {
+        return CountEstimate {
+            estimate: 0.0,
+            variance: 0.0,
+            points_sampled: 0.0,
+            total_points: n,
+        };
+    }
+    if let Some((child_out, child_points)) = tree.projection_child_stats() {
+        // Projection root: Goodman's estimator over the sampled group
+        // occupancies, with the pre-projection population size plugged
+        // in from the child's own estimate ([HouO 88]'s refinement).
+        let occupancies = tree.occupancies().expect("projection root");
+        let sample: u64 = occupancies.iter().sum();
+        let child_sel = if child_points > 0.0 {
+            child_out / child_points
+        } else {
+            0.0
+        };
+        let population = (n * child_sel).max(sample as f64);
+        let estimate = distinct.estimate(population, &occupancies);
+        // Variance: SRS plug-in on the distinct rate — a documented
+        // approximation (the paper reports no closed-form Goodman
+        // variance either).
+        let d = occupancies.len() as f64;
+        let rate = if sample > 0 { d / sample as f64 } else { 0.0 };
+        let variance = population
+            * population
+            * srs_proportion_variance(rate, population, sample as f64);
+        return CountEstimate {
+            estimate,
+            variance,
+            points_sampled: m,
+            total_points: n,
+        };
+    }
+    let y = tree.ones_found();
+    let s = y / m;
+    CountEstimate {
+        estimate: n * s,
+        variance: n * n * srs_proportion_variance(s, n, m),
+        points_sampled: m,
+        total_points: n,
+    }
+}
+
+/// Combines term estimates with their inclusion–exclusion
+/// coefficients (terms treated as independent — they share leaf
+/// samples only when the same relation occurs in several terms, and
+/// the paper's variance bookkeeping makes the same simplification).
+fn combine(
+    coefficients: &[i64],
+    trees: &[PhysTree],
+    values: &[TermValues],
+    agg: AggregateFn,
+    distinct: DistinctEstimator,
+) -> CountEstimate {
+    if let AggregateFn::Avg { .. } = agg {
+        // Validated earlier: AVG has exactly one +1 term.
+        let tree = &trees[0];
+        return avg_estimate(
+            tree.ones_found(),
+            tree.points_covered(),
+            tree.total_points(),
+            &values[0],
+        );
+    }
+    let mut estimate = 0.0;
+    let mut variance = 0.0;
+    let mut points = 0.0;
+    let mut total = 0.0;
+    for ((&c, tree), tv) in coefficients.iter().zip(trees).zip(values) {
+        let e = match agg {
+            AggregateFn::Count => term_estimate_with(tree, distinct),
+            AggregateFn::Sum { .. } => {
+                sum_estimate(tree.total_points(), tree.points_covered(), tv)
+            }
+            AggregateFn::Avg { .. } => unreachable!("handled above"),
+        };
+        let cf = c as f64;
+        estimate += cf * e.estimate;
+        variance += cf * cf * e.variance;
+        points += e.points_sampled;
+        total += cf.abs() * e.total_points;
+    }
+    CountEstimate {
+        estimate: estimate.max(0.0),
+        variance,
+        points_sampled: points,
+        total_points: total,
+    }
+}
+
+/// Runs `COUNT(expr)` within `quota` against `catalog` on `disk`.
+pub fn execute_count(
+    disk: &Arc<Disk>,
+    catalog: &Catalog,
+    expr: &Expr,
+    quota: Duration,
+    params: ExecParams<'_>,
+) -> Result<ExecOutcome, EngineError> {
+    execute_aggregate(disk, catalog, expr, AggregateFn::Count, quota, params)
+}
+
+/// Runs `f(expr)` within `quota`, where `f` is COUNT, SUM, or AVG —
+/// the paper's general problem statement with its COUNT restriction
+/// lifted. SUM shares COUNT's machinery (it is additive, so the
+/// inclusion–exclusion rewrite applies); AVG requires a
+/// union/difference-free expression and no projection root.
+pub fn execute_aggregate(
+    disk: &Arc<Disk>,
+    catalog: &Catalog,
+    expr: &Expr,
+    agg: AggregateFn,
+    quota: Duration,
+    params: ExecParams<'_>,
+) -> Result<ExecOutcome, EngineError> {
+    agg.validate(expr, catalog)?;
+    // Normalize (selection pushdown shrinks every sorted run the
+    // full-fulfillment plan re-merges), then transform f(E) into
+    // Σᵢ cᵢ·f(Eᵢ') (Section 2).
+    let optimized;
+    let expr = if params.optimize {
+        optimized = push_selections(expr.clone(), &|name| {
+            catalog.schema_of(name).map(eram_storage::Schema::arity)
+        });
+        &optimized
+    } else {
+        expr
+    };
+    let rewrite = PieRewrite::rewrite(expr)?;
+    if matches!(agg, AggregateFn::Avg { .. }) && !rewrite.is_trivial() {
+        return Err(EngineError::UnsupportedAggregate(
+            "AVG is not additive: the expression must be free of union/difference".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut trees: Vec<PhysTree> = Vec::with_capacity(rewrite.terms.len());
+    let mut coefficients: Vec<i64> = Vec::with_capacity(rewrite.terms.len());
+    for term in &rewrite.terms {
+        trees.push(PhysTree::build(
+            &term.expr,
+            catalog,
+            disk,
+            &params.defaults,
+            PlanOptions {
+                fulfillment: params.fulfillment,
+                memory: params.memory,
+            },
+            &mut rng,
+        )?);
+        coefficients.push(term.coefficient);
+    }
+    if agg.column().is_some() && trees.iter().any(PhysTree::projection_root) {
+        return Err(EngineError::UnsupportedAggregate(
+            "SUM/AVG over a projection's distinct groups is not supported".into(),
+        ));
+    }
+    let mut values = vec![TermValues::default(); trees.len()];
+
+    let deadline = Deadline::new(disk.clock().clone(), quota);
+    let hard = params.stopping.is_hard();
+    // Value-function tail ([AbGM 88]): past the quota, keep going
+    // only while the next stage is expected to raise
+    // value(t) × precision. Ignored under a hard constraint.
+    let value_tail = if hard {
+        None
+    } else {
+        params
+            .stopping
+            .value_function()
+            .filter(|zero_at| *zero_at > quota)
+    };
+    let mut model = params.cost_model;
+    let mut stages: Vec<StageReport> = Vec::new();
+    let mut history: Vec<CountEstimate> = Vec::new();
+    let mut hard_estimate = combine(&coefficients, &trees, &values, agg, params.distinct);
+
+    if trees.is_empty() {
+        // The rewrite proved COUNT(E) = 0 (e.g. E = A − A).
+        let report = ExecutionReport {
+            quota,
+            stages,
+            total_elapsed: deadline.spent(),
+            final_estimate: zero_estimate(),
+        };
+        return Ok(ExecOutcome {
+            estimate: zero_estimate(),
+            report,
+        });
+    }
+
+    while stages.len() < params.max_stages {
+        if trees.iter().all(PhysTree::exhausted) {
+            break; // census complete — the estimate is exact
+        }
+        let in_tail = value_tail.is_some() && deadline.expired();
+        let remaining = match value_tail {
+            Some(zero_at) if in_tail => zero_at.saturating_sub(deadline.spent()),
+            _ => deadline.remaining(),
+        };
+        if remaining.is_zero() {
+            break;
+        }
+        let stage_no = stages.len() + 1;
+        let mut stage_fulfillment: Option<Fulfillment> = None;
+        let planning_remaining = if in_tail {
+            // A stage sized to the whole decay tail would finish at
+            // zero value; offer the strategy only part of the tail so
+            // a worthwhile (value × precision) trade exists, and let
+            // the utility gate below judge it.
+            Duration::from_secs_f64(remaining.as_secs_f64() * 0.5)
+        } else {
+            remaining
+        };
+        let plan = match params
+            .strategy
+            .plan_stage(&trees, &model, planning_remaining, stage_no)
+        {
+            Some(plan) => plan,
+            None if params.hybrid_leftover
+                && params.fulfillment == Fulfillment::Full
+                && stage_no > 1 =>
+            {
+                // A full-fulfillment stage no longer fits; see if a
+                // partial one squeezes into the leftover.
+                let policy = SelPolicy::Mean;
+                match solve_fraction_with(
+                    &trees,
+                    &model,
+                    &policy,
+                    remaining.as_secs_f64(),
+                    0.05,
+                    Some(Fulfillment::Partial),
+                ) {
+                    Some((fraction, p)) => {
+                        stage_fulfillment = Some(Fulfillment::Partial);
+                        StagePlan {
+                            fraction,
+                            predicted: Duration::from_secs_f64(p.cost_secs.max(0.0)),
+                            predicted_blocks: p.blocks_drawn,
+                        }
+                    }
+                    None => break,
+                }
+            }
+            None => break, // leftover too small for another stage → wasted
+        };
+        if in_tail {
+            // Marginal-utility gate: run the tail stage only if the
+            // decayed value of a later, more precise answer beats
+            // delivering the current one now.
+            let zero_at = value_tail.expect("in_tail implies a tail");
+            let now = deadline.spent();
+            let current_est = combine(&coefficients, &trees, &values, agg, params.distinct);
+            let precision_now = 1.0 / (1.0 + current_est.relative_half_width(0.95).min(1e9));
+            let utility_now =
+                StoppingCriterion::completion_value(quota, zero_at, now) * precision_now;
+            // The CI half-width shrinks like √(m/(m+Δm)).
+            let m = current_est.points_sampled.max(1.0);
+            let dm = if current_est.points_sampled > 0.0 {
+                let blocks_so_far: u64 = trees.iter().map(PhysTree::blocks_drawn).sum();
+                plan.predicted_blocks / (blocks_so_far.max(1) as f64) * m
+            } else {
+                m
+            };
+            let projected_hw =
+                current_est.relative_half_width(0.95).min(1e9) * (m / (m + dm)).sqrt();
+            let t_after = now + plan.predicted;
+            let utility_after = StoppingCriterion::completion_value(quota, zero_at, t_after)
+                / (1.0 + projected_hw);
+            if utility_after <= utility_now {
+                break;
+            }
+        }
+
+        let stage_start = deadline.spent();
+        let blocks_before: u64 = trees.iter().map(PhysTree::blocks_drawn).sum();
+
+        // The fixed per-stage bookkeeping, measured at run time.
+        let t0 = disk.clock().elapsed();
+        disk.charge(DeviceOp::StageOverhead);
+        let overhead = disk.clock().elapsed() - t0;
+
+        let mut env = StageEnv {
+            disk: disk.clone(),
+            deadline: hard.then_some(&deadline),
+            fraction: plan.fraction,
+            fulfillment_override: stage_fulfillment,
+            observations: Vec::new(),
+        };
+        let mut aborted = false;
+        for (tree, tv) in trees.iter_mut().zip(values.iter_mut()) {
+            match tree.advance(&mut env) {
+                Ok(delta) => {
+                    if let Some(col) = agg.column() {
+                        tv.absorb(&delta.tuples, col);
+                    }
+                }
+                Err(_) => {
+                    aborted = true;
+                    break;
+                }
+            }
+        }
+
+        // Adapt the cost formulas from this stage's measured steps.
+        model.observe(CostCoeff::StageOverhead, 1.0, overhead);
+        for obs in &env.observations {
+            model.observe(obs.coeff, obs.units, obs.elapsed);
+        }
+
+        let actual = deadline.spent() - stage_start;
+        let blocks_after: u64 = trees.iter().map(PhysTree::blocks_drawn).sum();
+        let estimate = combine(&coefficients, &trees, &values, agg, params.distinct);
+        let within = !aborted && deadline.spent() <= quota;
+        stages.push(StageReport {
+            stage: stage_no,
+            fraction: plan.fraction,
+            predicted_cost: plan.predicted,
+            actual_cost: actual,
+            blocks_drawn: blocks_after - blocks_before,
+            within_quota: within,
+            estimate,
+        });
+        if within {
+            hard_estimate = estimate;
+            history.push(estimate);
+        } else if !hard {
+            // Soft constraint: the overrunning stage still delivers.
+            history.push(estimate);
+        }
+        if aborted {
+            break;
+        }
+        if deadline.expired() && value_tail.is_none() {
+            break;
+        }
+        if params.stopping.precision_satisfied(&history) {
+            break;
+        }
+    }
+
+    let delivered = if hard {
+        hard_estimate
+    } else {
+        history.last().copied().unwrap_or(hard_estimate)
+    };
+    let report = ExecutionReport {
+        quota,
+        stages,
+        total_elapsed: deadline.spent(),
+        final_estimate: hard_estimate,
+    };
+    Ok(ExecOutcome {
+        estimate: delivered,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::OneAtATimeInterval;
+    use eram_relalg::{eval, CmpOp, Predicate};
+    use eram_storage::{
+        ColumnType, DeviceProfile, HeapFile, Schema, SimClock, Tuple, Value,
+    };
+
+    fn setup(jitter: bool) -> (Arc<Disk>, Catalog) {
+        let profile = if jitter {
+            DeviceProfile::sun_3_60()
+        } else {
+            DeviceProfile::sun_3_60().without_jitter()
+        };
+        let disk = Disk::new(Arc::new(SimClock::new()), profile, 23);
+        let mut cat = Catalog::new();
+        for (name, stride) in [("r", 1i64), ("s", 2i64)] {
+            let schema =
+                Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)]).padded_to(200);
+            let hf = HeapFile::load(
+                disk.clone(),
+                schema,
+                (0..10_000).map(|i| Tuple::new(vec![Value::Int(i * stride), Value::Int(i % 100)])),
+            )
+            .unwrap();
+            cat.register(name, hf);
+        }
+        (disk, cat)
+    }
+
+    fn run(
+        disk: &Arc<Disk>,
+        cat: &Catalog,
+        expr: &Expr,
+        quota: Duration,
+        stopping: StoppingCriterion,
+        d_beta: f64,
+    ) -> ExecOutcome {
+        let strategy = OneAtATimeInterval::new(d_beta);
+        let mut params = ExecParams::new(&strategy);
+        params.stopping = stopping;
+        params.seed = 99;
+        execute_count(disk, cat, expr, quota, params).unwrap()
+    }
+
+    #[test]
+    fn select_estimate_lands_near_truth_within_quota() {
+        let (disk, cat) = setup(false);
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let truth = eval::exact_count(&expr, &cat).unwrap() as f64; // 5000
+        let out = run(
+            &disk,
+            &cat,
+            &expr,
+            Duration::from_secs(10),
+            StoppingCriterion::HardDeadline,
+            12.0,
+        );
+        assert!(out.report.completed_stages() >= 1);
+        assert!(out.report.utilization() > 0.3);
+        let rel_err = (out.estimate.estimate - truth).abs() / truth;
+        assert!(
+            rel_err < 0.35,
+            "estimate {} vs truth {truth} (rel err {rel_err})",
+            out.estimate.estimate
+        );
+        // Hard constraint: the delivered answer existed at the quota.
+        assert_eq!(out.estimate, out.report.final_estimate);
+    }
+
+    #[test]
+    fn soft_deadline_lets_overrunning_stage_finish() {
+        let (disk, cat) = setup(true);
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let out = run(
+            &disk,
+            &cat,
+            &expr,
+            Duration::from_secs(5),
+            StoppingCriterion::SoftDeadline,
+            0.0,
+        );
+        // No stage was aborted: every reported stage has its full
+        // actual cost and an estimate.
+        for s in &out.report.stages {
+            assert!(s.actual_cost > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn hard_deadline_never_delivers_post_quota_work() {
+        let (disk, cat) = setup(true);
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let out = run(
+            &disk,
+            &cat,
+            &expr,
+            Duration::from_secs(3),
+            StoppingCriterion::HardDeadline,
+            0.0,
+        );
+        // Abort granularity is one block, so the overshoot must be
+        // tiny compared to the quota.
+        assert!(out.report.overspend() < Duration::from_millis(300));
+        assert!(out.report.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn error_bound_stops_early_with_time_left() {
+        let (disk, cat) = setup(false);
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let out = run(
+            &disk,
+            &cat,
+            &expr,
+            Duration::from_secs(3_600),
+            StoppingCriterion::Combined(vec![
+                StoppingCriterion::HardDeadline,
+                StoppingCriterion::ErrorBound {
+                    target: 0.10,
+                    confidence: 0.95,
+                },
+            ]),
+            12.0,
+        );
+        assert!(
+            out.report.total_elapsed < Duration::from_secs(3_600),
+            "should stop long before the huge quota"
+        );
+        assert!(out.estimate.relative_half_width(0.95) <= 0.10);
+    }
+
+    #[test]
+    fn census_terminates_loop_with_exact_answer() {
+        let (disk, cat) = setup(false);
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let truth = eval::exact_count(&expr, &cat).unwrap() as f64;
+        // Quota vastly exceeding a full scan.
+        let out = run(
+            &disk,
+            &cat,
+            &expr,
+            Duration::from_secs(100_000),
+            StoppingCriterion::HardDeadline,
+            0.0,
+        );
+        assert!((out.estimate.estimate - truth).abs() < 1e-6);
+        assert_eq!(out.estimate.variance, 0.0);
+    }
+
+    #[test]
+    fn union_query_runs_through_pie() {
+        let (disk, cat) = setup(false);
+        // r ∪ s: the engine must evaluate three terms (r, s, r∩s).
+        let expr = Expr::relation("r").union(Expr::relation("s"));
+        let truth = eval::exact_count(&expr, &cat).unwrap() as f64; // 15000
+        let out = run(
+            &disk,
+            &cat,
+            &expr,
+            Duration::from_secs(30),
+            StoppingCriterion::HardDeadline,
+            12.0,
+        );
+        assert!(out.report.completed_stages() >= 1);
+        let rel = (out.estimate.estimate - truth).abs() / truth;
+        assert!(rel < 0.5, "estimate {} vs {truth}", out.estimate.estimate);
+    }
+
+    #[test]
+    fn self_difference_short_circuits_to_zero() {
+        let (disk, cat) = setup(false);
+        let expr = Expr::relation("r").difference(Expr::relation("r"));
+        let out = run(
+            &disk,
+            &cat,
+            &expr,
+            Duration::from_secs(5),
+            StoppingCriterion::HardDeadline,
+            12.0,
+        );
+        assert_eq!(out.estimate.estimate, 0.0);
+        assert!(out.report.stages.is_empty());
+    }
+
+    #[test]
+    fn impossible_quota_yields_zero_sample_answer() {
+        let (disk, cat) = setup(false);
+        let expr = Expr::relation("r").select(Predicate::True);
+        let out = run(
+            &disk,
+            &cat,
+            &expr,
+            Duration::from_millis(1),
+            StoppingCriterion::HardDeadline,
+            12.0,
+        );
+        assert_eq!(out.report.completed_stages(), 0);
+        assert_eq!(out.estimate.points_sampled, 0.0);
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let mut results = Vec::new();
+        for _ in 0..2 {
+            let (disk, cat) = setup(true);
+            let out = run(
+                &disk,
+                &cat,
+                &expr,
+                Duration::from_secs(5),
+                StoppingCriterion::SoftDeadline,
+                12.0,
+            );
+            results.push((
+                out.estimate.estimate.to_bits(),
+                out.report.completed_stages(),
+                out.report.blocks_evaluated(),
+            ));
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn projection_query_uses_goodman() {
+        let (disk, cat) = setup(false);
+        let expr = Expr::relation("r").project(vec![1]); // 100 distinct
+        let out = run(
+            &disk,
+            &cat,
+            &expr,
+            Duration::from_secs(20),
+            StoppingCriterion::HardDeadline,
+            12.0,
+        );
+        // Goodman is high-variance, but with a paper-scale sample the
+        // estimate must be in a sane range around 100.
+        assert!(out.estimate.estimate >= 50.0, "{}", out.estimate.estimate);
+        assert!(out.estimate.estimate <= 10_000.0);
+    }
+
+    #[test]
+    fn selection_pushdown_buys_more_sample_for_the_same_quota() {
+        // σ over a join: pushed down, the runs the join re-merges are
+        // ~100× smaller, so the same quota covers more blocks.
+        let run = |optimize: bool| {
+            let (disk, cat) = setup(false);
+            let expr = Expr::relation("r")
+                .join(Expr::relation("s"), vec![(0, 0)])
+                .select(Predicate::col_cmp(1, CmpOp::Lt, 1));
+            let strategy = OneAtATimeInterval::new(12.0);
+            let mut params = ExecParams::new(&strategy);
+            params.stopping = StoppingCriterion::SoftDeadline;
+            params.seed = 3;
+            params.optimize = optimize;
+            execute_count(&disk, &cat, &expr, Duration::from_secs(5), params).unwrap()
+        };
+        let plain = run(false);
+        let pushed = run(true);
+        assert!(
+            pushed.report.blocks_evaluated() >= plain.report.blocks_evaluated(),
+            "pushed {} vs plain {} blocks",
+            pushed.report.blocks_evaluated(),
+            plain.report.blocks_evaluated()
+        );
+    }
+
+    #[test]
+    fn value_function_tail_extends_past_quota_but_not_to_zero_value() {
+        let (disk, cat) = setup(true);
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let quota = Duration::from_secs(4);
+        let zero_at = Duration::from_secs(12);
+        let strategy = OneAtATimeInterval::new(12.0);
+        let mut params = ExecParams::new(&strategy);
+        params.stopping = StoppingCriterion::ValueFunction {
+            zero_value_at: zero_at,
+        };
+        params.seed = 21;
+        let out = execute_count(&disk, &cat, &expr, quota, params).unwrap();
+        // The decaying tail may buy extra stages past the quota, but
+        // running to the zero-value point would be irrational.
+        assert!(out.report.total_elapsed < zero_at);
+        // The delivered (soft) estimate includes the tail work.
+        let last = out.report.stages.last().unwrap();
+        assert_eq!(out.estimate, last.estimate);
+        // Sanity: the answer is usable.
+        assert!(out.estimate.points_sampled > 0.0);
+    }
+
+    #[test]
+    fn value_function_with_no_tail_behaves_like_soft() {
+        let (disk, cat) = setup(false);
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let quota = Duration::from_secs(4);
+        let strategy = OneAtATimeInterval::new(12.0);
+        let mut params = ExecParams::new(&strategy);
+        // zero_value_at == quota: the filter drops the tail entirely.
+        params.stopping = StoppingCriterion::ValueFunction {
+            zero_value_at: quota,
+        };
+        params.seed = 5;
+        let out = execute_count(&disk, &cat, &expr, quota, params).unwrap();
+        assert!(out.report.total_elapsed <= quota + Duration::from_secs(1));
+    }
+
+    #[test]
+    fn hybrid_leftover_buys_extra_partial_stage() {
+        // Intersection with a quota whose leftover after the usual
+        // stages cannot fund a full-fulfillment stage. With the
+        // hybrid enabled, a partial stage uses it.
+        let run = |hybrid: bool| {
+            let (disk, cat) = setup(false);
+            let expr = Expr::relation("r").intersect(Expr::relation("s"));
+            let strategy = OneAtATimeInterval::new(48.0);
+            let mut params = ExecParams::new(&strategy);
+            params.stopping = StoppingCriterion::SoftDeadline;
+            params.seed = 13;
+            params.hybrid_leftover = hybrid;
+            execute_count(
+                &disk,
+                &cat,
+                &expr,
+                Duration::from_secs_f64(2.5),
+                params,
+            )
+            .unwrap()
+        };
+        let plain = run(false);
+        let hybrid = run(true);
+        assert!(
+            hybrid.report.blocks_evaluated() >= plain.report.blocks_evaluated(),
+            "hybrid {} vs plain {} blocks",
+            hybrid.report.blocks_evaluated(),
+            plain.report.blocks_evaluated()
+        );
+        assert!(hybrid.report.utilization() >= plain.report.utilization() - 1e-9);
+    }
+
+    #[test]
+    fn join_query_estimates_reasonably() {
+        let (disk, cat) = setup(false);
+        let expr = Expr::relation("r").join(Expr::relation("s"), vec![(0, 0)]);
+        let truth = eval::exact_count(&expr, &cat).unwrap() as f64; // 5000
+        let strategy = OneAtATimeInterval::new(12.0);
+        let mut params = ExecParams::new(&strategy);
+        params.defaults = SelectivityDefaults::paper_join_experiment();
+        params.seed = 7;
+        let out =
+            execute_count(&disk, &cat, &expr, Duration::from_secs(30), params).unwrap();
+        assert!(out.report.completed_stages() >= 1);
+        // Join sampling on a sparse key space is noisy; require the
+        // right order of magnitude.
+        assert!(
+            out.estimate.estimate < truth * 10.0,
+            "estimate {} vs truth {truth}",
+            out.estimate.estimate
+        );
+    }
+}

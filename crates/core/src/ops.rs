@@ -1,0 +1,1342 @@
+//! Sample-space physical operators (Section 4, Figures 4.3–4.7).
+//!
+//! A PIE term (a Select–Join–Intersect–Project expression) compiles to
+//! a [`PhysTree`] whose nodes evaluate *deltas*: at each stage every
+//! leaf draws new disk blocks (cluster sampling without replacement)
+//! and each operator produces the new output tuples implied by the new
+//! inputs.
+//!
+//! Binary operators implement the paper's **fulfillment plans**: under
+//! *full fulfillment*, a stage-`s` sample is combined with every
+//! sample of stages `1..s` of the other side (Figure 4.5's
+//! `F₁ᵢ ↔ F₂ₖ` grid — "not only between the current samples, but also
+//! between the current and all previous ones"), making "the most use
+//! of the sampled data ... at the cost of keeping all intermediate
+//! results". Under *partial fulfillment* ([HoOT 88a], reconstructed)
+//! only same-stage samples are combined — cheaper per stage, fewer
+//! points covered.
+//!
+//! All operators are sort-based, mirroring the algorithms whose cost
+//! formulas the time-control strategies evaluate: binary operators
+//! write their incoming deltas to temporary files, sort them, and
+//! merge sorted runs pairwise (eqs. 4.2–4.4); projection sorts and
+//! deduplicates against the cumulative distinct file (Figure 4.7),
+//! maintaining group occupancies for Goodman's estimator. Every step
+//! charges the device clock *and* reports its measured duration so
+//! the adaptive cost model can re-fit its coefficients.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use eram_relalg::{Catalog, Expr, ExprError, OpKind, Predicate};
+use eram_sampling::BlockSampler;
+use eram_storage::{Deadline, DeviceOp, Disk, HeapFile, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::costs::CostCoeff;
+use crate::seltrack::{SelTracker, SelectivityDefaults};
+
+/// Which sample combinations binary operators evaluate each stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fulfillment {
+    /// Combine the new sample with all previous samples of the other
+    /// side (the paper's implemented plan).
+    #[default]
+    Full,
+    /// Combine only same-stage samples ([HoOT 88a]'s cheaper plan).
+    Partial,
+}
+
+/// Where intermediate results live during evaluation.
+///
+/// The paper's prototype keeps "all the input relations and all the
+/// intermediate relations ... always on disks", motivated by very
+/// large databases; it also announces a main-memory variant: "after
+/// samples are taken, all data processing is confined to the main
+/// memory ... the sampling approach with a time-control mechanism
+/// can be efficiently implemented and will be very promising for
+/// real-time database applications". Both are implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryMode {
+    /// Intermediate results are written to and re-read from disk
+    /// (the prototype's design; the Section 4 cost formulas).
+    #[default]
+    DiskResident,
+    /// After sample blocks are read, all processing stays in memory:
+    /// no temporary files, no output materialization.
+    MainMemory,
+}
+
+/// How a term is compiled: fulfillment plan + memory mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanOptions {
+    /// Which sample pairs binary operators evaluate.
+    pub fulfillment: Fulfillment,
+    /// Where intermediate results live.
+    pub memory: MemoryMode,
+}
+
+impl From<Fulfillment> for PlanOptions {
+    fn from(fulfillment: Fulfillment) -> Self {
+        PlanOptions {
+            fulfillment,
+            ..PlanOptions::default()
+        }
+    }
+}
+
+/// The stage was cut short by the hard deadline; the query is over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aborted;
+
+/// One measured operator step, for cost-model adaptation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepObservation {
+    /// Which coefficient the step exercises.
+    pub coeff: CostCoeff,
+    /// How many units of it.
+    pub units: f64,
+    /// Measured duration.
+    pub elapsed: Duration,
+}
+
+/// Mutable per-stage environment threaded through `advance`.
+pub struct StageEnv<'a> {
+    /// The device (charges the clock).
+    pub disk: Arc<Disk>,
+    /// Hard deadline to honour mid-stage, if any.
+    pub deadline: Option<&'a Deadline>,
+    /// Sample fraction of this stage.
+    pub fraction: f64,
+    /// Overrides every binary operator's fulfillment plan for this
+    /// stage (the paper's leftover trick: "the partial fulfillment
+    /// sampling plan may have its place here to use the small amount
+    /// of time left").
+    pub fulfillment_override: Option<Fulfillment>,
+    /// Collected step timings.
+    pub observations: Vec<StepObservation>,
+}
+
+impl StageEnv<'_> {
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(Deadline::expired)
+    }
+
+    fn observe(&mut self, coeff: CostCoeff, units: f64, elapsed: Duration) {
+        self.observations.push(StepObservation {
+            coeff,
+            units,
+            elapsed,
+        });
+    }
+
+    fn now(&self) -> Duration {
+        self.disk.clock().elapsed()
+    }
+}
+
+/// A new-output delta produced by one stage of one node.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// The new output tuples.
+    pub tuples: Vec<Tuple>,
+    /// Leaf-level points newly covered by this delta.
+    pub leaf_points: f64,
+}
+
+/// Backing store of one sorted run.
+pub(crate) enum RunData {
+    /// On disk, re-read (charged) at every merge — the prototype's
+    /// disk-resident design.
+    File(HeapFile),
+    /// Held in memory — the main-memory variant.
+    Mem(Vec<Tuple>),
+}
+
+/// One sorted run of a binary operator's input (a stage's worth).
+pub(crate) struct Run {
+    data: RunData,
+    tuples: u64,
+    /// Leaf points the run's delta covered (for coverage accounting).
+    leaf_points: f64,
+}
+
+pub(crate) struct LeafNode {
+    pub(crate) file: HeapFile,
+    pub(crate) sampler: BlockSampler,
+    pub(crate) cum_tuples: f64,
+}
+
+pub(crate) struct SelectNode {
+    pub(crate) child: Box<Node>,
+    pub(crate) predicate: Predicate,
+    pub(crate) tracker: SelTracker,
+    pub(crate) memory: MemoryMode,
+    pub(crate) out_blocking: f64,
+    pub(crate) cum_out: f64,
+    pub(crate) cum_leaf_points: f64,
+}
+
+pub(crate) struct ProjectNode {
+    pub(crate) child: Box<Node>,
+    pub(crate) columns: Vec<usize>,
+    pub(crate) tracker: SelTracker,
+    pub(crate) memory: MemoryMode,
+    pub(crate) out_blocking: f64,
+    /// Distinct groups seen so far with their sample occupancies
+    /// (Goodman's estimator input).
+    pub(crate) occupancy: BTreeMap<Tuple, u64>,
+    pub(crate) cum_in: f64,
+    pub(crate) cum_leaf_points: f64,
+}
+
+pub(crate) enum BinKind {
+    Join { on: Vec<(usize, usize)> },
+    Intersect,
+}
+
+pub(crate) struct BinaryNode {
+    pub(crate) kind: BinKind,
+    pub(crate) left: Box<Node>,
+    pub(crate) right: Box<Node>,
+    pub(crate) tracker: SelTracker,
+    pub(crate) fulfillment: Fulfillment,
+    pub(crate) memory: MemoryMode,
+    pub(crate) in_schema_left: Schema,
+    pub(crate) in_schema_right: Schema,
+    pub(crate) out_blocking: f64,
+    pub(crate) left_runs: Vec<Run>,
+    pub(crate) right_runs: Vec<Run>,
+    pub(crate) cum_out: f64,
+    pub(crate) cum_leaf_points: f64,
+}
+
+/// A physical operator node.
+pub(crate) enum Node {
+    Leaf(LeafNode),
+    Select(SelectNode),
+    Project(ProjectNode),
+    Binary(BinaryNode),
+}
+
+impl Node {
+    /// Leaf points covered so far by this subtree's evaluation.
+    pub(crate) fn leaf_points_covered(&self) -> f64 {
+        match self {
+            Node::Leaf(n) => n.cum_tuples,
+            Node::Select(n) => n.cum_leaf_points,
+            Node::Project(n) => n.cum_leaf_points,
+            Node::Binary(n) => n.cum_leaf_points,
+        }
+    }
+
+    /// Output tuples produced so far.
+    pub(crate) fn cum_output(&self) -> f64 {
+        match self {
+            Node::Leaf(n) => n.cum_tuples,
+            Node::Select(n) => n.cum_out,
+            Node::Project(n) => n.occupancy.len() as f64,
+            Node::Binary(n) => n.cum_out,
+        }
+    }
+
+    /// Visits every operator tracker (pre-order).
+    pub(crate) fn for_each_tracker<'a>(&'a self, f: &mut dyn FnMut(&'a SelTracker)) {
+        match self {
+            Node::Leaf(_) => {}
+            Node::Select(n) => {
+                f(&n.tracker);
+                n.child.for_each_tracker(f);
+            }
+            Node::Project(n) => {
+                f(&n.tracker);
+                n.child.for_each_tracker(f);
+            }
+            Node::Binary(n) => {
+                f(&n.tracker);
+                n.left.for_each_tracker(f);
+                n.right.for_each_tracker(f);
+            }
+        }
+    }
+
+    /// Remaining un-drawn blocks, minimized over leaves (0 when any
+    /// leaf is exhausted ⇒ no further stage can cover new points for
+    /// every dimension... each leaf may still have stock; we stop when
+    /// *all* leaves are exhausted).
+    pub(crate) fn max_remaining_blocks(&self) -> u64 {
+        match self {
+            Node::Leaf(n) => n.sampler.remaining(),
+            Node::Select(n) => n.child.max_remaining_blocks(),
+            Node::Project(n) => n.child.max_remaining_blocks(),
+            Node::Binary(n) => n
+                .left
+                .max_remaining_blocks()
+                .max(n.right.max_remaining_blocks()),
+        }
+    }
+
+    /// Advances the subtree by one stage at `env.fraction`, returning
+    /// the new-output delta.
+    pub(crate) fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, Aborted> {
+        match self {
+            Node::Leaf(n) => n.advance(env),
+            Node::Select(n) => n.advance(env),
+            Node::Project(n) => n.advance(env),
+            Node::Binary(n) => n.advance(env),
+        }
+    }
+}
+
+impl LeafNode {
+    fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, Aborted> {
+        let total = self.sampler.population();
+        let want = ((env.fraction * total as f64).round() as u64)
+            .max(1)
+            .min(self.sampler.remaining());
+        let start = env.now();
+        let indices: Vec<u64> = self.sampler.draw(want).to_vec();
+        let mut tuples = Vec::with_capacity(indices.len() * self.file.blocking_factor());
+        for idx in &indices {
+            if env.expired() {
+                return Err(Aborted);
+            }
+            let block = self
+                .file
+                .read_block(*idx)
+                .expect("sampled block index is in range");
+            tuples.extend(block);
+        }
+        env.observe(CostCoeff::BlockRead, indices.len() as f64, env.now() - start);
+        self.cum_tuples += tuples.len() as f64;
+        Ok(Delta {
+            leaf_points: tuples.len() as f64,
+            tuples,
+        })
+    }
+}
+
+/// Charges block writes for materializing `n_tuples` tuples at the
+/// given blocking factor (used where the 1989 system would write an
+/// output file nobody re-reads: select outputs, operator results).
+/// Honours the hard deadline between pages — the paper's timer
+/// interrupt fires mid-write too.
+fn charge_tuple_writes(
+    env: &mut StageEnv<'_>,
+    n_tuples: f64,
+    blocking: f64,
+) -> Result<(), Aborted> {
+    if n_tuples <= 0.0 {
+        return Ok(());
+    }
+    let pages = (n_tuples / blocking.max(1.0)).ceil() as u64;
+    let start = env.now();
+    for _ in 0..pages {
+        if env.expired() {
+            return Err(Aborted);
+        }
+        env.disk.charge(DeviceOp::BlockWrite);
+    }
+    env.observe(CostCoeff::WriteTuple, n_tuples, env.now() - start);
+    Ok(())
+}
+
+/// Charges `units` of tuple-granularity CPU work in chunks, checking
+/// the hard deadline between chunks so an abort never trails the
+/// quota by more than one chunk's worth of simulated time (the
+/// paper's interrupt granularity is the device operation; ours is a
+/// block-sized batch).
+fn charge_chunked(
+    env: &mut StageEnv<'_>,
+    make: impl Fn(u64) -> DeviceOp,
+    units: u64,
+    chunk: u64,
+) -> Result<(), Aborted> {
+    let chunk = chunk.max(1);
+    let mut left = units;
+    while left > 0 {
+        if env.expired() {
+            return Err(Aborted);
+        }
+        let c = left.min(chunk);
+        env.disk.charge(make(c));
+        left -= c;
+    }
+    Ok(())
+}
+
+impl SelectNode {
+    fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, Aborted> {
+        let child = self.child.advance(env)?;
+        if env.expired() {
+            return Err(Aborted);
+        }
+        let n_in = child.tuples.len();
+        let start = env.now();
+        charge_chunked(env, DeviceOp::TupleCpu, n_in as u64, 5)?;
+        let out: Vec<Tuple> = child
+            .tuples
+            .into_iter()
+            .filter(|t| self.predicate.eval(t))
+            .collect();
+        env.observe(CostCoeff::ScanTuple, n_in as f64, env.now() - start);
+        if self.memory == MemoryMode::DiskResident {
+            charge_tuple_writes(env, out.len() as f64, self.out_blocking)?;
+        }
+
+        self.tracker.record_stage(out.len() as f64, n_in as f64);
+        self.cum_out += out.len() as f64;
+        self.cum_leaf_points += child.leaf_points;
+        Ok(Delta {
+            tuples: out,
+            leaf_points: child.leaf_points,
+        })
+    }
+}
+
+/// Sorts tuples by a key, charging `n·log₂n` comparisons (in chunks,
+/// honouring the hard deadline).
+fn charged_sort(
+    env: &mut StageEnv<'_>,
+    tuples: &mut [Tuple],
+    key: &dyn Fn(&Tuple) -> Vec<Value>,
+) -> Result<(), Aborted> {
+    let n = tuples.len();
+    if n < 2 {
+        return Ok(());
+    }
+    let units = n as f64 * (n as f64).log2();
+    let start = env.now();
+    charge_chunked(env, DeviceOp::Compare, units.ceil() as u64, 128)?;
+    tuples.sort_by_key(|t| key(t));
+    env.observe(CostCoeff::SortUnit, units, env.now() - start);
+    Ok(())
+}
+
+impl ProjectNode {
+    fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, Aborted> {
+        let child = self.child.advance(env)?;
+        if env.expired() {
+            return Err(Aborted);
+        }
+        let n_in = child.tuples.len();
+        // Step 1+2 (Figure 4.7): project and sort the new tuples.
+        let mut projected: Vec<Tuple> = {
+            let start = env.now();
+            charge_chunked(env, DeviceOp::TupleCpu, n_in as u64, 5)?;
+            let p = child
+                .tuples
+                .iter()
+                .map(|t| t.project(&self.columns))
+                .collect();
+            env.observe(CostCoeff::ScanTuple, n_in as f64, env.now() - start);
+            p
+        };
+        charged_sort(env, &mut projected, &|t| t.values().to_vec())?;
+
+        // Step 3: merge against the cumulative distinct file,
+        // updating occupancies and collecting the new groups.
+        let cum = self.occupancy.len() as f64;
+        let merge_units = projected.len() as f64 + cum;
+        let start = env.now();
+        charge_chunked(env, DeviceOp::Compare, merge_units.ceil() as u64, 128)?;
+        let mut new_groups: Vec<Tuple> = Vec::new();
+        for t in projected {
+            if env.expired() {
+                return Err(Aborted);
+            }
+            match self.occupancy.get_mut(&t) {
+                Some(c) => *c += 1,
+                None => {
+                    self.occupancy.insert(t.clone(), 1);
+                    new_groups.push(t);
+                }
+            }
+        }
+        env.observe(CostCoeff::MergeTuple, merge_units, env.now() - start);
+        if self.memory == MemoryMode::DiskResident {
+            // Rewrite the distinct file with the enlarged group set.
+            charge_tuple_writes(env, self.occupancy.len() as f64, self.out_blocking)?;
+        }
+
+        self.tracker
+            .record_stage(new_groups.len() as f64, n_in as f64);
+        self.cum_in += n_in as f64;
+        self.cum_leaf_points += child.leaf_points;
+        Ok(Delta {
+            tuples: new_groups,
+            leaf_points: child.leaf_points,
+        })
+    }
+}
+
+impl BinKind {
+    fn op_kind(&self) -> OpKind {
+        match self {
+            BinKind::Join { .. } => OpKind::Join,
+            BinKind::Intersect => OpKind::Intersect,
+        }
+    }
+
+    fn left_key(&self, t: &Tuple) -> Vec<Value> {
+        match self {
+            BinKind::Join { on } => on.iter().map(|&(l, _)| t.value(l).clone()).collect(),
+            BinKind::Intersect => t.values().to_vec(),
+        }
+    }
+
+    fn right_key(&self, t: &Tuple) -> Vec<Value> {
+        match self {
+            BinKind::Join { on } => on.iter().map(|&(_, r)| t.value(r).clone()).collect(),
+            BinKind::Intersect => t.values().to_vec(),
+        }
+    }
+
+    /// Output tuples for an equal-key group pair.
+    fn emit(&self, left: &[Tuple], right: &[Tuple], out: &mut Vec<Tuple>) {
+        match self {
+            BinKind::Join { .. } => {
+                for l in left {
+                    for r in right {
+                        out.push(l.concat(r));
+                    }
+                }
+            }
+            BinKind::Intersect => {
+                // Distinct inputs: each equal pair contributes the
+                // common tuple once per (l, r) pair; inputs are sets,
+                // so groups are singletons.
+                for l in left {
+                    for _ in right {
+                        out.push(l.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl BinaryNode {
+    /// Total tuples across the left-side runs ingested so far.
+    pub(crate) fn left_runs_tuples(&self) -> f64 {
+        self.left_runs.iter().map(|r| r.tuples as f64).sum()
+    }
+
+    /// Total tuples across the right-side runs ingested so far.
+    pub(crate) fn right_runs_tuples(&self) -> f64 {
+        self.right_runs.iter().map(|r| r.tuples as f64).sum()
+    }
+
+    /// Number of left-side runs (one per stage so far).
+    pub(crate) fn left_run_count(&self) -> usize {
+        self.left_runs.len()
+    }
+
+    /// Number of right-side runs (one per stage so far).
+    pub(crate) fn right_run_count(&self) -> usize {
+        self.right_runs.len()
+    }
+
+    fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, Aborted> {
+        let dl = self.left.advance(env)?;
+        let dr = self.right.advance(env)?;
+        if env.expired() {
+            return Err(Aborted);
+        }
+
+        // Ingest: sort each delta and persist it as a run
+        // (Figures 4.4/4.6 steps 1–2: write to temporary files, sort).
+        self.ingest(env, dl, true)?;
+        self.ingest(env, dr, false)?;
+
+        // Step 3: merge the new runs against the other side per the
+        // fulfillment plan (Figure 4.5's pair grid).
+        let mut out: Vec<Tuple> = Vec::new();
+        let mut pair_points = 0.0;
+        let mut leaf_points = 0.0;
+
+        let (l_end, r_end) = (self.left_runs.len(), self.right_runs.len());
+        let fulfillment = env.fulfillment_override.unwrap_or(self.fulfillment);
+        let pairs: Vec<(usize, usize)> = match fulfillment {
+            Fulfillment::Full => {
+                let mut v = Vec::new();
+                // new left × all right (old + new)…
+                for r in 0..r_end {
+                    v.push((l_end - 1, r));
+                }
+                // …plus old left × new right.
+                for l in 0..l_end - 1 {
+                    v.push((l, r_end - 1));
+                }
+                v
+            }
+            Fulfillment::Partial => vec![(l_end - 1, r_end - 1)],
+        };
+
+        for (li, ri) in pairs {
+            if env.expired() {
+                return Err(Aborted);
+            }
+            let produced = self.merge_pair(env, li, ri, &mut out)?;
+            let (lrun, rrun) = (&self.left_runs[li], &self.right_runs[ri]);
+            pair_points += lrun.tuples as f64 * rrun.tuples as f64;
+            leaf_points += lrun.leaf_points * rrun.leaf_points;
+            let _ = produced;
+        }
+
+        // Materialize the operator's new output (kept on disk in the
+        // prototype's design: "all the intermediate relations are
+        // always kept on disks").
+        if self.memory == MemoryMode::DiskResident {
+            charge_tuple_writes(env, out.len() as f64, self.out_blocking)?;
+        }
+
+        self.tracker.record_stage(out.len() as f64, pair_points);
+        self.cum_out += out.len() as f64;
+        self.cum_leaf_points += leaf_points;
+        Ok(Delta {
+            tuples: out,
+            leaf_points,
+        })
+    }
+
+    fn ingest(
+        &mut self,
+        env: &mut StageEnv<'_>,
+        delta: Delta,
+        left: bool,
+    ) -> Result<(), Aborted> {
+        let mut tuples = delta.tuples;
+        let kind = &self.kind;
+        if left {
+            let key = |t: &Tuple| kind.left_key(t);
+            charged_sort(env, &mut tuples, &key)?;
+        } else {
+            let key = |t: &Tuple| kind.right_key(t);
+            charged_sort(env, &mut tuples, &key)?;
+        }
+        let n = tuples.len();
+        let data = match self.memory {
+            MemoryMode::DiskResident => {
+                let schema = if left {
+                    self.in_schema_left.clone()
+                } else {
+                    self.in_schema_right.clone()
+                };
+                let start = env.now();
+                let mut file = HeapFile::create(env.disk.clone(), schema, true);
+                for t in &tuples {
+                    file.append(t.clone()).expect("run tuple matches schema");
+                }
+                file.flush().expect("flush in-memory temp file");
+                env.observe(CostCoeff::WriteTuple, n as f64, env.now() - start);
+                RunData::File(file)
+            }
+            MemoryMode::MainMemory => RunData::Mem(tuples),
+        };
+        let run = Run {
+            data,
+            tuples: n as u64,
+            leaf_points: delta.leaf_points,
+        };
+        if left {
+            self.left_runs.push(run);
+        } else {
+            self.right_runs.push(run);
+        }
+        Ok(())
+    }
+
+    /// Merges the sorted runs `left_runs[li]` and `right_runs[ri]`,
+    /// appending matches to `out`. Returns the number of outputs.
+    fn merge_pair(
+        &self,
+        env: &mut StageEnv<'_>,
+        li: usize,
+        ri: usize,
+        out: &mut Vec<Tuple>,
+    ) -> Result<usize, Aborted> {
+        let lrun = &self.left_runs[li];
+        let rrun = &self.right_runs[ri];
+        let start = env.now();
+        let lt = read_run(env, &lrun.data)?;
+        let rt = read_run(env, &rrun.data)?;
+        charge_chunked(env, DeviceOp::Compare, (lt.len() + rt.len()) as u64, 128)?;
+
+        let before = out.len();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < lt.len() && j < rt.len() {
+            let lk = self.kind.left_key(&lt[i]);
+            let rk = self.kind.right_key(&rt[j]);
+            match lk.cmp(&rk) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let i_end = (i..lt.len())
+                        .find(|&x| self.kind.left_key(&lt[x]) != lk)
+                        .unwrap_or(lt.len());
+                    let j_end = (j..rt.len())
+                        .find(|&x| self.kind.right_key(&rt[x]) != rk)
+                        .unwrap_or(rt.len());
+                    self.kind.emit(&lt[i..i_end], &rt[j..j_end], out);
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        env.observe(
+            CostCoeff::MergeTuple,
+            (lt.len() + rt.len()) as f64,
+            env.now() - start,
+        );
+        Ok(out.len() - before)
+    }
+}
+
+/// Reads a whole sorted run, honouring the deadline at block
+/// granularity. Disk-resident runs charge block reads; in-memory
+/// runs are free — that asymmetry *is* the main-memory variant's
+/// advantage.
+fn read_run(env: &StageEnv<'_>, data: &RunData) -> Result<Vec<Tuple>, Aborted> {
+    match data {
+        RunData::File(file) => {
+            let mut out = Vec::with_capacity(file.num_tuples() as usize);
+            for b in 0..file.num_blocks() {
+                if env.expired() {
+                    return Err(Aborted);
+                }
+                out.extend(file.read_block(b).expect("run block in range"));
+            }
+            Ok(out)
+        }
+        RunData::Mem(tuples) => {
+            if env.expired() {
+                return Err(Aborted);
+            }
+            Ok(tuples.clone())
+        }
+    }
+}
+
+/// A compiled PIE term: the operator tree plus its point-space
+/// geometry.
+pub struct PhysTree {
+    pub(crate) root: Node,
+    /// `N` — total points (product of leaf relation cardinalities).
+    pub(crate) total_points: f64,
+    /// `B` — total space blocks (product of leaf block counts).
+    pub(crate) total_space_blocks: f64,
+    /// True if the term root is a projection (Goodman estimation).
+    pub(crate) projection_root: bool,
+}
+
+impl PhysTree {
+    /// Compiles a union/difference-free expression against stored
+    /// relations. `rng` seeds the per-leaf block samplers.
+    pub fn build(
+        expr: &Expr,
+        catalog: &Catalog,
+        disk: &Arc<Disk>,
+        defaults: &SelectivityDefaults,
+        options: impl Into<PlanOptions>,
+        rng: &mut StdRng,
+    ) -> Result<PhysTree, ExprError> {
+        let options = options.into();
+        expr.output_schema(catalog)?; // full validation up front
+        let mut total_points = 1.0;
+        let mut total_space_blocks = 1.0;
+        let root = Self::build_node(
+            expr,
+            catalog,
+            disk,
+            defaults,
+            options,
+            rng,
+            &mut total_points,
+            &mut total_space_blocks,
+        )?;
+        Ok(PhysTree {
+            root,
+            total_points,
+            total_space_blocks,
+            projection_root: matches!(expr, Expr::Project { .. }),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_node(
+        expr: &Expr,
+        catalog: &Catalog,
+        disk: &Arc<Disk>,
+        defaults: &SelectivityDefaults,
+        options: PlanOptions,
+        rng: &mut StdRng,
+        total_points: &mut f64,
+        total_space_blocks: &mut f64,
+    ) -> Result<Node, ExprError> {
+        match expr {
+            Expr::Relation(name) => {
+                let file = catalog
+                    .relation(name)
+                    .ok_or_else(|| ExprError::UnknownRelation(name.clone()))?
+                    .clone();
+                *total_points *= file.num_tuples() as f64;
+                *total_space_blocks *= file.num_blocks() as f64;
+                let seed: u64 = rng.gen();
+                let mut leaf_rng =
+                    <StdRng as rand::SeedableRng>::seed_from_u64(seed);
+                let sampler = BlockSampler::new(file.num_blocks(), &mut leaf_rng);
+                Ok(Node::Leaf(LeafNode {
+                    file,
+                    sampler,
+                    cum_tuples: 0.0,
+                }))
+            }
+            Expr::Select { input, predicate } => {
+                let child_points_before = *total_points;
+                let child = Self::build_node(
+                    input,
+                    catalog,
+                    disk,
+                    defaults,
+                    options,
+                    rng,
+                    total_points,
+                    total_space_blocks,
+                )?;
+                let subtree_points = *total_points / child_points_before.max(1.0);
+                let schema = expr.output_schema(catalog)?;
+                let blocking = schema.blocking_factor(disk.block_size()) as f64;
+                let tracker = SelTracker::new(OpKind::Select, subtree_points, 0.0)
+                    .with_initial(defaults.initial_for(OpKind::Select, 0.0));
+                Ok(Node::Select(SelectNode {
+                    child: Box::new(child),
+                    predicate: predicate.clone(),
+                    tracker,
+                    memory: options.memory,
+                    out_blocking: blocking,
+                    cum_out: 0.0,
+                    cum_leaf_points: 0.0,
+                }))
+            }
+            Expr::Project { input, columns } => {
+                let child_points_before = *total_points;
+                let child = Self::build_node(
+                    input,
+                    catalog,
+                    disk,
+                    defaults,
+                    options,
+                    rng,
+                    total_points,
+                    total_space_blocks,
+                )?;
+                let subtree_points = *total_points / child_points_before.max(1.0);
+                let schema = expr.output_schema(catalog)?;
+                let blocking = schema.blocking_factor(disk.block_size()) as f64;
+                let tracker = SelTracker::new(OpKind::Project, subtree_points, 0.0)
+                    .with_initial(defaults.initial_for(OpKind::Project, 0.0));
+                Ok(Node::Project(ProjectNode {
+                    child: Box::new(child),
+                    columns: columns.clone(),
+                    tracker,
+                    memory: options.memory,
+                    out_blocking: blocking,
+                    occupancy: BTreeMap::new(),
+                    cum_in: 0.0,
+                    cum_leaf_points: 0.0,
+                }))
+            }
+            Expr::Join { left, right, on } => Self::build_binary(
+                expr,
+                BinKind::Join { on: on.clone() },
+                left,
+                right,
+                catalog,
+                disk,
+                defaults,
+                options,
+                rng,
+                total_points,
+                total_space_blocks,
+            ),
+            Expr::Intersect { left, right } => Self::build_binary(
+                expr,
+                BinKind::Intersect,
+                left,
+                right,
+                catalog,
+                disk,
+                defaults,
+                options,
+                rng,
+                total_points,
+                total_space_blocks,
+            ),
+            Expr::Union { .. } | Expr::Difference { .. } => {
+                // The PIE rewrite removes these before compilation.
+                Err(ExprError::IncompatibleSchemas(
+                    "union/difference must be rewritten away before compilation".into(),
+                ))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_binary(
+        expr: &Expr,
+        kind: BinKind,
+        left: &Expr,
+        right: &Expr,
+        catalog: &Catalog,
+        disk: &Arc<Disk>,
+        defaults: &SelectivityDefaults,
+        options: PlanOptions,
+        rng: &mut StdRng,
+        total_points: &mut f64,
+        total_space_blocks: &mut f64,
+    ) -> Result<Node, ExprError> {
+        let before = *total_points;
+        let l = Self::build_node(
+            left,
+            catalog,
+            disk,
+            defaults,
+            options,
+            rng,
+            total_points,
+            total_space_blocks,
+        )?;
+        let mid = *total_points;
+        let r = Self::build_node(
+            right,
+            catalog,
+            disk,
+            defaults,
+            options,
+            rng,
+            total_points,
+            total_space_blocks,
+        )?;
+        let left_points = mid / before.max(1.0);
+        let right_points = *total_points / mid.max(1.0);
+        let op_kind = kind.op_kind();
+        let max_operand = left_points.max(right_points);
+        let tracker = SelTracker::new(op_kind, left_points * right_points, max_operand)
+            .with_initial(defaults.initial_for(op_kind, max_operand));
+        let out_schema = expr.output_schema(catalog)?;
+        let blocking = out_schema.blocking_factor(disk.block_size()) as f64;
+        Ok(Node::Binary(BinaryNode {
+            in_schema_left: left.output_schema(catalog)?,
+            in_schema_right: right.output_schema(catalog)?,
+            kind,
+            left: Box::new(l),
+            right: Box::new(r),
+            tracker,
+            fulfillment: options.fulfillment,
+            memory: options.memory,
+            out_blocking: blocking,
+            left_runs: Vec::new(),
+            right_runs: Vec::new(),
+            cum_out: 0.0,
+            cum_leaf_points: 0.0,
+        }))
+    }
+
+    /// `N`, the point-space size.
+    pub fn total_points(&self) -> f64 {
+        self.total_points
+    }
+
+    /// `B`, the space-block count.
+    pub fn total_space_blocks(&self) -> f64 {
+        self.total_space_blocks
+    }
+
+    /// True if the term root is a projection (the count estimate uses
+    /// Goodman's estimator over group occupancies).
+    pub fn projection_root(&self) -> bool {
+        self.projection_root
+    }
+
+    /// Leaf points covered so far.
+    pub fn points_covered(&self) -> f64 {
+        self.root.leaf_points_covered()
+    }
+
+    /// Output tuples (or distinct groups) found so far.
+    pub fn ones_found(&self) -> f64 {
+        self.root.cum_output()
+    }
+
+    /// Group occupancies if the root is a projection.
+    pub fn occupancies(&self) -> Option<Vec<u64>> {
+        match &self.root {
+            Node::Project(p) => Some(p.occupancy.values().copied().collect()),
+            _ => None,
+        }
+    }
+
+    /// True when every leaf has drawn its entire relation (census).
+    pub fn exhausted(&self) -> bool {
+        self.root.max_remaining_blocks() == 0
+    }
+
+    /// Advances the whole term by one stage.
+    pub fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, Aborted> {
+        self.root.advance(env)
+    }
+
+    /// Disk blocks drawn so far, summed over operand relations.
+    pub fn blocks_drawn(&self) -> u64 {
+        fn walk(node: &Node) -> u64 {
+            match node {
+                Node::Leaf(n) => n.sampler.drawn(),
+                Node::Select(n) => walk(&n.child),
+                Node::Project(n) => walk(&n.child),
+                Node::Binary(n) => walk(&n.left) + walk(&n.right),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// For a projection root: the pre-projection child's cumulative
+    /// output tuples and leaf points covered (Goodman's population
+    /// plug-in). `None` for other roots.
+    pub fn projection_child_stats(&self) -> Option<(f64, f64)> {
+        match &self.root {
+            Node::Project(p) => Some((p.child.cum_output(), p.child.leaf_points_covered())),
+            _ => None,
+        }
+    }
+
+    /// Visits every operator tracker.
+    pub fn for_each_tracker<'a>(&'a self, f: &mut dyn FnMut(&'a SelTracker)) {
+        self.root.for_each_tracker(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eram_relalg::CmpOp;
+    use eram_storage::{ColumnType, DeviceProfile, SimClock};
+    use rand::SeedableRng;
+
+    fn setup(rows: &[(&str, Vec<(i64, i64)>)]) -> (Arc<Disk>, Catalog) {
+        let clock = Arc::new(SimClock::new());
+        let disk = Disk::new(clock, DeviceProfile::sun_3_60().without_jitter(), 5);
+        let mut cat = Catalog::new();
+        for (name, data) in rows {
+            let schema =
+                Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)]).padded_to(200);
+            let hf = HeapFile::load(
+                disk.clone(),
+                schema,
+                data.iter()
+                    .map(|&(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)])),
+            )
+            .unwrap();
+            cat.register(*name, hf);
+        }
+        (disk, cat)
+    }
+
+    fn env(disk: &Arc<Disk>, fraction: f64) -> StageEnv<'static> {
+        StageEnv {
+            disk: disk.clone(),
+            deadline: None,
+            fraction,
+            fulfillment_override: None,
+            observations: Vec::new(),
+        }
+    }
+
+    fn rows(n: i64) -> Vec<(i64, i64)> {
+        (0..n).map(|i| (i, i % 10)).collect()
+    }
+
+    #[test]
+    fn full_census_select_recovers_exact_count() {
+        let (disk, cat) = setup(&[("r", rows(100))]);
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 3));
+        let mut tree = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        let mut e = env(&disk, 1.0);
+        tree.advance(&mut e).unwrap();
+        assert!(tree.exhausted());
+        assert_eq!(tree.points_covered(), 100.0);
+        assert_eq!(tree.ones_found(), 30.0); // b ∈ {0,1,2}
+    }
+
+    #[test]
+    fn staged_select_accumulates_without_double_counting() {
+        let (disk, cat) = setup(&[("r", rows(100))]);
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 5));
+        let mut tree = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(2),
+        )
+        .unwrap();
+        let mut covered = 0.0;
+        for _ in 0..4 {
+            let mut e = env(&disk, 0.25);
+            tree.advance(&mut e).unwrap();
+            assert!(tree.points_covered() > covered);
+            covered = tree.points_covered();
+        }
+        assert_eq!(tree.points_covered(), 100.0);
+        assert_eq!(tree.ones_found(), 50.0);
+    }
+
+    #[test]
+    fn full_census_intersect_matches_exact() {
+        let a: Vec<(i64, i64)> = (0..50).map(|i| (i, 0)).collect();
+        let b: Vec<(i64, i64)> = (25..75).map(|i| (i, 0)).collect();
+        let (disk, cat) = setup(&[("a", a), ("b", b)]);
+        let expr = Expr::relation("a").intersect(Expr::relation("b"));
+        let mut tree = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(3),
+        )
+        .unwrap();
+        // Multiple stages with full fulfillment must still find every
+        // cross-stage match.
+        for _ in 0..3 {
+            let mut e = env(&disk, 0.4);
+            tree.advance(&mut e).unwrap();
+        }
+        assert!(tree.exhausted());
+        assert_eq!(tree.ones_found(), 25.0);
+        assert_eq!(tree.points_covered(), 2500.0);
+    }
+
+    #[test]
+    fn full_census_join_matches_exact() {
+        let a: Vec<(i64, i64)> = (0..30).map(|i| (i % 5, i)).collect();
+        let b: Vec<(i64, i64)> = (0..20).map(|i| (i % 5, -i)).collect();
+        let (disk, cat) = setup(&[("a", a.clone()), ("b", b.clone())]);
+        let expr = Expr::relation("a").join(Expr::relation("b"), vec![(0, 0)]);
+        let mut tree = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(4),
+        )
+        .unwrap();
+        for _ in 0..2 {
+            let mut e = env(&disk, 0.6);
+            tree.advance(&mut e).unwrap();
+        }
+        assert!(tree.exhausted());
+        // Each key 0..4 appears 6× in a and 4× in b → 5·24 = 120.
+        assert_eq!(tree.ones_found(), 120.0);
+        assert_eq!(tree.points_covered(), 600.0);
+    }
+
+    #[test]
+    fn partial_fulfillment_covers_fewer_points() {
+        let a: Vec<(i64, i64)> = (0..50).map(|i| (i, 0)).collect();
+        let b: Vec<(i64, i64)> = (0..50).map(|i| (i, 0)).collect();
+        let (disk, cat) = setup(&[("a", a.clone()), ("b", b)]);
+        let expr = Expr::relation("a").intersect(Expr::relation("b"));
+        let build = |f: Fulfillment, seed: u64, disk: &Arc<Disk>, cat: &Catalog| {
+            PhysTree::build(
+                &expr,
+                cat,
+                disk,
+                &SelectivityDefaults::default(),
+                f,
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .unwrap()
+        };
+        let mut full = build(Fulfillment::Full, 7, &disk, &cat);
+        let mut partial = build(Fulfillment::Partial, 7, &disk, &cat);
+        for _ in 0..3 {
+            let mut e = env(&disk, 0.2);
+            full.advance(&mut e).unwrap();
+            let mut e = env(&disk, 0.2);
+            partial.advance(&mut e).unwrap();
+        }
+        assert!(
+            full.points_covered() > partial.points_covered(),
+            "full {} vs partial {}",
+            full.points_covered(),
+            partial.points_covered()
+        );
+    }
+
+    #[test]
+    fn projection_tracks_occupancies() {
+        let (disk, cat) = setup(&[("r", rows(100))]);
+        let expr = Expr::relation("r").project(vec![1]);
+        let mut tree = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(5),
+        )
+        .unwrap();
+        assert!(tree.projection_root());
+        let mut e = env(&disk, 1.0);
+        tree.advance(&mut e).unwrap();
+        let occ = tree.occupancies().unwrap();
+        assert_eq!(occ.len(), 10); // values 0..9
+        assert_eq!(occ.iter().sum::<u64>(), 100);
+        assert_eq!(tree.ones_found(), 10.0);
+    }
+
+    #[test]
+    fn advancing_charges_the_clock() {
+        let (disk, cat) = setup(&[("r", rows(100))]);
+        let expr = Expr::relation("r").select(Predicate::True);
+        let mut tree = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(6),
+        )
+        .unwrap();
+        let before = disk.clock().elapsed();
+        let mut e = env(&disk, 0.5);
+        tree.advance(&mut e).unwrap();
+        assert!(disk.clock().elapsed() > before);
+        assert!(!e.observations.is_empty());
+        assert!(e
+            .observations
+            .iter()
+            .any(|o| o.coeff == CostCoeff::BlockRead));
+    }
+
+    #[test]
+    fn hard_deadline_aborts_mid_stage() {
+        let (disk, cat) = setup(&[("r", rows(10_000))]);
+        let expr = Expr::relation("r").select(Predicate::True);
+        let mut tree = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        // Quota shorter than the stage needs (2000 blocks at ~30 ms).
+        let deadline = Deadline::new(disk.clock().clone(), Duration::from_secs(1));
+        let mut e = StageEnv {
+            disk: disk.clone(),
+            deadline: Some(&deadline),
+            fraction: 1.0,
+            fulfillment_override: None,
+            observations: Vec::new(),
+        };
+        assert!(matches!(tree.advance(&mut e), Err(Aborted)));
+        assert!(deadline.expired());
+        // The abort happened at block granularity — not long after T.
+        assert!(deadline.overspent() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn minimum_draw_is_one_block() {
+        let (disk, cat) = setup(&[("r", rows(100))]);
+        let expr = Expr::relation("r");
+        let mut tree = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(8),
+        )
+        .unwrap();
+        let mut e = env(&disk, 1e-9);
+        let d = tree.advance(&mut e).unwrap();
+        assert_eq!(d.tuples.len(), 5); // one block of 5 tuples
+    }
+
+    #[test]
+    fn main_memory_mode_matches_disk_results_cheaper() {
+        let a: Vec<(i64, i64)> = (0..60).map(|i| (i, 0)).collect();
+        let b: Vec<(i64, i64)> = (30..90).map(|i| (i, 0)).collect();
+        let (disk, cat) = setup(&[("a", a), ("b", b)]);
+        let expr = Expr::relation("a").intersect(Expr::relation("b"));
+        let build = |memory: MemoryMode| {
+            PhysTree::build(
+                &expr,
+                &cat,
+                &disk,
+                &SelectivityDefaults::default(),
+                PlanOptions {
+                    fulfillment: Fulfillment::Full,
+                    memory,
+                },
+                &mut StdRng::seed_from_u64(77),
+            )
+            .unwrap()
+        };
+        let mut on_disk = build(MemoryMode::DiskResident);
+        let t0 = disk.clock().elapsed();
+        for _ in 0..3 {
+            let mut e = env(&disk, 0.4);
+            on_disk.advance(&mut e).unwrap();
+        }
+        let disk_cost = disk.clock().elapsed() - t0;
+
+        let mut in_mem = build(MemoryMode::MainMemory);
+        let t1 = disk.clock().elapsed();
+        for _ in 0..3 {
+            let mut e = env(&disk, 0.4);
+            in_mem.advance(&mut e).unwrap();
+        }
+        let mem_cost = disk.clock().elapsed() - t1;
+
+        // Identical answers (same seed → same sample order)…
+        assert_eq!(on_disk.ones_found(), in_mem.ones_found());
+        assert_eq!(on_disk.points_covered(), in_mem.points_covered());
+        assert_eq!(on_disk.ones_found(), 30.0);
+        // …at a fraction of the simulated cost.
+        assert!(
+            mem_cost < disk_cost / 2,
+            "main memory {mem_cost:?} vs disk {disk_cost:?}"
+        );
+    }
+
+    #[test]
+    fn union_refused_at_compile_time() {
+        let (disk, cat) = setup(&[("r", rows(10))]);
+        let expr = Expr::relation("r").union(Expr::relation("r"));
+        let res = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Execution reports: what the stage loop did with the quota.
+//!
+//! These are the quantities Section 5 of the paper tabulates per
+//! experiment: number of stages completed, risk of overspending,
+//! overspent time ("ovsp"), quota utilization, and disk blocks
+//! evaluated.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use eram_sampling::CountEstimate;
+
+/// What one stage of the loop did.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// 1-based stage number.
+    pub stage: usize,
+    /// Sample fraction `fᵢ` the strategy chose.
+    pub fraction: f64,
+    /// Stage cost the strategy predicted.
+    pub predicted_cost: Duration,
+    /// Stage cost actually charged.
+    pub actual_cost: Duration,
+    /// New disk blocks drawn this stage (summed over operand
+    /// relations and terms).
+    pub blocks_drawn: u64,
+    /// True if the stage finished before the quota expired. An
+    /// unfinished stage is *aborted* under a hard constraint and its
+    /// time is wasted.
+    pub within_quota: bool,
+    /// The running estimate after this stage.
+    pub estimate: CountEstimate,
+}
+
+/// A complete account of one time-constrained query execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// The time quota `T`.
+    pub quota: Duration,
+    /// Per-stage details, in execution order (including an
+    /// overrunning final stage, if any).
+    pub stages: Vec<StageReport>,
+    /// Total time consumed by the loop (may exceed `quota` under a
+    /// soft constraint).
+    pub total_elapsed: Duration,
+    /// The estimate a *hard*-deadline caller receives: the one from
+    /// the last stage that finished within the quota.
+    pub final_estimate: CountEstimate,
+}
+
+impl ExecutionReport {
+    /// Stages completed within the quota — the paper's "stages"
+    /// column.
+    pub fn completed_stages(&self) -> usize {
+        self.stages.iter().filter(|s| s.within_quota).count()
+    }
+
+    /// True if any stage ran past the quota — the per-run event whose
+    /// frequency across runs is the paper's "risk" column.
+    pub fn overspent(&self) -> bool {
+        self.stages.iter().any(|s| !s.within_quota)
+    }
+
+    /// Time needed beyond the quota to complete the overrunning stage
+    /// — the paper's "ovsp" (zero if no stage overran).
+    pub fn overspend(&self) -> Duration {
+        self.total_elapsed.saturating_sub(self.quota)
+    }
+
+    /// Time spent in stages that finished within the quota.
+    pub fn useful_time(&self) -> Duration {
+        self.stages
+            .iter()
+            .filter(|s| s.within_quota)
+            .map(|s| s.actual_cost)
+            .sum()
+    }
+
+    /// Fraction of the quota spent "successfully" (in completed
+    /// stages) — the paper's "utilization" column. The rest of the
+    /// quota is wasted: either an aborted final stage or a leftover
+    /// too small to start another stage.
+    pub fn utilization(&self) -> f64 {
+        if self.quota.is_zero() {
+            return 0.0;
+        }
+        (self.useful_time().as_secs_f64() / self.quota.as_secs_f64()).min(1.0)
+    }
+
+    /// Quota time that produced nothing: aborted-stage time plus the
+    /// unusable leftover.
+    pub fn wasted(&self) -> Duration {
+        let useful = self.useful_time();
+        self.quota.saturating_sub(useful)
+    }
+
+    /// Disk blocks evaluated in completed stages — the paper's
+    /// "blocks" column (the overall sample size actually banked).
+    pub fn blocks_evaluated(&self) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.within_quota)
+            .map(|s| s.blocks_drawn)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(v: f64) -> CountEstimate {
+        CountEstimate {
+            estimate: v,
+            variance: 1.0,
+            points_sampled: 10.0,
+            total_points: 100.0,
+        }
+    }
+
+    fn stage(n: usize, secs: f64, blocks: u64, ok: bool) -> StageReport {
+        StageReport {
+            stage: n,
+            fraction: 0.01,
+            predicted_cost: Duration::from_secs_f64(secs),
+            actual_cost: Duration::from_secs_f64(secs),
+            blocks_drawn: blocks,
+            within_quota: ok,
+            estimate: est(42.0),
+        }
+    }
+
+    #[test]
+    fn clean_run_accounting() {
+        let r = ExecutionReport {
+            quota: Duration::from_secs(10),
+            stages: vec![stage(1, 4.0, 30, true), stage(2, 5.0, 40, true)],
+            total_elapsed: Duration::from_secs_f64(9.0),
+            final_estimate: est(42.0),
+        };
+        assert_eq!(r.completed_stages(), 2);
+        assert!(!r.overspent());
+        assert_eq!(r.overspend(), Duration::ZERO);
+        assert!((r.utilization() - 0.9).abs() < 1e-12);
+        assert_eq!(r.wasted(), Duration::from_secs(1));
+        assert_eq!(r.blocks_evaluated(), 70);
+    }
+
+    #[test]
+    fn overspent_run_accounting() {
+        let r = ExecutionReport {
+            quota: Duration::from_secs(10),
+            stages: vec![stage(1, 6.0, 30, true), stage(2, 5.0, 40, false)],
+            total_elapsed: Duration::from_secs(11),
+            final_estimate: est(42.0),
+        };
+        assert_eq!(r.completed_stages(), 1);
+        assert!(r.overspent());
+        assert_eq!(r.overspend(), Duration::from_secs(1));
+        // Only stage 1 counts as useful; stage 2 would be aborted.
+        assert!((r.utilization() - 0.6).abs() < 1e-12);
+        assert_eq!(r.wasted(), Duration::from_secs(4));
+        assert_eq!(r.blocks_evaluated(), 30);
+    }
+
+    #[test]
+    fn zero_quota_is_degenerate() {
+        let r = ExecutionReport {
+            quota: Duration::ZERO,
+            stages: vec![],
+            total_elapsed: Duration::ZERO,
+            final_estimate: est(0.0),
+        };
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.completed_stages(), 0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = ExecutionReport {
+            quota: Duration::from_secs(2),
+            stages: vec![stage(1, 1.0, 5, true)],
+            total_elapsed: Duration::from_secs(1),
+            final_estimate: est(1.0),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExecutionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,231 @@
+//! Deadline scheduling of query batches — the multiuser real-time
+//! motivation from the paper's introduction: "By precisely fixing the
+//! execution times of database queries in a transaction, accurate
+//! estimates for transaction execution times become possible. This in
+//! turn plays an important role in minimizing the number of
+//! transactions that miss their deadlines [AbMo 88]."
+//!
+//! [`EdfScheduler`] runs a batch of aggregate queries
+//! earliest-deadline-first. Because the engine turns any time quota
+//! into a guaranteed execution time, the scheduler can do **admission
+//! control**: each job's quota is fixed to the slack left before its
+//! deadline (capped by the job's desired quota), and a job whose
+//! usable slack falls below its declared minimum is *refused* rather
+//! than allowed to blow everyone's deadlines — the precision of
+//! admitted answers absorbs the load instead.
+
+use std::time::Duration;
+
+use eram_relalg::Expr;
+use eram_storage::Clock;
+
+use crate::aggregate::AggregateFn;
+use crate::executor::ExecOutcome;
+use crate::session::Database;
+
+/// One query in a scheduled batch.
+#[derive(Debug, Clone)]
+pub struct QueryJob {
+    /// Label for reporting.
+    pub name: String,
+    /// The aggregate to evaluate.
+    pub agg: AggregateFn,
+    /// The expression.
+    pub expr: Expr,
+    /// Absolute deadline, measured from the batch start on the
+    /// database's clock.
+    pub deadline: Duration,
+    /// Quota the job would like if slack allows.
+    pub desired_quota: Duration,
+    /// Below this quota the answer is considered worthless and the
+    /// job is refused instead of run.
+    pub min_quota: Duration,
+}
+
+impl QueryJob {
+    /// A COUNT job with a desired quota equal to its full slack and a
+    /// 100 ms minimum.
+    pub fn count(name: impl Into<String>, expr: Expr, deadline: Duration) -> Self {
+        QueryJob {
+            name: name.into(),
+            agg: AggregateFn::Count,
+            expr,
+            deadline,
+            desired_quota: deadline,
+            min_quota: Duration::from_millis(100),
+        }
+    }
+}
+
+/// How one job fared.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The job's label.
+    pub name: String,
+    /// When it started, relative to the batch start.
+    pub started_at: Duration,
+    /// When it finished (equals `started_at` for refused jobs).
+    pub finished_at: Duration,
+    /// The quota it was granted (zero if refused).
+    pub granted_quota: Duration,
+    /// The engine outcome, or `None` if the job was refused at
+    /// admission.
+    pub result: Option<ExecOutcome>,
+}
+
+impl JobOutcome {
+    /// True if the job produced an answer by its deadline.
+    pub fn met(&self, job_deadline: Duration) -> bool {
+        self.result.is_some() && self.finished_at <= job_deadline
+    }
+}
+
+/// Earliest-deadline-first execution with slack-based admission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdfScheduler {
+    /// Fraction of the slack granted as quota (the rest is scheduling
+    /// margin for the block-granularity abort overshoot).
+    pub slack_margin: f64,
+}
+
+impl Default for EdfScheduler {
+    fn default() -> Self {
+        EdfScheduler { slack_margin: 0.97 }
+    }
+}
+
+impl EdfScheduler {
+    /// Creates a scheduler with the given slack margin in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if the margin is out of range.
+    pub fn new(slack_margin: f64) -> Self {
+        assert!(slack_margin > 0.0 && slack_margin <= 1.0);
+        EdfScheduler { slack_margin }
+    }
+
+    /// Runs the batch EDF, consuming the database's clock time.
+    /// Returns one outcome per job, in execution (deadline) order.
+    pub fn run(&self, db: &mut Database, mut jobs: Vec<QueryJob>) -> Vec<JobOutcome> {
+        jobs.sort_by_key(|j| j.deadline);
+        let clock = db.disk().clock().clone();
+        let start = clock.elapsed();
+        let now = |clock: &std::sync::Arc<dyn Clock>| clock.elapsed().saturating_sub(start);
+
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let started_at = now(&clock);
+            let slack = job.deadline.saturating_sub(started_at);
+            let quota = job
+                .desired_quota
+                .min(Duration::from_secs_f64(slack.as_secs_f64() * self.slack_margin));
+            if quota < job.min_quota {
+                outcomes.push(JobOutcome {
+                    name: job.name,
+                    started_at,
+                    finished_at: started_at,
+                    granted_quota: Duration::ZERO,
+                    result: None,
+                });
+                continue;
+            }
+            let result = db.aggregate(job.agg, job.expr).within(quota).run().ok();
+            outcomes.push(JobOutcome {
+                name: job.name,
+                started_at,
+                finished_at: now(&clock),
+                granted_quota: quota,
+                result,
+            });
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eram_relalg::{CmpOp, Predicate};
+    use eram_storage::{ColumnType, Schema, Tuple, Value};
+
+    fn db() -> Database {
+        let mut db = Database::sim_default(17);
+        let schema =
+            Schema::new(vec![("k", ColumnType::Int), ("g", ColumnType::Int)]).padded_to(200);
+        db.load_relation(
+            "t",
+            schema,
+            (0..10_000).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 10)])),
+        )
+        .unwrap();
+        db
+    }
+
+    fn sel(k: i64) -> Expr {
+        Expr::relation("t").select(Predicate::col_cmp(1, CmpOp::Lt, k))
+    }
+
+    #[test]
+    fn batch_meets_every_deadline() {
+        let mut db = db();
+        let jobs = vec![
+            QueryJob::count("a", sel(3), Duration::from_secs(5)),
+            QueryJob::count("b", sel(5), Duration::from_secs(12)),
+            QueryJob::count("c", sel(7), Duration::from_secs(20)),
+        ];
+        let deadlines: Vec<Duration> = jobs.iter().map(|j| j.deadline).collect();
+        let outcomes = EdfScheduler::default().run(&mut db, jobs);
+        assert_eq!(outcomes.len(), 3);
+        for (o, d) in outcomes.iter().zip(deadlines) {
+            assert!(o.met(d), "{} finished {:?} vs deadline {d:?}", o.name, o.finished_at);
+            let est = o.result.as_ref().unwrap().estimate.estimate;
+            assert!(est > 0.0);
+        }
+    }
+
+    #[test]
+    fn jobs_run_in_deadline_order() {
+        let mut db = db();
+        let jobs = vec![
+            QueryJob::count("late", sel(3), Duration::from_secs(20)),
+            QueryJob::count("early", sel(3), Duration::from_secs(6)),
+        ];
+        let outcomes = EdfScheduler::default().run(&mut db, jobs);
+        assert_eq!(outcomes[0].name, "early");
+        assert_eq!(outcomes[1].name, "late");
+        assert!(outcomes[0].finished_at <= outcomes[1].started_at);
+    }
+
+    #[test]
+    fn overcommitted_job_is_refused_not_run() {
+        let mut db = db();
+        let mut starved = QueryJob::count("starved", sel(5), Duration::from_secs(6));
+        starved.min_quota = Duration::from_secs(5); // needs ~all the slack
+        let jobs = vec![
+            QueryJob::count("greedy", sel(5), Duration::from_secs(5)),
+            starved,
+        ];
+        let outcomes = EdfScheduler::default().run(&mut db, jobs);
+        let starved_out = outcomes.iter().find(|o| o.name == "starved").unwrap();
+        assert!(starved_out.result.is_none(), "should be refused");
+        assert_eq!(starved_out.granted_quota, Duration::ZERO);
+        // The refusal cost (admission check) is negligible.
+        assert!(starved_out.finished_at == starved_out.started_at);
+    }
+
+    #[test]
+    fn desired_quota_caps_greed() {
+        let mut db = db();
+        let mut modest = QueryJob::count("modest", sel(5), Duration::from_secs(30));
+        modest.desired_quota = Duration::from_secs(2);
+        let outcomes = EdfScheduler::default().run(&mut db, vec![modest]);
+        assert!(outcomes[0].granted_quota <= Duration::from_secs(2));
+        assert!(outcomes[0].finished_at <= Duration::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn margin_bounds_enforced() {
+        let _ = EdfScheduler::new(1.5);
+    }
+}

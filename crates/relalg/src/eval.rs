@@ -1,0 +1,189 @@
+//! Exact, set-semantics evaluation — the ground truth the estimators
+//! are judged against.
+//!
+//! Reads blocks *uncharged*, so computing the true `COUNT(E)` (e.g.
+//! for experiment reporting) never consumes a query's simulated time
+//! quota.
+
+use std::collections::{BTreeSet, HashMap};
+
+use eram_storage::{Tuple, Value};
+
+use crate::catalog::Catalog;
+use crate::expr::{Expr, ExprError};
+
+/// Evaluates `expr` exactly, returning the output relation as a
+/// sorted, duplicate-free set of tuples.
+pub fn eval(expr: &Expr, catalog: &Catalog) -> Result<BTreeSet<Tuple>, ExprError> {
+    // Validate once up front so recursive evaluation can't panic.
+    expr.output_schema(catalog)?;
+    eval_rec(expr, catalog)
+}
+
+/// Exact `COUNT(E)` — the paper's query result, computed the slow way.
+pub fn exact_count(expr: &Expr, catalog: &Catalog) -> Result<u64, ExprError> {
+    Ok(eval(expr, catalog)?.len() as u64)
+}
+
+fn eval_rec(expr: &Expr, catalog: &Catalog) -> Result<BTreeSet<Tuple>, ExprError> {
+    match expr {
+        Expr::Relation(name) => {
+            let file = catalog
+                .relation(name)
+                .ok_or_else(|| ExprError::UnknownRelation(name.clone()))?;
+            let tuples = file
+                .scan_uncharged()
+                .expect("base relation scan cannot fail after validation");
+            Ok(tuples.into_iter().collect())
+        }
+        Expr::Select { input, predicate } => {
+            let mut set = eval_rec(input, catalog)?;
+            set.retain(|t| predicate.eval(t));
+            Ok(set)
+        }
+        Expr::Project { input, columns } => {
+            let set = eval_rec(input, catalog)?;
+            Ok(set.iter().map(|t| t.project(columns)).collect())
+        }
+        Expr::Join { left, right, on } => {
+            let ls = eval_rec(left, catalog)?;
+            let rs = eval_rec(right, catalog)?;
+            // Hash join on the composite key.
+            let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::new();
+            for r in &rs {
+                let key: Vec<&Value> = on.iter().map(|&(_, rc)| r.value(rc)).collect();
+                index.entry(key).or_default().push(r);
+            }
+            let mut out = BTreeSet::new();
+            for l in &ls {
+                let key: Vec<&Value> = on.iter().map(|&(lc, _)| l.value(lc)).collect();
+                if let Some(matches) = index.get(&key) {
+                    for r in matches {
+                        out.insert(l.concat(r));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Expr::Union { left, right } => {
+            let mut ls = eval_rec(left, catalog)?;
+            ls.extend(eval_rec(right, catalog)?);
+            Ok(ls)
+        }
+        Expr::Difference { left, right } => {
+            let ls = eval_rec(left, catalog)?;
+            let rs = eval_rec(right, catalog)?;
+            Ok(ls.difference(&rs).cloned().collect())
+        }
+        Expr::Intersect { left, right } => {
+            let ls = eval_rec(left, catalog)?;
+            let rs = eval_rec(right, catalog)?;
+            Ok(ls.intersection(&rs).cloned().collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, Predicate};
+    use eram_storage::{ColumnType, DeviceProfile, Disk, HeapFile, Schema, SimClock};
+    use std::sync::Arc;
+
+    fn tup(values: &[i64]) -> Tuple {
+        Tuple::new(values.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    fn catalog_with(rows: &[(&str, Vec<Vec<i64>>)]) -> Catalog {
+        let disk = Disk::new(
+            Arc::new(SimClock::new()),
+            DeviceProfile::sun_3_60().without_jitter(),
+            0,
+        );
+        let mut c = Catalog::new();
+        for (name, data) in rows {
+            let arity = data.first().map_or(1, Vec::len);
+            let schema = Schema::new(
+                (0..arity)
+                    .map(|i| (format!("c{i}"), ColumnType::Int))
+                    .collect(),
+            );
+            let hf =
+                HeapFile::load(disk.clone(), schema, data.iter().map(|r| tup(r))).unwrap();
+            c.register(*name, hf);
+        }
+        c
+    }
+
+    #[test]
+    fn select_filters() {
+        let c = catalog_with(&[("r", vec![vec![1, 1], vec![2, 4], vec![3, 9]])]);
+        let e = Expr::relation("r").select(Predicate::col_cmp(0, CmpOp::Ge, 2));
+        assert_eq!(exact_count(&e, &c).unwrap(), 2);
+    }
+
+    #[test]
+    fn project_deduplicates() {
+        let c = catalog_with(&[("r", vec![vec![1, 10], vec![2, 10], vec![3, 20]])]);
+        let e = Expr::relation("r").project(vec![1]);
+        let out = eval(&e, &c).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tup(&[10])));
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let c = catalog_with(&[
+            ("r", vec![vec![1, 100], vec![2, 200]]),
+            ("s", vec![vec![1, -1], vec![1, -2], vec![3, -3]]),
+        ]);
+        let e = Expr::relation("r").join(Expr::relation("s"), vec![(0, 0)]);
+        let out = eval(&e, &c).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tup(&[1, 100, 1, -1])));
+        assert!(out.contains(&tup(&[1, 100, 1, -2])));
+    }
+
+    #[test]
+    fn set_operations() {
+        let c = catalog_with(&[
+            ("a", vec![vec![1], vec![2], vec![3]]),
+            ("b", vec![vec![2], vec![3], vec![4]]),
+        ]);
+        let a = Expr::relation("a");
+        let b = Expr::relation("b");
+        assert_eq!(exact_count(&a.clone().union(b.clone()), &c).unwrap(), 4);
+        assert_eq!(exact_count(&a.clone().difference(b.clone()), &c).unwrap(), 1);
+        assert_eq!(exact_count(&a.intersect(b), &c).unwrap(), 2);
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let c = catalog_with(&[
+            ("r", vec![vec![1, 2], vec![1, 3]]),
+            ("s", vec![vec![1, 2], vec![1, 9]]),
+        ]);
+        let e = Expr::relation("r").join(Expr::relation("s"), vec![(0, 0), (1, 1)]);
+        assert_eq!(exact_count(&e, &c).unwrap(), 1);
+    }
+
+    #[test]
+    fn nested_expression() {
+        let c = catalog_with(&[
+            ("a", vec![vec![1], vec![2], vec![3], vec![4]]),
+            ("b", vec![vec![3], vec![4], vec![5]]),
+        ]);
+        // (a − b) ∪ (a ∩ b) = a
+        let e = Expr::relation("a")
+            .difference(Expr::relation("b"))
+            .union(Expr::relation("a").intersect(Expr::relation("b")));
+        assert_eq!(exact_count(&e, &c).unwrap(), 4);
+    }
+
+    #[test]
+    fn eval_validates_first() {
+        let c = catalog_with(&[("a", vec![vec![1]])]);
+        let e = Expr::relation("a").project(vec![7]);
+        assert!(eval(&e, &c).is_err());
+    }
+}

@@ -1,0 +1,520 @@
+//! Prestored selectivity statistics: equi-depth histograms.
+//!
+//! Section 3.1 of the paper contrasts its run-time estimation
+//! approach with "prestored selectivities [PSCo 84, Rowe 85,
+//! MuDe 88]" — statistics "obtained by pre-evaluating the query with
+//! input relations. This approach is simple and may have a very good
+//! performance. However, an extra effort is needed to maintain the
+//! set of stored selectivities when there are changes to the
+//! database... This approach is best suited for database environments
+//! where only a fixed set of query types are to be issued."
+//!
+//! This module implements that alternative so it can be compared
+//! against run-time estimation (see the `abl_prestored` experiment):
+//! one [`EquiDepthHistogram`] per column (Muralikrishna & DeWitt's
+//! SIGMOD 1988 one-dimensional building block), combined under the
+//! classic attribute-independence assumption for conjunctions and
+//! the `1/max(d₁,d₂)` rule for equi-joins.
+
+use eram_storage::{HeapFile, Tuple, Value};
+
+use crate::expr::{Expr, ExprError};
+use crate::predicate::{CmpOp, Operand, Predicate};
+
+/// An equi-depth (equi-height) histogram over one column.
+///
+/// `k` buckets each holding ≈ `n/k` values; bucket boundaries are the
+/// sampled quantiles. Range selectivities interpolate linearly within
+/// a bucket; equality selectivities use the per-bucket distinct
+/// estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiDepthHistogram {
+    /// Bucket upper bounds (inclusive), ascending; `bounds.len()` =
+    /// number of buckets.
+    bounds: Vec<Value>,
+    /// Lower bound of the first bucket (the column minimum).
+    min: Value,
+    /// Values per bucket.
+    depth: f64,
+    /// Total values (rows).
+    n: f64,
+    /// Distinct values per bucket (for equality selectivity).
+    distinct_per_bucket: Vec<f64>,
+}
+
+impl EquiDepthHistogram {
+    /// Builds a `buckets`-bucket histogram from a column's values.
+    /// Returns `None` for an empty column.
+    ///
+    /// # Panics
+    /// Panics if `buckets` is zero.
+    pub fn build(mut values: Vec<Value>, buckets: usize) -> Option<Self> {
+        assert!(buckets > 0, "need at least one bucket");
+        if values.is_empty() {
+            return None;
+        }
+        values.sort();
+        let n = values.len();
+        let buckets = buckets.min(n);
+        let depth = n as f64 / buckets as f64;
+        let mut bounds = Vec::with_capacity(buckets);
+        let mut distinct_per_bucket = Vec::with_capacity(buckets);
+        let mut start = 0usize;
+        for b in 0..buckets {
+            let end = (((b + 1) as f64 * depth).round() as usize).clamp(start + 1, n);
+            let slice = &values[start..end];
+            let mut distinct = 1.0;
+            for w in slice.windows(2) {
+                if w[0] != w[1] {
+                    distinct += 1.0;
+                }
+            }
+            bounds.push(slice[slice.len() - 1].clone());
+            distinct_per_bucket.push(distinct);
+            start = end;
+        }
+        Some(EquiDepthHistogram {
+            min: values[0].clone(),
+            bounds,
+            depth,
+            n: n as f64,
+            distinct_per_bucket,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Total distinct-value estimate for the column.
+    pub fn distinct(&self) -> f64 {
+        self.distinct_per_bucket.iter().sum()
+    }
+
+    /// Estimated fraction of rows with `column op constant`.
+    pub fn selectivity(&self, op: CmpOp, constant: &Value) -> f64 {
+        match op {
+            CmpOp::Eq => self.eq_fraction(constant),
+            CmpOp::Ne => 1.0 - self.eq_fraction(constant),
+            CmpOp::Lt => self.less_fraction(constant, false),
+            CmpOp::Le => self.less_fraction(constant, true),
+            CmpOp::Gt => 1.0 - self.less_fraction(constant, true),
+            CmpOp::Ge => 1.0 - self.less_fraction(constant, false),
+        }
+        .clamp(0.0, 1.0)
+    }
+
+    /// Fraction of rows equal to `v`. A frequent value spans several
+    /// buckets whose upper bounds all equal `v`; each contributes its
+    /// full depth (they hold nothing else), while the bucket `v`
+    /// falls strictly inside contributes `depth/distinct`.
+    fn eq_fraction(&self, v: &Value) -> f64 {
+        if *v < self.min || *v > self.bounds[self.bounds.len() - 1] {
+            return 0.0;
+        }
+        let first = self.bounds.partition_point(|bound| bound < v);
+        let last = self.bounds.partition_point(|bound| bound <= v);
+        let mut rows = 0.0;
+        if first == last {
+            // v lies strictly inside bucket `first`.
+            let b = first.min(self.bounds.len() - 1);
+            rows += self.depth / self.distinct_per_bucket[b].max(1.0);
+        } else {
+            for b in first..last {
+                rows += self.depth / self.distinct_per_bucket[b].max(1.0);
+            }
+            // v may continue into the lower part of the next bucket.
+            if last < self.bounds.len() && self.distinct_per_bucket[last] > 1.0 {
+                rows += self.depth / self.distinct_per_bucket[last];
+            }
+        }
+        rows / self.n
+    }
+
+    /// Fraction of rows `< v` (or `≤ v` with `inclusive`), with
+    /// linear interpolation inside the containing bucket for numeric
+    /// columns. Buckets whose upper bound is below `v` contribute
+    /// their full depth; a degenerate (single-value) bucket with
+    /// `value ≥ v` contributes nothing strictly below `v`.
+    fn less_fraction(&self, v: &Value, inclusive: bool) -> f64 {
+        if *v < self.min {
+            return 0.0;
+        }
+        let last = &self.bounds[self.bounds.len() - 1];
+        let lt = if v > last {
+            1.0
+        } else {
+            let first = self.bounds.partition_point(|bound| bound < v);
+            let full = first as f64 * self.depth / self.n;
+            let within = if first < self.bounds.len() {
+                let lo = if first == 0 {
+                    &self.min
+                } else {
+                    &self.bounds[first - 1]
+                };
+                let hi = &self.bounds[first];
+                match (numeric(lo), numeric(hi), numeric(v)) {
+                    (Some(lo), Some(hi), Some(v)) if hi > lo => {
+                        ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+                    }
+                    // Degenerate or non-numeric bucket: every row in
+                    // it equals its bound, which is ≥ v.
+                    _ => 0.0,
+                }
+            } else {
+                0.0
+            };
+            (full + within * self.depth / self.n).min(1.0)
+        };
+        if inclusive {
+            (lt + self.eq_fraction(v)).min(1.0)
+        } else {
+            lt
+        }
+    }
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(x) => Some(*x as f64),
+        Value::Float(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// Prestored statistics for one relation: a histogram per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    columns: Vec<Option<EquiDepthHistogram>>,
+    n_tuples: f64,
+}
+
+impl TableStats {
+    /// Scans a stored relation (uncharged — statistics are built at
+    /// load time, outside any quota) and builds per-column
+    /// histograms.
+    pub fn build(file: &HeapFile, buckets: usize) -> Result<TableStats, ExprError> {
+        let tuples: Vec<Tuple> = file
+            .scan_uncharged()
+            .map_err(|e| ExprError::IncompatibleSchemas(e.to_string()))?;
+        let arity = file.schema().arity();
+        let mut columns = Vec::with_capacity(arity);
+        for c in 0..arity {
+            let values: Vec<Value> = tuples.iter().map(|t| t.value(c).clone()).collect();
+            columns.push(EquiDepthHistogram::build(values, buckets));
+        }
+        Ok(TableStats {
+            columns,
+            n_tuples: tuples.len() as f64,
+        })
+    }
+
+    /// The histogram of column `c`, if the column was non-empty.
+    pub fn column(&self, c: usize) -> Option<&EquiDepthHistogram> {
+        self.columns.get(c).and_then(Option::as_ref)
+    }
+
+    /// Rows in the relation.
+    pub fn n_tuples(&self) -> f64 {
+        self.n_tuples
+    }
+
+    /// Estimated selectivity of a predicate over this relation's
+    /// tuples, combining atoms under the independence assumption
+    /// (`and` multiplies, `or` adds with the inclusion–exclusion
+    /// correction, `not` complements).
+    pub fn predicate_selectivity(&self, pred: &Predicate) -> f64 {
+        match pred {
+            Predicate::True => 1.0,
+            Predicate::False => 0.0,
+            Predicate::And(a, b) => {
+                self.predicate_selectivity(a) * self.predicate_selectivity(b)
+            }
+            Predicate::Or(a, b) => {
+                let sa = self.predicate_selectivity(a);
+                let sb = self.predicate_selectivity(b);
+                (sa + sb - sa * sb).clamp(0.0, 1.0)
+            }
+            Predicate::Not(a) => 1.0 - self.predicate_selectivity(a),
+            Predicate::Compare { left, op, right } => match (left, right) {
+                (Operand::Column(c), Operand::Const(v)) => self
+                    .column(*c)
+                    .map_or(0.5, |h| h.selectivity(*op, v)),
+                (Operand::Const(v), Operand::Column(c)) => self
+                    .column(*c)
+                    .map_or(0.5, |h| h.selectivity(flip(*op), v)),
+                // Column-to-column or constant-to-constant: fall back
+                // to the textbook guesses.
+                (Operand::Column(_), Operand::Column(_)) => match op {
+                    CmpOp::Eq => 0.1,
+                    CmpOp::Ne => 0.9,
+                    _ => 0.3,
+                },
+                (Operand::Const(a), Operand::Const(b)) => {
+                    if op.eval_consts(a, b) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            },
+        }
+    }
+
+    /// Classic equi-join selectivity between column `lc` here and
+    /// column `rc` of `right`: `1 / max(d_l, d_r)` per key pair.
+    pub fn join_selectivity(&self, lc: usize, right: &TableStats, rc: usize) -> f64 {
+        let dl = self.column(lc).map_or(1.0, EquiDepthHistogram::distinct);
+        let dr = right.column(rc).map_or(1.0, EquiDepthHistogram::distinct);
+        1.0 / dl.max(dr).max(1.0)
+    }
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on two constants.
+    fn eval_consts(self, a: &Value, b: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        let ord = a.cmp(b);
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+/// A catalog of prestored statistics, keyed by relation name.
+#[derive(Debug, Clone, Default)]
+pub struct StatsCatalog {
+    stats: std::collections::BTreeMap<String, TableStats>,
+}
+
+impl StatsCatalog {
+    /// Creates an empty stats catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores statistics for a relation.
+    pub fn insert(&mut self, name: impl Into<String>, stats: TableStats) {
+        self.stats.insert(name.into(), stats);
+    }
+
+    /// Statistics for a relation, if present.
+    pub fn get(&self, name: &str) -> Option<&TableStats> {
+        self.stats.get(name)
+    }
+
+    /// Estimated output-fraction ("selectivity" in the paper's sense:
+    /// output tuples over input point-space points) of the top
+    /// operator of `expr`, when the operands are base relations with
+    /// stored statistics. Returns `None` when statistics are missing
+    /// or the operand structure is beyond what the prestored approach
+    /// covers — exactly the flexibility gap the paper's run-time
+    /// approach was invented for.
+    pub fn top_operator_selectivity(&self, expr: &Expr) -> Option<f64> {
+        match expr {
+            Expr::Select { input, predicate } => {
+                let stats = self.base_stats(input)?;
+                Some(stats.predicate_selectivity(predicate))
+            }
+            Expr::Join { left, right, on } => {
+                let ls = self.base_stats(left)?;
+                let rs = self.base_stats(right)?;
+                let mut sel = 1.0;
+                for &(lc, rc) in on {
+                    sel *= ls.join_selectivity(lc, rs, rc);
+                }
+                Some(sel)
+            }
+            Expr::Project { input, columns } => {
+                let stats = self.base_stats(input)?;
+                // Distinct groups over input tuples, independence
+                // across projected columns, capped by row count.
+                let mut groups = 1.0;
+                for &c in columns {
+                    groups *= stats.column(c).map_or(1.0, EquiDepthHistogram::distinct);
+                }
+                Some((groups.min(stats.n_tuples()) / stats.n_tuples().max(1.0)).min(1.0))
+            }
+            Expr::Intersect { left, right } => {
+                let ls = self.base_stats(left)?;
+                let rs = self.base_stats(right)?;
+                // Whole-tuple equality: at best one match per tuple
+                // pair with the same leading value; approximate with
+                // the classic 1/max rule on the full row count.
+                Some(1.0 / ls.n_tuples().max(rs.n_tuples()).max(1.0))
+            }
+            _ => None,
+        }
+    }
+
+    fn base_stats(&self, expr: &Expr) -> Option<&TableStats> {
+        match expr {
+            Expr::Relation(name) => self.get(name),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eram_storage::{ColumnType, DeviceProfile, Disk, Schema, SimClock};
+    use std::sync::Arc;
+
+    fn hist_of(values: Vec<i64>, buckets: usize) -> EquiDepthHistogram {
+        EquiDepthHistogram::build(values.into_iter().map(Value::Int).collect(), buckets)
+            .expect("non-empty")
+    }
+
+    #[test]
+    fn uniform_range_selectivity_is_linear() {
+        let h = hist_of((0..1000).collect(), 20);
+        for &(k, expected) in &[(100i64, 0.1), (500, 0.5), (900, 0.9)] {
+            let s = h.selectivity(CmpOp::Lt, &Value::Int(k));
+            assert!(
+                (s - expected).abs() < 0.03,
+                "P(x < {k}) = {s}, want ≈ {expected}"
+            );
+        }
+        assert_eq!(h.selectivity(CmpOp::Lt, &Value::Int(-5)), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Le, &Value::Int(999)), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Ge, &Value::Int(0)), 1.0);
+    }
+
+    #[test]
+    fn equality_selectivity_uses_distincts() {
+        // 1000 rows over 100 distinct values (10 copies each).
+        let h = hist_of((0..1000).map(|i| i % 100).collect(), 10);
+        let s = h.selectivity(CmpOp::Eq, &Value::Int(42));
+        assert!((s - 0.01).abs() < 0.005, "P(x = 42) = {s}, want ≈ 0.01");
+        assert_eq!(h.selectivity(CmpOp::Eq, &Value::Int(5_000)), 0.0);
+        assert!((h.distinct() - 100.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn skewed_data_still_sums_to_one() {
+        // Heavy skew: half the rows are 0.
+        let mut vals: Vec<i64> = vec![0; 500];
+        vals.extend(0..500);
+        let h = hist_of(vals, 20);
+        let lt = h.selectivity(CmpOp::Lt, &Value::Int(10));
+        let ge = h.selectivity(CmpOp::Ge, &Value::Int(10));
+        assert!((lt + ge - 1.0).abs() < 1e-9);
+        assert!(lt > 0.5, "half the mass sits at 0: {lt}");
+    }
+
+    #[test]
+    fn empty_column_gives_no_histogram() {
+        assert!(EquiDepthHistogram::build(vec![], 8).is_none());
+    }
+
+    #[test]
+    fn table_stats_and_predicates() {
+        let disk = Disk::new(
+            Arc::new(SimClock::new()),
+            DeviceProfile::sun_3_60().without_jitter(),
+            0,
+        );
+        let schema = Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)]);
+        let hf = HeapFile::load(
+            disk,
+            schema,
+            (0..1000).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 4)])),
+        )
+        .unwrap();
+        let stats = TableStats::build(&hf, 16).unwrap();
+        assert_eq!(stats.n_tuples(), 1000.0);
+
+        let p = Predicate::col_cmp(0, CmpOp::Lt, 250).and(Predicate::col_cmp(1, CmpOp::Eq, 0));
+        let s = stats.predicate_selectivity(&p);
+        // Independence: 0.25 × 0.25 ≈ 0.0625.
+        assert!((s - 0.0625).abs() < 0.02, "sel = {s}");
+
+        let q = Predicate::col_cmp(0, CmpOp::Lt, 100).or(Predicate::col_cmp(0, CmpOp::Ge, 900));
+        let s = stats.predicate_selectivity(&q);
+        assert!((s - 0.19).abs() < 0.04, "or-sel = {s}"); // PIE: .1+.1−.01
+
+        assert_eq!(stats.predicate_selectivity(&Predicate::True), 1.0);
+        assert_eq!(stats.predicate_selectivity(&Predicate::False), 0.0);
+    }
+
+    #[test]
+    fn stats_catalog_top_operator_estimates() {
+        let disk = Disk::new(
+            Arc::new(SimClock::new()),
+            DeviceProfile::sun_3_60().without_jitter(),
+            1,
+        );
+        let schema = Schema::new(vec![("k", ColumnType::Int), ("g", ColumnType::Int)]);
+        let load = |disk: &Arc<Disk>, modulo: i64| {
+            HeapFile::load(
+                disk.clone(),
+                schema.clone(),
+                (0..1000).map(|i| Tuple::new(vec![Value::Int(i % modulo), Value::Int(i)])),
+            )
+            .unwrap()
+        };
+        let mut cat = StatsCatalog::new();
+        cat.insert("r", TableStats::build(&load(&disk, 100), 16).unwrap());
+        cat.insert("s", TableStats::build(&load(&disk, 200), 16).unwrap());
+
+        // Join on key columns with 100 and 200 distincts → 1/200.
+        let join = Expr::relation("r").join(Expr::relation("s"), vec![(0, 0)]);
+        let sel = cat.top_operator_selectivity(&join).unwrap();
+        assert!((sel - 1.0 / 200.0).abs() < 2e-3, "join sel = {sel}");
+
+        // Select with a quarter-range predicate.
+        let select = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 250));
+        let sel = cat.top_operator_selectivity(&select).unwrap();
+        assert!((sel - 0.25).abs() < 0.03);
+
+        // Projection onto the key column: ~100 groups / 1000 rows.
+        let project = Expr::relation("r").project(vec![0]);
+        let sel = cat.top_operator_selectivity(&project).unwrap();
+        assert!((sel - 0.1).abs() < 0.03, "project sel = {sel}");
+
+        // Missing statistics → None (the prestored approach's gap).
+        assert!(cat
+            .top_operator_selectivity(&Expr::relation("unknown").project(vec![0]))
+            .is_none());
+        // Non-base operands → None.
+        let nested = Expr::relation("r")
+            .select(Predicate::True)
+            .join(Expr::relation("s"), vec![(0, 0)]);
+        assert!(cat.top_operator_selectivity(&nested).is_none());
+    }
+
+    #[test]
+    fn flip_preserves_meaning() {
+        // const < col ⇔ col > const.
+        let h = hist_of((0..100).collect(), 10);
+        let mut stats = TableStats {
+            columns: vec![Some(h)],
+            n_tuples: 100.0,
+        };
+        let a = stats.predicate_selectivity(&Predicate::Compare {
+            left: Operand::Const(Value::Int(30)),
+            op: CmpOp::Lt,
+            right: Operand::Column(0),
+        });
+        let b = stats.predicate_selectivity(&Predicate::col_cmp(0, CmpOp::Gt, 30));
+        assert!((a - b).abs() < 1e-12);
+        stats.n_tuples = 100.0;
+    }
+}

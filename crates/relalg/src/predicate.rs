@@ -1,0 +1,264 @@
+//! Selection formulas.
+//!
+//! The paper's selection operator evaluates "the qualification F" per
+//! tuple; its cost formula charges `c₁` per tuple for "reading a tuple
+//! from the disk and checking a tuple for the satisfaction of the
+//! selection formula", with the coefficient depending on, among other
+//! things, the number of "comparisons in selection formulas". The
+//! experiments use formulas with one or two integer comparisons.
+//! [`Predicate::num_comparisons`] exposes exactly that parameter.
+
+use serde::{Deserialize, Serialize};
+
+use eram_storage::{Schema, Tuple, Value};
+
+use crate::expr::ExprError;
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A column of the input tuple, by index.
+    Column(usize),
+    /// A constant.
+    Const(Value),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// A selection formula.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true (selects every tuple).
+    True,
+    /// Always false (selects no tuple; used to produce the paper's
+    /// "zero output tuples" selection workload).
+    False,
+    /// `left op right`.
+    Compare {
+        /// Left operand.
+        left: Operand,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Operand,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column op constant` — the paper's typical atom.
+    pub fn col_cmp(column: usize, op: CmpOp, constant: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            left: Operand::Column(column),
+            op,
+            right: Operand::Const(constant.into()),
+        }
+    }
+
+    /// `column op column`.
+    pub fn col_col(left: usize, op: CmpOp, right: usize) -> Self {
+        Predicate::Compare {
+            left: Operand::Column(left),
+            op,
+            right: Operand::Column(right),
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Number of comparison atoms — the cost-formula parameter the
+    /// paper calls "comparisons in selection formulas".
+    pub fn num_comparisons(&self) -> u64 {
+        match self {
+            Predicate::True | Predicate::False => 0,
+            Predicate::Compare { .. } => 1,
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.num_comparisons() + b.num_comparisons()
+            }
+            Predicate::Not(a) => a.num_comparisons(),
+        }
+    }
+
+    /// Checks that every column reference is valid for `schema`.
+    pub fn validate(&self, schema: &Schema) -> Result<(), ExprError> {
+        match self {
+            Predicate::True | Predicate::False => Ok(()),
+            Predicate::Compare { left, right, .. } => {
+                for operand in [left, right] {
+                    if let Operand::Column(i) = operand {
+                        if *i >= schema.arity() {
+                            return Err(ExprError::ColumnOutOfRange {
+                                column: *i,
+                                arity: schema.arity(),
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.validate(schema)?;
+                b.validate(schema)
+            }
+            Predicate::Not(a) => a.validate(schema),
+        }
+    }
+
+    /// Evaluates the formula against a tuple.
+    ///
+    /// # Panics
+    /// Panics if a column index is out of range (call
+    /// [`Predicate::validate`] first).
+    pub fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::Compare { left, op, right } => {
+                let l = match left {
+                    Operand::Column(i) => t.value(*i),
+                    Operand::Const(v) => v,
+                };
+                let r = match right {
+                    Operand::Column(i) => t.value(*i),
+                    Operand::Const(v) => v,
+                };
+                op.apply(l.cmp(r))
+            }
+            Predicate::And(a, b) => a.eval(t) && b.eval(t),
+            Predicate::Or(a, b) => a.eval(t) || b.eval(t),
+            Predicate::Not(a) => !a.eval(t),
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::False => write!(f, "false"),
+            Predicate::Compare { left, op, right } => {
+                let sym = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "!=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                let fmt_operand = |f: &mut std::fmt::Formatter<'_>, o: &Operand| match o {
+                    Operand::Column(i) => write!(f, "#{i}"),
+                    Operand::Const(v) => write!(f, "{v}"),
+                };
+                fmt_operand(f, left)?;
+                write!(f, " {sym} ")?;
+                fmt_operand(f, right)
+            }
+            Predicate::And(a, b) => write!(f, "({a} and {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} or {b})"),
+            Predicate::Not(a) => write!(f, "not ({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eram_storage::ColumnType;
+
+    fn t(values: Vec<i64>) -> Tuple {
+        Tuple::new(values.into_iter().map(Value::Int).collect())
+    }
+
+    #[test]
+    fn comparisons_evaluate_correctly() {
+        let row = t(vec![5, 10]);
+        assert!(Predicate::col_cmp(0, CmpOp::Eq, 5).eval(&row));
+        assert!(Predicate::col_cmp(0, CmpOp::Lt, 6).eval(&row));
+        assert!(Predicate::col_cmp(1, CmpOp::Ge, 10).eval(&row));
+        assert!(!Predicate::col_cmp(1, CmpOp::Ne, 10).eval(&row));
+        assert!(Predicate::col_col(0, CmpOp::Lt, 1).eval(&row));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let row = t(vec![5]);
+        let p = Predicate::col_cmp(0, CmpOp::Gt, 0).and(Predicate::col_cmp(0, CmpOp::Lt, 10));
+        assert!(p.eval(&row));
+        let q = Predicate::col_cmp(0, CmpOp::Gt, 7).or(Predicate::col_cmp(0, CmpOp::Lt, 7));
+        assert!(q.eval(&row));
+        assert!(!q.clone().not().eval(&row));
+        assert!(Predicate::True.eval(&row));
+        assert!(!Predicate::False.eval(&row));
+    }
+
+    #[test]
+    fn comparison_count_matches_structure() {
+        let p = Predicate::col_cmp(0, CmpOp::Gt, 1)
+            .and(Predicate::col_cmp(0, CmpOp::Lt, 9).or(Predicate::True))
+            .not();
+        assert_eq!(p.num_comparisons(), 2);
+        assert_eq!(Predicate::False.num_comparisons(), 0);
+    }
+
+    #[test]
+    fn validate_catches_bad_columns() {
+        let schema = Schema::new(vec![("a", ColumnType::Int)]);
+        assert!(Predicate::col_cmp(0, CmpOp::Eq, 1).validate(&schema).is_ok());
+        assert!(Predicate::col_cmp(1, CmpOp::Eq, 1).validate(&schema).is_err());
+        assert!(Predicate::col_col(0, CmpOp::Lt, 3).validate(&schema).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Predicate::col_cmp(0, CmpOp::Le, 3).and(Predicate::col_col(1, CmpOp::Eq, 2));
+        assert_eq!(p.to_string(), "(#0 <= 3 and #1 = #2)");
+    }
+}

@@ -1,0 +1,219 @@
+//! A block-granular LRU buffer cache.
+//!
+//! The paper's prototype reads every block from disk ("all the input
+//! relations and all the intermediate relations are always kept on
+//! disks"), so the cache is **off by default** and the Section 5
+//! experiments run without it. It exists because the full-fulfillment
+//! plan re-reads every previous stage's runs at every stage — with a
+//! buffer pool those re-reads become cheap, which is a meaningful
+//! middle ground between the paper's disk-resident and main-memory
+//! designs. Enable it with [`crate::Disk::new_cached`].
+//!
+//! The implementation is the classic hash-map + recency-queue LRU:
+//! O(1) amortized lookups, stale queue entries skipped lazily at
+//! eviction time.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::block::Block;
+
+/// Key of a cached block.
+type Key = (u64, u64); // (file, index)
+
+/// A fixed-capacity LRU cache of blocks.
+#[derive(Debug)]
+pub struct BlockCache {
+    capacity: usize,
+    entries: HashMap<Key, (Block, u64)>,
+    recency: VecDeque<(Key, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BlockCache {
+    /// Creates a cache holding up to `capacity` blocks.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (use no cache instead).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        BlockCache {
+            capacity,
+            entries: HashMap::with_capacity(capacity + 1),
+            recency: VecDeque::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Maximum blocks held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocks currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn touch(&mut self, key: Key) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, t)) = self.entries.get_mut(&key) {
+            *t = tick;
+        }
+        self.recency.push_back((key, tick));
+        // Bound the queue against pathological re-touch storms.
+        if self.recency.len() > 8 * self.capacity {
+            self.compact();
+        }
+    }
+
+    fn compact(&mut self) {
+        let entries = &self.entries;
+        self.recency
+            .retain(|(k, t)| entries.get(k).is_some_and(|(_, cur)| cur == t));
+    }
+
+    fn evict_if_needed(&mut self) {
+        while self.entries.len() > self.capacity {
+            match self.recency.pop_front() {
+                Some((key, tick)) => {
+                    // Only evict if this queue entry is the key's
+                    // *latest* touch; otherwise it is stale.
+                    if self
+                        .entries
+                        .get(&key)
+                        .is_some_and(|(_, cur)| *cur == tick)
+                    {
+                        self.entries.remove(&key);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Looks a block up, refreshing its recency.
+    pub fn get(&mut self, file: u64, index: u64) -> Option<Block> {
+        let key = (file, index);
+        if self.entries.contains_key(&key) {
+            self.touch(key);
+            self.hits += 1;
+            Some(self.entries[&key].0.clone())
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts (or refreshes) a block, evicting the least recently
+    /// used one if over capacity.
+    pub fn put(&mut self, file: u64, index: u64, block: Block) {
+        let key = (file, index);
+        self.tick += 1;
+        self.entries.insert(key, (block, self.tick));
+        self.recency.push_back((key, self.tick));
+        self.evict_if_needed();
+    }
+
+    /// Drops every cached block of `file` (file freed/overwritten).
+    pub fn invalidate_file(&mut self, file: u64) {
+        self.entries.retain(|(f, _), _| *f != file);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(tag: u8) -> Block {
+        let mut b = Block::zeroed(16);
+        b.bytes_mut()[0] = tag;
+        b
+    }
+
+    #[test]
+    fn hit_after_put_miss_before() {
+        let mut c = BlockCache::new(4);
+        assert!(c.get(1, 0).is_none());
+        c.put(1, 0, block(7));
+        assert_eq!(c.get(1, 0).unwrap().bytes()[0], 7);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = BlockCache::new(2);
+        c.put(0, 0, block(0));
+        c.put(0, 1, block(1));
+        // Touch block 0 so block 1 becomes the LRU.
+        assert!(c.get(0, 0).is_some());
+        c.put(0, 2, block(2));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(0, 1).is_none(), "LRU entry must be evicted");
+        assert!(c.get(0, 0).is_some());
+        assert!(c.get(0, 2).is_some());
+    }
+
+    #[test]
+    fn re_put_refreshes_value_and_recency() {
+        let mut c = BlockCache::new(2);
+        c.put(0, 0, block(1));
+        c.put(0, 1, block(2));
+        c.put(0, 0, block(9)); // refresh 0 → 1 is LRU
+        c.put(0, 2, block(3));
+        assert_eq!(c.get(0, 0).unwrap().bytes()[0], 9);
+        assert!(c.get(0, 1).is_none());
+    }
+
+    #[test]
+    fn invalidate_file_drops_only_that_file() {
+        let mut c = BlockCache::new(8);
+        c.put(1, 0, block(1));
+        c.put(2, 0, block(2));
+        c.invalidate_file(1);
+        assert!(c.get(1, 0).is_none());
+        assert!(c.get(2, 0).is_some());
+    }
+
+    #[test]
+    fn heavy_retouching_stays_bounded_and_correct() {
+        let mut c = BlockCache::new(3);
+        for i in 0..3u64 {
+            c.put(0, i, block(i as u8));
+        }
+        for _ in 0..10_000 {
+            assert!(c.get(0, 1).is_some());
+        }
+        assert!(c.recency.len() <= 8 * 3 + 1);
+        // All three still resident.
+        for i in 0..3u64 {
+            assert!(c.get(0, i).is_some(), "block {i} evicted wrongly");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = BlockCache::new(0);
+    }
+}

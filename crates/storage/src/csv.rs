@@ -1,0 +1,228 @@
+//! Minimal CSV ingestion for loading relations from files.
+//!
+//! Supports the common subset: comma separation, `"`-quoted fields
+//! with `""` escapes, an optional header row, and per-column parsing
+//! driven by a [`Schema`]. Deliberately small — this is a loading
+//! convenience for the examples and the CLI, not a general CSV
+//! library.
+
+use std::io::BufRead;
+
+use crate::error::StorageError;
+use crate::schema::{ColumnType, Schema};
+use crate::tuple::{Tuple, Value};
+use crate::Result;
+
+/// Splits one CSV record into fields (RFC-4180-style quoting).
+fn split_record(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => in_quotes = false,
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut field)),
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StorageError::Io("unterminated quoted CSV field".into()));
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+fn parse_value(text: &str, ty: ColumnType, line_no: usize) -> Result<Value> {
+    let err = |what: &str| {
+        StorageError::Io(format!("CSV line {line_no}: cannot parse {text:?} as {what}"))
+    };
+    match ty {
+        ColumnType::Int => text
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| err("integer")),
+        ColumnType::Float => text
+            .trim()
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| err("float")),
+        ColumnType::Bool => match text.trim().to_ascii_lowercase().as_str() {
+            "true" | "1" | "yes" => Ok(Value::Bool(true)),
+            "false" | "0" | "no" => Ok(Value::Bool(false)),
+            _ => Err(err("boolean")),
+        },
+        ColumnType::Str { .. } => Ok(Value::Str(text.to_owned())),
+    }
+}
+
+/// Reads CSV records conforming to `schema` from `reader`.
+///
+/// When `has_header` is set, the first non-empty line is skipped.
+/// Every record must have exactly the schema's arity; values are
+/// validated against the column types (including fixed string
+/// widths).
+pub fn read_csv<R: BufRead>(reader: R, schema: &Schema, has_header: bool) -> Result<Vec<Tuple>> {
+    let mut tuples = Vec::new();
+    let mut skipped_header = !has_header;
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if !skipped_header {
+            skipped_header = true;
+            continue;
+        }
+        let fields = split_record(&line)?;
+        if fields.len() != schema.arity() {
+            return Err(StorageError::Io(format!(
+                "CSV line {line_no}: {} fields, schema expects {}",
+                fields.len(),
+                schema.arity()
+            )));
+        }
+        let values: Result<Vec<Value>> = fields
+            .iter()
+            .zip(schema.columns())
+            .map(|(f, col)| parse_value(f, col.ty, line_no))
+            .collect();
+        let tuple = Tuple::new(values?);
+        schema.check_tuple(&tuple)?;
+        tuples.push(tuple);
+    }
+    Ok(tuples)
+}
+
+/// Parses a compact schema spec like `id:int,price:float,name:str16`
+/// (types: `int`, `float`, `bool`, `strN`), optionally padding
+/// records to `pad_to` bytes.
+pub fn parse_schema_spec(spec: &str, pad_to: Option<usize>) -> Result<Schema> {
+    let mut columns = Vec::new();
+    for part in spec.split(',') {
+        let (name, ty_text) = part
+            .split_once(':')
+            .ok_or_else(|| StorageError::Io(format!("bad column spec {part:?}")))?;
+        let name = name.trim();
+        let ty_text = ty_text.trim();
+        let ty = match ty_text {
+            "int" => ColumnType::Int,
+            "float" => ColumnType::Float,
+            "bool" => ColumnType::Bool,
+            s if s.starts_with("str") => {
+                let width: u16 = s[3..]
+                    .parse()
+                    .map_err(|_| StorageError::Io(format!("bad string width in {part:?}")))?;
+                ColumnType::Str { width }
+            }
+            _ => {
+                return Err(StorageError::Io(format!(
+                    "unknown column type {ty_text:?} (use int, float, bool, strN)"
+                )))
+            }
+        };
+        if name.is_empty() {
+            return Err(StorageError::Io(format!("empty column name in {part:?}")));
+        }
+        columns.push((name.to_owned(), ty));
+    }
+    if columns.is_empty() {
+        return Err(StorageError::Io("empty schema spec".into()));
+    }
+    let schema = Schema::new(columns);
+    Ok(match pad_to {
+        Some(n) => schema.padded_to(n),
+        None => schema,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id", ColumnType::Int),
+            ("price", ColumnType::Float),
+            ("ok", ColumnType::Bool),
+            ("name", ColumnType::Str { width: 8 }),
+        ])
+    }
+
+    #[test]
+    fn parses_plain_records() {
+        let csv = "id,price,ok,name\n1,2.5,true,ada\n2,3.0,no,bob\n";
+        let rows = read_csv(Cursor::new(csv), &schema(), true).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].value(0), &Value::Int(1));
+        assert_eq!(rows[0].value(1), &Value::Float(2.5));
+        assert_eq!(rows[1].value(2), &Value::Bool(false));
+        assert_eq!(rows[1].value(3), &Value::Str("bob".into()));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let csv = r#"7,1.0,yes,"a,b ""q"""
+"#;
+        let rows = read_csv(Cursor::new(csv), &schema(), false).unwrap();
+        assert_eq!(rows[0].value(3), &Value::Str("a,b \"q\"".into()));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = "\n1,1.0,1,x\n\n2,2.0,0,y\n";
+        let rows = read_csv(Cursor::new(csv), &schema(), false).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let csv = "1,1.0,true,x\nnope,2.0,true,y\n";
+        let err = read_csv(Cursor::new(csv), &schema(), false).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let short = "1,1.0\n";
+        let err = read_csv(Cursor::new(short), &schema(), false).unwrap_err();
+        assert!(err.to_string().contains("2 fields"), "{err}");
+
+        let unterminated = "1,1.0,true,\"oops\n";
+        assert!(read_csv(Cursor::new(unterminated), &schema(), false).is_err());
+    }
+
+    #[test]
+    fn overlong_string_rejected_by_schema() {
+        let csv = "1,1.0,true,muchtoolongname\n";
+        assert!(read_csv(Cursor::new(csv), &schema(), false).is_err());
+    }
+
+    #[test]
+    fn schema_spec_round_trip() {
+        let s = parse_schema_spec("id:int,price:float,ok:bool,name:str8", None).unwrap();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.columns()[3].ty, ColumnType::Str { width: 8 });
+        assert_eq!(s.columns()[0].name, "id");
+
+        let padded = parse_schema_spec("a:int", Some(200)).unwrap();
+        assert_eq!(padded.record_size(), 200);
+
+        assert!(parse_schema_spec("", None).is_err());
+        assert!(parse_schema_spec("a:int,b", None).is_err());
+        assert!(parse_schema_spec("a:uuid", None).is_err());
+        assert!(parse_schema_spec("a:strx", None).is_err());
+        assert!(parse_schema_spec(":int", None).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A block index was outside the file's allocated range.
+    BlockOutOfRange {
+        /// File that was accessed.
+        file: u64,
+        /// Requested block index.
+        block: u64,
+        /// Number of blocks actually allocated.
+        len: u64,
+    },
+    /// A file id did not name an allocated file.
+    UnknownFile(u64),
+    /// A tuple did not match the schema it was encoded/decoded with.
+    SchemaMismatch(String),
+    /// A tuple is too large for a block under the given schema.
+    TupleTooLarge {
+        /// Encoded tuple size in bytes.
+        tuple_size: usize,
+        /// Block capacity in bytes.
+        block_size: usize,
+    },
+    /// A string value exceeded the fixed column width.
+    StringTooLong {
+        /// Column width in bytes.
+        width: usize,
+        /// Actual string length in bytes.
+        len: usize,
+    },
+    /// Underlying file-backed store failed.
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::BlockOutOfRange { file, block, len } => write!(
+                f,
+                "block {block} out of range for file {file} ({len} blocks allocated)"
+            ),
+            StorageError::UnknownFile(id) => write!(f, "unknown file id {id}"),
+            StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            StorageError::TupleTooLarge {
+                tuple_size,
+                block_size,
+            } => write!(
+                f,
+                "tuple of {tuple_size} bytes does not fit in a {block_size}-byte block"
+            ),
+            StorageError::StringTooLong { width, len } => {
+                write!(f, "string of {len} bytes exceeds fixed column width {width}")
+            }
+            StorageError::Io(msg) => write!(f, "storage I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::BlockOutOfRange {
+            file: 3,
+            block: 9,
+            len: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("block 9"));
+        assert!(s.contains("file 3"));
+        assert!(s.contains("4 blocks"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(ref m) if m.contains("boom")));
+    }
+}

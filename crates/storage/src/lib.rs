@@ -1,0 +1,62 @@
+//! # eram-storage
+//!
+//! Block-based storage substrate for the ERAM time-constrained query
+//! engine — a Rust reproduction of the prototype DBMS from Hou,
+//! Özsoyoğlu & Taneja, *"Processing Aggregate Relational Queries with
+//! Hard Time Constraints"*, SIGMOD 1989.
+//!
+//! The paper's algorithms touch storage exclusively through **disk
+//! blocks**: a block is both the unit of I/O cost and the unit of
+//! cluster sampling ("a disk block is taken as a sample unit"). This
+//! crate provides exactly that interface:
+//!
+//! * [`Schema`] / [`Value`] / [`Tuple`] — fixed-width tuple layout
+//!   (the paper's experiments use 200-byte tuples in 1 KB blocks,
+//!   5 tuples per block);
+//! * [`Block`] — a fixed-size page of encoded tuples;
+//! * [`HeapFile`] — an unordered file of blocks holding one relation
+//!   instance or one temporary (intermediate) result;
+//! * [`Disk`] — the block store. Every block read/write and every
+//!   charged CPU step advances a [`Clock`];
+//! * [`Clock`] — *simulated* ([`SimClock`]) or *wall* ([`WallClock`])
+//!   time. The simulated clock plus a [`DeviceProfile`] cost model
+//!   reproduces the 1989 SUN 3/60 timing regime deterministically, so
+//!   the paper's 200-run experiment sweeps run in milliseconds while
+//!   preserving every time-control decision;
+//! * [`Deadline`] — a time quota measured against a clock, used by the
+//!   executor to implement hard time constraints.
+//!
+//! The crate is self-contained (no I/O beyond an optional file-backed
+//! block store) and is the bottom layer of the workspace:
+//! `storage ← relalg ← sampling ← core ← bench`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod backend;
+pub mod block;
+pub mod cache;
+pub mod clock;
+pub mod cost;
+pub mod csv;
+pub mod disk;
+pub mod error;
+pub mod heap;
+pub mod rng;
+pub mod schema;
+pub mod tuple;
+
+pub use block::{Block, BlockId, BLOCK_SIZE};
+pub use cache::BlockCache;
+pub use clock::{Clock, Deadline, SimClock, WallClock};
+pub use cost::{DeviceOp, DeviceProfile};
+pub use csv::{parse_schema_spec, read_csv};
+pub use disk::{Disk, DiskStats, FileId};
+pub use error::StorageError;
+pub use heap::HeapFile;
+pub use rng::SeedSeq;
+pub use schema::{ColumnType, Schema};
+pub use tuple::{Tuple, Value};
+
+/// Convenient crate-wide result type.
+pub type Result<T> = std::result::Result<T, StorageError>;

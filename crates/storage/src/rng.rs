@@ -1,0 +1,80 @@
+//! Deterministic seed derivation.
+//!
+//! Experiments run hundreds of independent trials ("every entry in any
+//! table has been obtained from 200 independent experiments"); each
+//! trial needs its own independent randomness — for block draws, for
+//! device jitter, for workload generation — all reproducible from one
+//! master seed. [`SeedSeq`] derives well-mixed sub-seeds by label via
+//! the splitmix64 finalizer.
+
+/// Derives independent sub-seeds from a master seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSeq {
+    master: u64,
+}
+
+impl SeedSeq {
+    /// Creates a sequence rooted at `master`.
+    pub fn new(master: u64) -> Self {
+        SeedSeq { master }
+    }
+
+    /// The master seed.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// A sub-seed for the given label. Distinct labels give
+    /// decorrelated seeds; the mapping is pure.
+    pub fn derive(&self, label: u64) -> u64 {
+        splitmix64(self.master ^ splitmix64(label.wrapping_add(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// A nested sequence rooted at `derive(label)` — e.g. one per
+    /// experiment run, from which per-component seeds are drawn.
+    pub fn child(&self, label: u64) -> SeedSeq {
+        SeedSeq::new(self.derive(label))
+    }
+}
+
+/// The splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let s = SeedSeq::new(42);
+        assert_eq!(s.derive(7), s.derive(7));
+        assert_eq!(s.child(3).derive(1), s.child(3).derive(1));
+    }
+
+    #[test]
+    fn distinct_labels_give_distinct_seeds() {
+        let s = SeedSeq::new(1);
+        let seeds: HashSet<u64> = (0..10_000).map(|i| s.derive(i)).collect();
+        assert_eq!(seeds.len(), 10_000);
+    }
+
+    #[test]
+    fn distinct_masters_decorrelate() {
+        let a = SeedSeq::new(0);
+        let b = SeedSeq::new(1);
+        let overlap = (0..1_000).filter(|&i| a.derive(i) == b.derive(i)).count();
+        assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn child_differs_from_parent_labels() {
+        let s = SeedSeq::new(5);
+        assert_ne!(s.child(0).derive(0), s.derive(0));
+    }
+}

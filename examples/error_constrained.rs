@@ -1,0 +1,65 @@
+//! Error-constrained evaluation (Section 3.2's second family of
+//! stopping criteria): "stop whenever the precision of estimation has
+//! met the user's requirement" — here, a ±5 % relative half-width at
+//! 95 % confidence, with the time quota as a backstop.
+//!
+//! ```sh
+//! cargo run --release --example error_constrained
+//! ```
+
+use std::time::Duration;
+
+use eram_core::{Database, HeuristicStrategy, StoppingCriterion};
+use eram_relalg::{CmpOp, Expr, Predicate};
+use eram_storage::{ColumnType, Schema, Tuple, Value};
+
+fn main() {
+    let mut db = Database::sim_default(3);
+    let schema = Schema::new(vec![
+        ("id", ColumnType::Int),
+        ("status", ColumnType::Int),
+    ])
+    .padded_to(200);
+    db.load_relation(
+        "events",
+        schema,
+        (0..10_000).map(|i| Tuple::new(vec![Value::Int(i), Value::Int((i * 17) % 5)])),
+    )
+    .expect("load events");
+
+    let failed = Expr::relation("events").select(Predicate::col_cmp(1, CmpOp::Eq, 0));
+    let truth = db.exact_count(&failed).expect("truth");
+
+    for (target, confidence) in [(0.20, 0.95), (0.05, 0.95), (0.02, 0.99)] {
+        let result = db
+            .count(failed.clone())
+            .within(Duration::from_secs(600)) // generous backstop
+            // Probing strategy: small stages, so the loop can stop as
+            // soon as the precision target is met instead of sizing
+            // one stage to the whole quota.
+            .strategy(HeuristicStrategy::probing(0.03, 1.25))
+            .stopping(StoppingCriterion::Combined(vec![
+                StoppingCriterion::HardDeadline,
+                StoppingCriterion::ErrorBound { target, confidence },
+            ]))
+            .seed(17)
+            .run()
+            .expect("error-constrained count");
+        let (lo, hi) = result.estimate.ci(confidence);
+        println!(
+            "target ±{:>4.0}% @{:.0}%: stopped after {:>6.1?} ({} stages, {} blocks); \
+             estimate {:>5.0} ∈ [{lo:>5.0}, {hi:>5.0}], truth {truth}",
+            100.0 * target,
+            100.0 * confidence,
+            result.report.total_elapsed,
+            result.report.completed_stages(),
+            result.report.blocks_evaluated(),
+            result.estimate.estimate,
+        );
+        assert!(
+            result.estimate.relative_half_width(confidence) <= target + 1e-9,
+            "precision contract violated"
+        );
+    }
+    println!("\nTighter targets buy more stages; the quota only backstops.");
+}

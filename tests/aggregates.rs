@@ -1,0 +1,202 @@
+//! Integration tests for SUM/AVG — the paper's `f(E)` with the COUNT
+//! restriction lifted.
+
+use std::time::Duration;
+
+use eram_core::{AggregateFn, Database, EngineError};
+use eram_relalg::{eval, CmpOp, Expr, Predicate};
+use eram_storage::{ColumnType, Schema, Tuple, Value};
+
+fn db(seed: u64) -> Database {
+    let mut db = Database::sim_default(seed);
+    for (name, stride) in [("r", 1i64), ("s", 2i64)] {
+        let schema = Schema::new(vec![
+            ("k", ColumnType::Int),
+            ("amount", ColumnType::Int),
+        ])
+        .padded_to(200);
+        db.load_relation(
+            name,
+            schema,
+            (0..10_000)
+                .map(|i| Tuple::new(vec![Value::Int(i * stride), Value::Int((i * 37) % 1_000)])),
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Exact SUM over column `col` of the expression's output.
+fn exact_sum(db: &Database, expr: &Expr, col: usize) -> f64 {
+    eval::eval(expr, db.catalog())
+        .unwrap()
+        .iter()
+        .map(|t| t.value(col).as_int().unwrap() as f64)
+        .sum()
+}
+
+#[test]
+fn sum_census_is_exact() {
+    let mut db = db(1);
+    let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 500));
+    let truth = exact_sum(&db, &expr, 1);
+    let out = db
+        .sum(expr, 1)
+        .within(Duration::from_secs(1_000_000))
+        .run()
+        .unwrap();
+    assert!(
+        (out.estimate.estimate - truth).abs() < 1e-6,
+        "{} vs {truth}",
+        out.estimate.estimate
+    );
+    assert_eq!(out.estimate.variance, 0.0);
+}
+
+#[test]
+fn sum_estimate_lands_near_truth_under_quota() {
+    let mut db = db(2);
+    let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 500));
+    let truth = exact_sum(&db, &expr, 1);
+    let out = db
+        .sum(expr, 1)
+        .within(Duration::from_secs(10))
+        .seed(4)
+        .run()
+        .unwrap();
+    let rel = (out.estimate.estimate - truth).abs() / truth;
+    assert!(rel < 0.3, "rel err {rel}: {} vs {truth}", out.estimate.estimate);
+    let (lo, hi) = out.estimate.ci(0.95);
+    assert!(lo <= hi && lo >= 0.0);
+    assert!(
+        hi.is_finite(),
+        "CI must be finite even without an N clamp"
+    );
+}
+
+#[test]
+fn sum_is_unbiased_in_ensemble() {
+    let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 500));
+    let mut total = 0.0;
+    let runs = 40;
+    let mut truth = 0.0;
+    for seed in 0..runs {
+        let mut db = db(100 + seed);
+        truth = exact_sum(&db, &expr, 1);
+        let out = db
+            .sum(expr.clone(), 1)
+            .within(Duration::from_secs(10))
+            .seed(seed)
+            .run()
+            .unwrap();
+        total += out.estimate.estimate;
+    }
+    let mean = total / runs as f64;
+    assert!(
+        (mean - truth).abs() / truth < 0.05,
+        "ensemble mean {mean} vs truth {truth}"
+    );
+}
+
+#[test]
+fn sum_over_union_uses_inclusion_exclusion() {
+    let mut db = db(3);
+    let expr = Expr::relation("r").union(Expr::relation("s"));
+    let truth = exact_sum(&db, &expr, 1);
+    let out = db
+        .sum(expr, 1)
+        .within(Duration::from_secs(1_000_000))
+        .run()
+        .unwrap();
+    assert!(
+        (out.estimate.estimate - truth).abs() < 1e-6,
+        "{} vs {truth}",
+        out.estimate.estimate
+    );
+}
+
+#[test]
+fn avg_census_is_exact() {
+    let mut db = db(4);
+    let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Ge, 900));
+    let sum = exact_sum(&db, &expr, 1);
+    let count = db.exact_count(&expr).unwrap() as f64;
+    let out = db
+        .avg(expr, 1)
+        .within(Duration::from_secs(1_000_000))
+        .run()
+        .unwrap();
+    assert!(
+        (out.estimate.estimate - sum / count).abs() < 1e-9,
+        "{} vs {}",
+        out.estimate.estimate,
+        sum / count
+    );
+}
+
+#[test]
+fn avg_estimate_under_quota_is_close() {
+    let mut db = db(5);
+    let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 800));
+    let sum = exact_sum(&db, &expr, 1);
+    let count = db.exact_count(&expr).unwrap() as f64;
+    let truth = sum / count;
+    let out = db
+        .avg(expr, 1)
+        .within(Duration::from_secs(8))
+        .seed(11)
+        .run()
+        .unwrap();
+    let rel = (out.estimate.estimate - truth).abs() / truth;
+    assert!(rel < 0.15, "avg rel err {rel}");
+}
+
+#[test]
+fn avg_rejects_union_difference() {
+    let mut db = db(6);
+    let expr = Expr::relation("r").union(Expr::relation("s"));
+    let err = db
+        .avg(expr, 1)
+        .within(Duration::from_secs(1))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, EngineError::UnsupportedAggregate(_)));
+}
+
+#[test]
+fn sum_rejects_projection_root_and_bad_columns() {
+    let mut db = db(7);
+    let err = db
+        .sum(Expr::relation("r").project(vec![1]), 0)
+        .within(Duration::from_secs(1))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, EngineError::UnsupportedAggregate(_)));
+
+    let err = db
+        .sum(Expr::relation("r"), 9)
+        .within(Duration::from_secs(1))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Expr(_)));
+}
+
+#[test]
+fn aggregate_fn_default_is_count() {
+    assert_eq!(AggregateFn::default(), AggregateFn::Count);
+    // Fresh databases so the device jitter streams match too.
+    let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 10));
+    let via_count = db(8)
+        .count(expr.clone())
+        .within(Duration::from_secs(5))
+        .seed(1)
+        .run()
+        .unwrap();
+    let via_aggregate = db(8)
+        .aggregate(AggregateFn::Count, expr)
+        .within(Duration::from_secs(5))
+        .seed(1)
+        .run()
+        .unwrap();
+    assert_eq!(via_count.estimate, via_aggregate.estimate);
+}

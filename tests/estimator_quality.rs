@@ -1,0 +1,120 @@
+//! Statistical quality of the delivered estimates: near-unbiasedness
+//! and confidence-interval coverage over seed ensembles, through the
+//! whole engine (not just the estimator math, which eram-sampling
+//! unit-tests).
+
+use std::time::Duration;
+
+use eram_bench::{Workload, WorkloadKind};
+
+struct Ensemble {
+    mean: f64,
+    coverage: f64,
+}
+
+fn run_ensemble(kind: WorkloadKind, quota: Duration, runs: u64, confidence: f64) -> Ensemble {
+    let mut sum = 0.0;
+    let mut covered = 0u64;
+    let mut truth = 0.0;
+    for seed in 0..runs {
+        let mut w = Workload::build(kind, 9_000 + seed);
+        truth = w.truth as f64;
+        let out = w
+            .db
+            .count(w.expr.clone())
+            .within(quota)
+            .seed(seed)
+            .run()
+            .unwrap();
+        sum += out.estimate.estimate;
+        let (lo, hi) = out.estimate.ci(confidence);
+        if lo <= truth && truth <= hi {
+            covered += 1;
+        }
+    }
+    Ensemble {
+        mean: sum / runs as f64 / truth.max(1.0),
+        coverage: covered as f64 / runs as f64,
+    }
+}
+
+#[test]
+fn select_estimates_are_nearly_unbiased() {
+    let e = run_ensemble(
+        WorkloadKind::Select {
+            output_tuples: 5_000,
+        },
+        Duration::from_secs(10),
+        60,
+        0.95,
+    );
+    assert!(
+        (e.mean - 1.0).abs() < 0.05,
+        "ensemble mean/truth = {}, want ≈ 1",
+        e.mean
+    );
+    assert!(
+        e.coverage >= 0.85,
+        "95% CI coverage through the engine = {}",
+        e.coverage
+    );
+}
+
+#[test]
+fn join_estimates_have_right_magnitude() {
+    let e = run_ensemble(
+        WorkloadKind::Join {
+            output_tuples: 70_000,
+        },
+        Duration::from_secs(10),
+        40,
+        0.95,
+    );
+    // Join sampling at this scale is noisy; demand the right order of
+    // magnitude on the ensemble mean and non-trivial coverage.
+    assert!(
+        e.mean > 0.5 && e.mean < 2.0,
+        "ensemble mean/truth = {}",
+        e.mean
+    );
+    assert!(e.coverage >= 0.6, "coverage = {}", e.coverage);
+}
+
+#[test]
+fn intersect_estimates_improve_with_quota() {
+    let short = run_ensemble(
+        WorkloadKind::Intersect { overlap: 5_000 },
+        Duration::from_secs_f64(2.5),
+        30,
+        0.95,
+    );
+    let long = run_ensemble(
+        WorkloadKind::Intersect { overlap: 5_000 },
+        Duration::from_secs(30),
+        30,
+        0.95,
+    );
+    // More quota → more space blocks → ensemble mean closer to truth.
+    let short_err = (short.mean - 1.0).abs();
+    let long_err = (long.mean - 1.0).abs();
+    assert!(
+        long_err <= short_err + 0.05,
+        "accuracy should not degrade with quota: {short_err} → {long_err}"
+    );
+    assert!(long_err < 0.35, "30 s intersect mean/truth = {}", long.mean);
+}
+
+#[test]
+fn zero_output_selection_estimates_zero() {
+    for seed in 0..10u64 {
+        let mut w = Workload::build(WorkloadKind::Select { output_tuples: 0 }, seed);
+        let out = w
+            .db
+            .count(w.expr.clone())
+            .within(Duration::from_secs(10))
+            .seed(seed)
+            .run()
+            .unwrap();
+        assert_eq!(out.estimate.estimate, 0.0, "seed {seed}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Failure injection and degenerate inputs: the engine must degrade
+//! gracefully, never panic, and keep its reports consistent.
+
+use std::time::Duration;
+
+use eram_core::{Database, EngineError, OneAtATimeInterval, QueryConfig, StoppingCriterion};
+use eram_relalg::{CmpOp, Expr, ExprError, Predicate};
+use eram_storage::{ColumnType, Schema, Tuple, Value};
+
+fn db_with(rows: i64, seed: u64) -> Database {
+    let mut db = Database::sim_default(seed);
+    let schema =
+        Schema::new(vec![("k", ColumnType::Int), ("g", ColumnType::Int)]).padded_to(200);
+    db.load_relation(
+        "t",
+        schema,
+        (0..rows).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 5)])),
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn empty_relation_is_handled() {
+    let mut db = db_with(0, 1);
+    let out = db
+        .count(Expr::relation("t").select(Predicate::True))
+        .within(Duration::from_secs(2))
+        .run()
+        .unwrap();
+    assert_eq!(out.estimate.estimate, 0.0);
+    assert_eq!(out.estimate.variance, 0.0);
+}
+
+#[test]
+fn empty_side_of_binary_operators() {
+    let mut db = db_with(1_000, 2);
+    let schema =
+        Schema::new(vec![("k", ColumnType::Int), ("g", ColumnType::Int)]).padded_to(200);
+    db.load_relation("empty", schema, std::iter::empty())
+        .unwrap();
+    for expr in [
+        Expr::relation("t").intersect(Expr::relation("empty")),
+        Expr::relation("t").join(Expr::relation("empty"), vec![(0, 0)]),
+        Expr::relation("empty").union(Expr::relation("t")),
+    ] {
+        let truth = db.exact_count(&expr).unwrap() as f64;
+        let out = db
+            .count(expr)
+            .within(Duration::from_secs(30))
+            .run()
+            .unwrap();
+        // Either exact (census reached) or a sane non-negative value.
+        assert!(out.estimate.estimate >= 0.0);
+        if truth == 0.0 {
+            assert_eq!(out.estimate.estimate, 0.0);
+        }
+    }
+}
+
+#[test]
+fn quota_smaller_than_one_block_read() {
+    let mut db = db_with(10_000, 3);
+    let out = db
+        .count(Expr::relation("t").select(Predicate::True))
+        .within(Duration::from_millis(1))
+        .run()
+        .unwrap();
+    assert_eq!(out.report.completed_stages(), 0);
+    assert_eq!(out.estimate.points_sampled, 0.0);
+    assert_eq!(out.report.blocks_evaluated(), 0);
+}
+
+#[test]
+fn zero_quota() {
+    let mut db = db_with(1_000, 4);
+    let out = db
+        .count(Expr::relation("t"))
+        .within(Duration::ZERO)
+        .run()
+        .unwrap();
+    assert!(out.report.stages.is_empty());
+}
+
+#[test]
+fn max_stages_caps_the_loop() {
+    let mut db = db_with(10_000, 5);
+    let config = QueryConfig {
+        strategy: Box::new(OneAtATimeInterval::new(72.0)),
+        max_stages: 2,
+        ..Default::default()
+    };
+    let out = db
+        .count(Expr::relation("t").select(Predicate::col_cmp(1, CmpOp::Lt, 2)))
+        .within(Duration::from_secs(600))
+        .config(config)
+        .run()
+        .unwrap();
+    assert!(out.report.stages.len() <= 2);
+}
+
+#[test]
+fn unknown_relation_is_an_expr_error() {
+    let mut db = db_with(10, 6);
+    let err = db
+        .count(Expr::relation("ghost"))
+        .within(Duration::from_secs(1))
+        .run()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::Expr(ExprError::UnknownRelation(_))
+    ));
+}
+
+#[test]
+fn projection_over_difference_is_rejected_not_wrong() {
+    let mut db = db_with(100, 7);
+    let expr = Expr::relation("t")
+        .difference(Expr::relation("t"))
+        .project(vec![0]);
+    let err = db
+        .count(expr)
+        .within(Duration::from_secs(1))
+        .run()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::Expr(ExprError::ProjectionOverSetOp)
+    ));
+}
+
+#[test]
+fn self_join_uses_independent_dimensions() {
+    // r ⋈ r: two occurrences of the same relation are two point-space
+    // dimensions with independent samplers.
+    let mut db = db_with(1_000, 8);
+    let expr = Expr::relation("t").join(Expr::relation("t"), vec![(0, 0)]);
+    let truth = db.exact_count(&expr).unwrap() as f64; // 1000 (key is unique)
+    let out = db
+        .count(expr)
+        .within(Duration::from_secs(120))
+        .run()
+        .unwrap();
+    assert!(out.estimate.estimate >= 0.0);
+    assert!(
+        out.estimate.estimate <= truth * 50.0,
+        "runaway self-join estimate {}",
+        out.estimate.estimate
+    );
+}
+
+#[test]
+fn error_bound_with_zero_truth_falls_back_to_deadline() {
+    let mut db = db_with(5_000, 9);
+    // Impossible precision target on a zero count: the deadline must
+    // still end the query.
+    let out = db
+        .count(Expr::relation("t").select(Predicate::False))
+        .within(Duration::from_secs(5))
+        .stopping(StoppingCriterion::Combined(vec![
+            StoppingCriterion::HardDeadline,
+            StoppingCriterion::ErrorBound {
+                target: 0.01,
+                confidence: 0.99,
+            },
+        ]))
+        .run()
+        .unwrap();
+    assert!(out.report.total_elapsed <= Duration::from_secs(6));
+    assert_eq!(out.estimate.estimate, 0.0);
+}
+
+#[test]
+fn repeated_queries_on_one_database_are_independent() {
+    let mut db = db_with(10_000, 10);
+    let expr = Expr::relation("t").select(Predicate::col_cmp(1, CmpOp::Eq, 0));
+    let first = db
+        .count(expr.clone())
+        .within(Duration::from_secs(5))
+        .run()
+        .unwrap();
+    let second = db
+        .count(expr)
+        .within(Duration::from_secs(5))
+        .run()
+        .unwrap();
+    // The second query starts from a fresh deadline even though the
+    // simulated clock has advanced past the first quota.
+    assert!(second.report.completed_stages() >= 1);
+    assert!(first.report.completed_stages() >= 1);
+}

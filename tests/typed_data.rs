@@ -1,0 +1,120 @@
+//! End-to-end coverage for non-integer column types: floats, strings
+//! and booleans flow through loading, the textual query language, the
+//! exact evaluator, and the sampling engine identically.
+
+use std::time::Duration;
+
+use eram_core::Database;
+use eram_relalg::{parse_expr, CmpOp, Expr, Predicate};
+use eram_storage::{ColumnType, Schema, Tuple, Value};
+
+fn db(seed: u64) -> Database {
+    let mut db = Database::sim_default(seed);
+    let schema = Schema::new(vec![
+        ("id", ColumnType::Int),
+        ("score", ColumnType::Float),
+        ("tier", ColumnType::Str { width: 8 }),
+        ("active", ColumnType::Bool),
+    ])
+    .padded_to(200);
+    db.load_relation(
+        "users",
+        schema,
+        (0..5_000).map(|i| {
+            Tuple::new(vec![
+                Value::Int(i),
+                Value::Float(f64::from(i as i32 % 100) / 10.0),
+                Value::Str(["gold", "silver", "bronze"][(i % 3) as usize].into()),
+                Value::Bool(i % 4 == 0),
+            ])
+        }),
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn float_predicate_census_is_exact() {
+    let mut db = db(1);
+    let expr = Expr::relation("users").select(Predicate::col_cmp(1, CmpOp::Lt, 2.5));
+    let truth = db.exact_count(&expr).unwrap() as f64;
+    assert!(truth > 0.0);
+    let out = db
+        .count(expr)
+        .within(Duration::from_secs(1_000_000))
+        .run()
+        .unwrap();
+    assert_eq!(out.estimate.estimate, truth);
+}
+
+#[test]
+fn string_predicate_through_the_query_language() {
+    let mut db = db(2);
+    let expr = parse_expr(r#"select[#2 = "gold" and #3 = true](users)"#).unwrap();
+    let truth = db.exact_count(&expr).unwrap();
+    // gold ⇔ id % 3 == 0; active ⇔ id % 4 == 0 ⇒ id % 12 == 0.
+    assert_eq!(truth, 5_000 / 12 + 1);
+    let out = db
+        .count(expr)
+        .within(Duration::from_secs(10))
+        .seed(7)
+        .run()
+        .unwrap();
+    let rel = (out.estimate.estimate - truth as f64).abs() / truth as f64;
+    assert!(rel < 0.5, "estimate {} vs truth {truth}", out.estimate.estimate);
+}
+
+#[test]
+fn float_sum_and_avg() {
+    let mut db = db(3);
+    let expr = Expr::relation("users").select(Predicate::col_cmp(3, CmpOp::Eq, true));
+    let out = db
+        .avg(expr.clone(), 1)
+        .within(Duration::from_secs(1_000_000))
+        .run()
+        .unwrap();
+    // Exact average of score over the active subset.
+    let rows = eram_relalg::eval::eval(&expr, db.catalog()).unwrap();
+    let exact: f64 =
+        rows.iter().map(|t| t.value(1).as_float().unwrap()).sum::<f64>() / rows.len() as f64;
+    assert!((out.estimate.estimate - exact).abs() < 1e-9);
+}
+
+#[test]
+fn string_projection_counts_tiers() {
+    let mut db = db(4);
+    let expr = Expr::relation("users").project(vec![2]);
+    assert_eq!(db.exact_count(&expr).unwrap(), 3);
+    let out = db
+        .count(expr)
+        .within(Duration::from_secs(1_000_000))
+        .run()
+        .unwrap();
+    assert_eq!(out.estimate.estimate, 3.0);
+}
+
+#[test]
+fn mixed_type_intersection() {
+    // Two relations with identical typed rows in a sub-range.
+    let mut db = Database::sim_default(5);
+    let schema = Schema::new(vec![
+        ("k", ColumnType::Int),
+        ("label", ColumnType::Str { width: 6 }),
+    ])
+    .padded_to(100);
+    let make = |lo: i64, hi: i64| {
+        (lo..hi).map(|i| {
+            Tuple::new(vec![Value::Int(i), Value::Str(format!("v{}", i % 50))])
+        })
+    };
+    db.load_relation("a", schema.clone(), make(0, 1_000)).unwrap();
+    db.load_relation("b", schema, make(600, 1_600)).unwrap();
+    let expr = Expr::relation("a").intersect(Expr::relation("b"));
+    assert_eq!(db.exact_count(&expr).unwrap(), 400);
+    let out = db
+        .count(expr)
+        .within(Duration::from_secs(1_000_000))
+        .run()
+        .unwrap();
+    assert_eq!(out.estimate.estimate, 400.0);
+}
