@@ -12,7 +12,9 @@ use eram_core::{ops, predict, CostModel, SelectivityDefaults};
 use eram_relalg::{Catalog, CmpOp, Expr, PieRewrite, Predicate};
 use eram_sampling::{normal_quantile, BlockSampler};
 use eram_storage::{parse_schema_spec, read_csv, BlockCache};
-use eram_storage::{Block, ColumnType, DeviceProfile, Disk, HeapFile, Schema, SimClock, Tuple, Value};
+use eram_storage::{
+    Block, ColumnType, DeviceProfile, Disk, HeapFile, Schema, SimClock, Tuple, Value,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -61,8 +63,7 @@ fn paper_setup() -> (Arc<Disk>, Catalog) {
         DeviceProfile::sun_3_60().without_jitter(),
         7,
     );
-    let schema =
-        Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)]).padded_to(200);
+    let schema = Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)]).padded_to(200);
     let hf = HeapFile::load(
         disk.clone(),
         schema,

@@ -50,6 +50,7 @@ fn main() {
             cache_blocks: 0,
             hybrid_leftover: false,
             seed_from_stats: false,
+            fault_plan: None,
         };
         let stats = run_row(&cfg, opts.runs, common::row_seed("abl-adaptive", 0, d_beta));
         rows.push(PaperRow {

@@ -12,8 +12,8 @@
 
 use eram_bench::{Workload, WorkloadKind};
 use eram_core::{ops, term_estimate, term_estimate_with, SelectivityDefaults};
-use eram_sampling::DistinctEstimator;
 use eram_relalg::PieRewrite;
+use eram_sampling::DistinctEstimator;
 use eram_storage::SeedSeq;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,13 +48,7 @@ fn measure(kind: WorkloadKind, name: &str, fractions: &[f64], runs: usize) {
                 &mut rng,
             )
             .unwrap();
-            let mut env = ops::StageEnv {
-                disk: w.db.disk().clone(),
-                deadline: None,
-                fraction,
-                fulfillment_override: None,
-                observations: Vec::new(),
-            };
+            let mut env = ops::StageEnv::new(w.db.disk().clone(), None, fraction);
             tree.advance(&mut env).expect("no deadline to abort");
             let est = term_estimate(&tree);
             if truth > 0.0 {
@@ -104,13 +98,7 @@ fn measure_distinct(fractions: &[f64], runs: usize) {
                 &mut rng,
             )
             .unwrap();
-            let mut env = ops::StageEnv {
-                disk: w.db.disk().clone(),
-                deadline: None,
-                fraction,
-                fulfillment_override: None,
-                observations: Vec::new(),
-            };
+            let mut env = ops::StageEnv::new(w.db.disk().clone(), None, fraction);
             tree.advance(&mut env).expect("no deadline");
             for (i, est) in [
                 DistinctEstimator::Goodman,

@@ -29,8 +29,10 @@ fn main() {
     let d_beta = 12.0;
 
     let mut rows = Vec::new();
-    for (name, fulfillment) in [("full", Fulfillment::Full), ("partial", Fulfillment::Partial)]
-    {
+    for (name, fulfillment) in [
+        ("full", Fulfillment::Full),
+        ("partial", Fulfillment::Partial),
+    ] {
         let cfg = TrialConfig {
             kind,
             quota,
@@ -42,6 +44,7 @@ fn main() {
             cache_blocks: 0,
             hybrid_leftover: false,
             seed_from_stats: false,
+            fault_plan: None,
         };
         let stats = run_row(&cfg, opts.runs, common::row_seed("abl-fulfill", 0, d_beta));
         rows.push(PaperRow {

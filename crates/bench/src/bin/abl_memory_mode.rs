@@ -57,8 +57,9 @@ fn main() {
                 memory,
                 cost_model: CostModel::generic_default(),
                 cache_blocks,
-            hybrid_leftover: false,
-            seed_from_stats: false,
+                hybrid_leftover: false,
+                seed_from_stats: false,
+                fault_plan: None,
             };
             let stats = run_row(&cfg, opts.runs, common::row_seed(wname, 1, d_beta));
             rows.push(PaperRow {

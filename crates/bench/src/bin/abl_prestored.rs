@@ -46,9 +46,7 @@ fn main() {
     ] {
         let quota = Duration::from_secs_f64(quota_secs);
         let mut rows = Vec::new();
-        for (label, seed_from_stats) in
-            [("run-time (paper)", false), ("histogram-seeded", true)]
-        {
+        for (label, seed_from_stats) in [("run-time (paper)", false), ("histogram-seeded", true)] {
             let mut cfg = TrialConfig::paper(kind, quota, 12.0);
             cfg.seed_from_stats = seed_from_stats;
             let stats = run_row(&cfg, opts.runs, common::row_seed(wname, 2, 12.0));

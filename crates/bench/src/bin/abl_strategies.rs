@@ -77,8 +77,9 @@ fn main() {
                 memory: eram_core::MemoryMode::DiskResident,
                 cost_model: CostModel::generic_default(),
                 cache_blocks: 0,
-            hybrid_leftover: false,
-            seed_from_stats: false,
+                hybrid_leftover: false,
+                seed_from_stats: false,
+                fault_plan: None,
             };
             let stats = run_row(
                 &cfg,

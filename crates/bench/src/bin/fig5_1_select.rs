@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use eram_bench::{run_row, render_table, PaperRow, TrialConfig, WorkloadKind};
+use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
 
 mod common;
 
@@ -23,12 +23,12 @@ fn main() {
     for output_tuples in [0u64, 5_000, 10_000] {
         let mut rows = Vec::new();
         for d_beta in d_betas {
-            let cfg = TrialConfig::paper(
-                WorkloadKind::Select { output_tuples },
-                quota,
-                d_beta,
+            let cfg = TrialConfig::paper(WorkloadKind::Select { output_tuples }, quota, d_beta);
+            let stats = run_row(
+                &cfg,
+                opts.runs,
+                common::row_seed("fig5.1", output_tuples, d_beta),
             );
-            let stats = run_row(&cfg, opts.runs, common::row_seed("fig5.1", output_tuples, d_beta));
             rows.push(PaperRow {
                 label: format!("{d_beta}"),
                 stats,

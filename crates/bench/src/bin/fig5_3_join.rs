@@ -26,7 +26,11 @@ fn main() {
     let mut rows = Vec::new();
     for d_beta in [0.0, 12.0, 24.0, 48.0, 72.0] {
         let cfg = TrialConfig::paper(WorkloadKind::Join { output_tuples }, quota, d_beta);
-        let stats = run_row(&cfg, opts.runs, common::row_seed("fig5.3", output_tuples, d_beta));
+        let stats = run_row(
+            &cfg,
+            opts.runs,
+            common::row_seed("fig5.3", output_tuples, d_beta),
+        );
         rows.push(PaperRow {
             label: format!("{d_beta}"),
             stats,

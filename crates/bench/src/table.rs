@@ -19,15 +19,28 @@ pub struct PaperRow {
     pub stats: RowStats,
 }
 
-/// Renders a Section 5-style table to a string.
+/// Renders a Section 5-style table to a string. When any row saw
+/// storage faults, three health columns (`faults`, `lost`,
+/// `degraded%`) are appended so ablation tables over fault rates read
+/// like the paper's.
 pub fn render_table(title: &str, param_name: &str, rows: &[PaperRow]) -> String {
+    let with_health = rows
+        .iter()
+        .any(|r| r.stats.faults > 0.0 || r.stats.degraded_pct > 0.0);
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!(
-        "{:>8} | {:>7} | {:>6} | {:>7} | {:>11} | {:>8} | {:>8}\n",
+        "{:>8} | {:>7} | {:>6} | {:>7} | {:>11} | {:>8} | {:>8}",
         param_name, "stages", "risk%", "ovsp(s)", "utilization%", "blocks", "rel.err"
     ));
-    out.push_str(&"-".repeat(74));
+    if with_health {
+        out.push_str(&format!(
+            " | {:>7} | {:>6} | {:>9}",
+            "faults", "lost", "degraded%"
+        ));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(if with_health { 104 } else { 74 }));
     out.push('\n');
     for row in rows {
         let s = &row.stats;
@@ -37,9 +50,16 @@ pub fn render_table(title: &str, param_name: &str, rows: &[PaperRow]) -> String 
             format!("{:>8.3}", s.mean_rel_error)
         };
         out.push_str(&format!(
-            "{:>8} | {:>7.2} | {:>6.1} | {:>7.2} | {:>11.1} | {:>8.1} | {err}\n",
+            "{:>8} | {:>7.2} | {:>6.1} | {:>7.2} | {:>11.1} | {:>8.1} | {err}",
             row.label, s.stages, s.risk_pct, s.ovsp_secs, s.utilization_pct, s.blocks
         ));
+        if with_health {
+            out.push_str(&format!(
+                " | {:>7.1} | {:>6.1} | {:>9.1}",
+                s.faults, s.blocks_lost, s.degraded_pct
+            ));
+        }
+        out.push('\n');
     }
     out
 }
@@ -66,6 +86,9 @@ mod tests {
             utilization_pct: 63.0,
             blocks: 54.0,
             mean_rel_error: 0.08,
+            faults: 0.0,
+            blocks_lost: 0.0,
+            degraded_pct: 0.0,
         }
     }
 
@@ -83,6 +106,26 @@ mod tests {
         assert!(t.contains("0.11"));
         assert!(t.contains("63.0"));
         assert!(t.contains("54.0"));
+        // Clean rows keep the paper's original column set.
+        assert!(!t.contains("degraded%"));
+    }
+
+    #[test]
+    fn health_columns_appear_when_rows_saw_faults() {
+        let mut s = stats();
+        s.faults = 3.5;
+        s.blocks_lost = 1.2;
+        s.degraded_pct = 40.0;
+        let rows = vec![PaperRow {
+            label: "5%".into(),
+            stats: s,
+        }];
+        let t = render_table("Fault ablation", "rate", &rows);
+        assert!(t.contains("faults"));
+        assert!(t.contains("degraded%"));
+        assert!(t.contains("3.5"));
+        assert!(t.contains("1.2"));
+        assert!(t.contains("40.0"));
     }
 
     #[test]

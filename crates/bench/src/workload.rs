@@ -116,11 +116,7 @@ impl Workload {
     /// paper's setup).
     pub fn build_on(kind: WorkloadKind, seed: u64, cache_blocks: usize) -> Workload {
         let mut db = if cache_blocks > 0 {
-            Database::sim_cached(
-                eram_storage::DeviceProfile::sun_3_60(),
-                seed,
-                cache_blocks,
-            )
+            Database::sim_cached(eram_storage::DeviceProfile::sun_3_60(), seed, cache_blocks)
         } else {
             Database::sim_default(seed)
         };
@@ -149,9 +145,7 @@ impl Workload {
                 // sel_key = row position: the `< K` tuples occupy the
                 // first K/5 blocks back to back.
                 let tuples: Vec<Tuple> = (0..n)
-                    .map(|i| {
-                        Tuple::new(vec![Value::Int(i), Value::Int(i), Value::Int(i)])
-                    })
+                    .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i), Value::Int(i)]))
                     .collect();
                 db.load_relation("r", paper_schema(), tuples).unwrap();
                 let expr = Expr::relation("r").select(Predicate::col_cmp(
@@ -176,19 +170,13 @@ impl Workload {
                     let mut ids: Vec<i64> = (offset..offset + n).collect();
                     ids.shuffle(&mut rng);
                     ids.into_iter()
-                        .map(|i| {
-                            Tuple::new(vec![Value::Int(i), Value::Int(i), Value::Int(i)])
-                        })
+                        .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i), Value::Int(i)]))
                         .collect()
                 };
                 db.load_relation("r1", paper_schema(), make(0, seed ^ 0xB0B))
                     .unwrap();
-                db.load_relation(
-                    "r2",
-                    paper_schema(),
-                    make(n - overlap as i64, seed ^ 0xC0C),
-                )
-                .unwrap();
+                db.load_relation("r2", paper_schema(), make(n - overlap as i64, seed ^ 0xC0C))
+                    .unwrap();
                 let expr = Expr::relation("r1").intersect(Expr::relation("r2"));
                 Workload {
                     db,
@@ -211,8 +199,9 @@ impl Workload {
                 );
                 let right_per_key = output_tuples / (keys * left_per_key);
                 assert!(right_per_key * keys <= RELATION_TUPLES);
-                let left_keys: Vec<i64> =
-                    (0..RELATION_TUPLES as i64).map(|i| i % keys as i64).collect();
+                let left_keys: Vec<i64> = (0..RELATION_TUPLES as i64)
+                    .map(|i| i % keys as i64)
+                    .collect();
                 let right_keys: Vec<i64> = (0..RELATION_TUPLES)
                     .map(|i| {
                         if i < right_per_key * keys {
@@ -223,18 +212,10 @@ impl Workload {
                         }
                     })
                     .collect();
-                db.load_relation(
-                    "r1",
-                    paper_schema(),
-                    paper_tuples(left_keys, seed ^ 0xD0D),
-                )
-                .unwrap();
-                db.load_relation(
-                    "r2",
-                    paper_schema(),
-                    paper_tuples(right_keys, seed ^ 0xE0E),
-                )
-                .unwrap();
+                db.load_relation("r1", paper_schema(), paper_tuples(left_keys, seed ^ 0xD0D))
+                    .unwrap();
+                db.load_relation("r2", paper_schema(), paper_tuples(right_keys, seed ^ 0xE0E))
+                    .unwrap();
                 let expr = Expr::relation("r1").join(Expr::relation("r2"), vec![(2, 2)]);
                 Workload {
                     db,
@@ -291,7 +272,12 @@ mod tests {
 
     #[test]
     fn join_workload_is_paper_cardinality() {
-        let w = Workload::build(WorkloadKind::Join { output_tuples: 70_000 }, 4);
+        let w = Workload::build(
+            WorkloadKind::Join {
+                output_tuples: 70_000,
+            },
+            4,
+        );
         assert_eq!(w.db.exact_count(&w.expr).unwrap(), 70_000);
         // Actual selectivity ≈ 7e-4, as the paper notes.
         let sel: f64 = 70_000.0 / (10_000.0 * 10_000.0);
@@ -306,16 +292,41 @@ mod tests {
 
     #[test]
     fn workloads_are_seed_deterministic() {
-        let a = Workload::build(WorkloadKind::Select { output_tuples: 5_000 }, 7);
-        let b = Workload::build(WorkloadKind::Select { output_tuples: 5_000 }, 7);
-        let ta = a.db.catalog().relation("r").unwrap().read_block_uncharged(0).unwrap();
-        let tb = b.db.catalog().relation("r").unwrap().read_block_uncharged(0).unwrap();
+        let a = Workload::build(
+            WorkloadKind::Select {
+                output_tuples: 5_000,
+            },
+            7,
+        );
+        let b = Workload::build(
+            WorkloadKind::Select {
+                output_tuples: 5_000,
+            },
+            7,
+        );
+        let ta =
+            a.db.catalog()
+                .relation("r")
+                .unwrap()
+                .read_block_uncharged(0)
+                .unwrap();
+        let tb =
+            b.db.catalog()
+                .relation("r")
+                .unwrap()
+                .read_block_uncharged(0)
+                .unwrap();
         assert_eq!(ta, tb);
     }
 
     #[test]
     #[should_panic]
     fn unrealizable_join_output_rejected() {
-        let _ = Workload::build(WorkloadKind::Join { output_tuples: 12_345 }, 0);
+        let _ = Workload::build(
+            WorkloadKind::Join {
+                output_tuples: 12_345,
+            },
+            0,
+        );
     }
 }

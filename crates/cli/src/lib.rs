@@ -20,9 +20,9 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use eram_core::{AggregateFn, Database};
+use eram_core::{AggregateFn, Database, ReportHealth};
 use eram_relalg::parse_expr;
-use eram_storage::{parse_schema_spec, DeviceProfile};
+use eram_storage::{parse_schema_spec, DeviceProfile, FaultPlan};
 
 /// Which simulated device profile to run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,6 +64,13 @@ pub struct Cli {
     pub quota_secs: Option<f64>,
     /// One-shot aggregate.
     pub agg: AggregateFn,
+    /// Seed for deterministic fault injection.
+    pub fault_seed: u64,
+    /// Probability a charged block read fails transiently.
+    pub fault_transient: f64,
+    /// Probability a block site reads back corrupt (checksum
+    /// mismatch).
+    pub fault_corrupt: f64,
 }
 
 /// A CLI-level error with a user-facing message.
@@ -85,6 +92,7 @@ fn err(msg: impl Into<String>) -> CliError {
 /// Usage text.
 pub const USAGE: &str = "usage: eram --load NAME=FILE.csv:COL:TYPE[,COL:TYPE...] \
 [--load ...] [--device sun|modern] [--cache BLOCKS] [--seed N] [--header] \
+[--fault-transient RATE] [--fault-corrupt RATE] [--fault-seed N] \
 [--query EXPR --quota SECS [--agg count|sum:COL|avg:COL]]";
 
 impl Cli {
@@ -99,7 +107,9 @@ impl Cli {
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--load" => {
-                    let spec = args.next().ok_or_else(|| err("--load needs NAME=FILE:SCHEMA"))?;
+                    let spec = args
+                        .next()
+                        .ok_or_else(|| err("--load needs NAME=FILE:SCHEMA"))?;
                     cli.loads.push(parse_load(&spec)?);
                 }
                 "--device" => {
@@ -123,7 +133,10 @@ impl Cli {
                 }
                 "--header" => cli.header = true,
                 "--query" => {
-                    cli.query = Some(args.next().ok_or_else(|| err("--query needs an expression"))?)
+                    cli.query = Some(
+                        args.next()
+                            .ok_or_else(|| err("--query needs an expression"))?,
+                    )
                 }
                 "--quota" => {
                     let secs: f64 = args
@@ -137,8 +150,22 @@ impl Cli {
                 }
                 "--agg" => {
                     cli.agg = parse_agg(
-                        &args.next().ok_or_else(|| err("--agg needs count|sum:COL|avg:COL"))?,
+                        &args
+                            .next()
+                            .ok_or_else(|| err("--agg needs count|sum:COL|avg:COL"))?,
                     )?;
+                }
+                "--fault-seed" => {
+                    cli.fault_seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("--fault-seed needs an integer"))?;
+                }
+                "--fault-transient" => {
+                    cli.fault_transient = parse_rate(args.next(), "--fault-transient")?;
+                }
+                "--fault-corrupt" => {
+                    cli.fault_corrupt = parse_rate(args.next(), "--fault-corrupt")?;
                 }
                 "--help" | "-h" => return Err(err(USAGE)),
                 other => return Err(err(format!("unknown argument {other:?}\n{USAGE}"))),
@@ -149,6 +176,29 @@ impl Cli {
         }
         Ok(cli)
     }
+
+    /// The fault plan the flags describe, or `None` when every rate
+    /// is zero (clean device).
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        if self.fault_transient == 0.0 && self.fault_corrupt == 0.0 {
+            return None;
+        }
+        Some(
+            FaultPlan::new(self.fault_seed)
+                .with_transient(self.fault_transient)
+                .with_corruption(self.fault_corrupt),
+        )
+    }
+}
+
+fn parse_rate(arg: Option<String>, flag: &str) -> Result<f64, CliError> {
+    let rate: f64 = arg
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| err(format!("{flag} needs a probability")))?;
+    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+        return Err(err(format!("{flag} must be a probability in [0, 1]")));
+    }
+    Ok(rate)
 }
 
 fn parse_load(spec: &str) -> Result<LoadSpec, CliError> {
@@ -205,7 +255,29 @@ pub fn build_database(cli: &Cli) -> Result<Database, CliError> {
             .map_err(|e| err(format!("--load {}: {e}", load.name)))?;
         eprintln!("loaded {} ({n} tuples)", load.name);
     }
+    // Arm fault injection only after loading so the injected fault
+    // sites refer to the final on-device layout.
+    if let Some(plan) = cli.fault_plan() {
+        db.inject_faults(plan);
+        eprintln!(
+            "fault injection armed: transient {:.1}%, corrupt {:.1}% (seed {})",
+            100.0 * plan.transient_rate,
+            100.0 * plan.corrupt_rate,
+            plan.seed,
+        );
+    }
     Ok(db)
+}
+
+/// Renders the report's fault-tolerance counters as one line.
+fn render_health(h: &ReportHealth) -> String {
+    format!(
+        "health: faults {} | retries {} | blocks lost {} | degraded {}",
+        h.faults_seen,
+        h.retries,
+        h.blocks_lost,
+        if h.degraded { "yes" } else { "no" },
+    )
 }
 
 /// Runs a one-shot aggregate and renders the outcome.
@@ -220,12 +292,13 @@ pub fn run_one_shot(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
         .map_err(|e| err(e.to_string()))?;
     let (lo, hi) = out.estimate.ci(0.95);
     Ok(format!(
-        "estimate {:.2}\n95% CI [{lo:.2}, {hi:.2}]\nstages {} | blocks {} | utilization {:.1}% | elapsed {:?}",
+        "estimate {:.2}\n95% CI [{lo:.2}, {hi:.2}]\nstages {} | blocks {} | utilization {:.1}% | elapsed {:?}\n{}",
         out.estimate.estimate,
         out.report.completed_stages(),
         out.report.blocks_evaluated(),
         100.0 * out.report.utilization(),
         out.report.total_elapsed,
+        render_health(&out.report.health),
     ))
 }
 
@@ -302,13 +375,17 @@ pub fn dispatch(db: &mut Database, input: &str) -> Result<Option<String>, CliErr
                 .run()
                 .map_err(|e| err(e.to_string()))?;
             let (lo, hi) = out.estimate.ci(0.95);
-            return Ok(Some(format!(
+            let mut rendered = format!(
                 "  ≈ {:.2}   (95% CI [{lo:.2}, {hi:.2}])\n  {} stages, {} blocks, {:.1}% of quota used",
                 out.estimate.estimate,
                 out.report.completed_stages(),
                 out.report.blocks_evaluated(),
                 100.0 * out.report.utilization(),
-            )));
+            );
+            if out.report.health.faults_seen > 0 {
+                rendered.push_str(&format!("\n  {}", render_health(&out.report.health)));
+            }
+            return Ok(Some(rendered));
         }
     }
     Err(err(format!("unknown command {input:?}; try `help`")))
@@ -369,6 +446,55 @@ mod tests {
     }
 
     #[test]
+    fn parses_fault_flags_into_a_plan() {
+        let cli = Cli::parse([
+            "--fault-transient",
+            "0.05",
+            "--fault-corrupt",
+            "0.01",
+            "--fault-seed",
+            "7",
+        ])
+        .unwrap();
+        let plan = cli.fault_plan().expect("rates are nonzero");
+        assert_eq!(plan.seed, 7);
+        assert!((plan.transient_rate - 0.05).abs() < 1e-12);
+        assert!((plan.corrupt_rate - 0.01).abs() < 1e-12);
+        // No flags → no plan.
+        assert!(Cli::parse(Vec::<String>::new())
+            .unwrap()
+            .fault_plan()
+            .is_none());
+        // Rates outside [0, 1] are rejected at parse time.
+        assert!(Cli::parse(["--fault-transient", "1.5"]).is_err());
+        assert!(Cli::parse(["--fault-corrupt", "-0.1"]).is_err());
+        assert!(Cli::parse(["--fault-transient", "nan"]).is_err());
+    }
+
+    #[test]
+    fn one_shot_under_faults_still_answers_and_shows_health() {
+        let rows: String = (0..512).map(|i| format!("{i},{}\n", i % 100)).collect();
+        let csv = write_csv("faulty", &rows);
+        let cli = Cli::parse([
+            "--load".to_string(),
+            format!("t={}:k:int,v:int", csv.display()),
+            "--query".to_string(),
+            "select[#1 < 50](t)".to_string(),
+            "--quota".to_string(),
+            "30".to_string(),
+            "--fault-transient".to_string(),
+            "0.2".to_string(),
+            "--fault-seed".to_string(),
+            "11".to_string(),
+        ])
+        .unwrap();
+        let mut db = build_database(&cli).unwrap();
+        let rendered = run_one_shot(&mut db, &cli).unwrap();
+        assert!(rendered.contains("estimate"), "{rendered}");
+        assert!(rendered.contains("health: faults"), "{rendered}");
+    }
+
+    #[test]
     fn end_to_end_one_shot() {
         let csv = write_csv(
             "oneshot",
@@ -404,7 +530,9 @@ mod tests {
         let out = dispatch(&mut db, "relations").unwrap().unwrap();
         assert!(out.contains("t: 4 tuples"));
 
-        let out = dispatch(&mut db, "exact select[#1 > 10](t)").unwrap().unwrap();
+        let out = dispatch(&mut db, "exact select[#1 > 10](t)")
+            .unwrap()
+            .unwrap();
         assert!(out.contains("= 3"));
 
         let out = dispatch(&mut db, "count select[#1 > 10](t) within 60")

@@ -109,11 +109,7 @@ impl TermValues {
 /// SUM estimator for one term: `N·(Σz/m)` with the SRS variance of
 /// the per-point contribution `z` (0 off the output, the value on
 /// it).
-pub fn sum_estimate(
-    total_points: f64,
-    points_covered: f64,
-    values: &TermValues,
-) -> CountEstimate {
+pub fn sum_estimate(total_points: f64, points_covered: f64, values: &TermValues) -> CountEstimate {
     let m = points_covered;
     if m <= 0.0 {
         return CountEstimate {

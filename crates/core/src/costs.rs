@@ -133,10 +133,10 @@ impl CostModel {
         let cmp = profile.compare.as_secs_f64();
         CostModel {
             per_unit: [
-                read,              // BlockRead: one block
-                tuple,             // ScanTuple: per-tuple CPU
-                cmp,               // SortUnit: one comparison
-                cmp + read / bf,   // MergeTuple: compare + amortized read
+                read,                     // BlockRead: one block
+                tuple,                    // ScanTuple: per-tuple CPU
+                cmp,                      // SortUnit: one comparison
+                cmp + read / bf,          // MergeTuple: compare + amortized read
                 write / bf + tuple * 0.0, // WriteTuple: amortized page write
                 profile.stage_overhead.as_secs_f64(),
             ],

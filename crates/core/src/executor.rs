@@ -21,18 +21,21 @@ use std::time::Duration;
 
 use eram_relalg::{push_selections, Catalog, Expr, ExprError, PieRewrite};
 use eram_sampling::{srs_proportion_variance, CountEstimate, DistinctEstimator};
-use eram_storage::{Deadline, DeviceOp, Disk};
+use eram_storage::{Deadline, DeviceOp, Disk, StorageError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::aggregate::{avg_estimate, sum_estimate, AggregateFn, TermValues};
 use crate::costs::{CostCoeff, CostModel};
-use crate::ops::{Fulfillment, MemoryMode, PhysTree, PlanOptions, StageEnv};
+use crate::ops::{
+    Fulfillment, MemoryMode, PhysTree, PlanOptions, StageEnv, StageError, StageHealth,
+};
 use crate::predict::{solve_fraction_with, SelPolicy};
-use crate::strategy::StagePlan;
-use crate::report::{ExecutionReport, StageReport};
+use crate::report::{ExecutionReport, ReportHealth, StageReport};
+use crate::retry::RetryPolicy;
 use crate::seltrack::SelectivityDefaults;
 use crate::stopping::StoppingCriterion;
+use crate::strategy::StagePlan;
 use crate::strategy::TimeControlStrategy;
 
 /// Errors from setting up or running a time-constrained count.
@@ -43,6 +46,10 @@ pub enum EngineError {
     /// The aggregate function cannot be evaluated on this expression
     /// (AVG over union/difference, SUM/AVG over a projection root).
     UnsupportedAggregate(String),
+    /// An unrecoverable storage fault ended the query. Transient
+    /// faults are retried and lost clusters are absorbed by estimator
+    /// renormalization before this is ever surfaced.
+    Storage(StorageError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -52,15 +59,29 @@ impl std::fmt::Display for EngineError {
             EngineError::UnsupportedAggregate(msg) => {
                 write!(f, "unsupported aggregate: {msg}")
             }
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<ExprError> for EngineError {
     fn from(e: ExprError) -> Self {
         EngineError::Expr(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
     }
 }
 
@@ -94,6 +115,9 @@ pub struct ExecParams<'a> {
     /// Apply selection pushdown before compiling (on by default;
     /// semantically equivalence-preserving).
     pub optimize: bool,
+    /// How transient storage faults are retried. Backoff is charged
+    /// to the clock, so retries consume quota like real I/O.
+    pub retry: RetryPolicy,
 }
 
 impl<'a> ExecParams<'a> {
@@ -112,6 +136,7 @@ impl<'a> ExecParams<'a> {
             distinct: DistinctEstimator::Goodman,
             hybrid_leftover: false,
             optimize: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -174,9 +199,8 @@ pub fn term_estimate_with(tree: &PhysTree, distinct: DistinctEstimator) -> Count
         // variance either).
         let d = occupancies.len() as f64;
         let rate = if sample > 0 { d / sample as f64 } else { 0.0 };
-        let variance = population
-            * population
-            * srs_proportion_variance(rate, population, sample as f64);
+        let variance =
+            population * population * srs_proportion_variance(rate, population, sample as f64);
         return CountEstimate {
             estimate,
             variance,
@@ -222,9 +246,7 @@ fn combine(
     for ((&c, tree), tv) in coefficients.iter().zip(trees).zip(values) {
         let e = match agg {
             AggregateFn::Count => term_estimate_with(tree, distinct),
-            AggregateFn::Sum { .. } => {
-                sum_estimate(tree.total_points(), tree.points_covered(), tv)
-            }
+            AggregateFn::Sum { .. } => sum_estimate(tree.total_points(), tree.points_covered(), tv),
             AggregateFn::Avg { .. } => unreachable!("handled above"),
         };
         let cf = c as f64;
@@ -324,6 +346,7 @@ pub fn execute_aggregate(
     let mut model = params.cost_model;
     let mut stages: Vec<StageReport> = Vec::new();
     let mut history: Vec<CountEstimate> = Vec::new();
+    let mut health = StageHealth::default();
     let mut hard_estimate = combine(&coefficients, &trees, &values, agg, params.distinct);
 
     if trees.is_empty() {
@@ -333,6 +356,7 @@ pub fn execute_aggregate(
             stages,
             total_elapsed: deadline.spent(),
             final_estimate: zero_estimate(),
+            health: ReportHealth::default(),
         };
         return Ok(ExecOutcome {
             estimate: zero_estimate(),
@@ -417,8 +441,8 @@ pub fn execute_aggregate(
             let projected_hw =
                 current_est.relative_half_width(0.95).min(1e9) * (m / (m + dm)).sqrt();
             let t_after = now + plan.predicted;
-            let utility_after = StoppingCriterion::completion_value(quota, zero_at, t_after)
-                / (1.0 + projected_hw);
+            let utility_after =
+                StoppingCriterion::completion_value(quota, zero_at, t_after) / (1.0 + projected_hw);
             if utility_after <= utility_now {
                 break;
             }
@@ -432,14 +456,11 @@ pub fn execute_aggregate(
         disk.charge(DeviceOp::StageOverhead);
         let overhead = disk.clock().elapsed() - t0;
 
-        let mut env = StageEnv {
-            disk: disk.clone(),
-            deadline: hard.then_some(&deadline),
-            fraction: plan.fraction,
-            fulfillment_override: stage_fulfillment,
-            observations: Vec::new(),
-        };
+        let mut env = StageEnv::new(disk.clone(), hard.then_some(&deadline), plan.fraction);
+        env.fulfillment_override = stage_fulfillment;
+        env.retry = params.retry;
         let mut aborted = false;
+        let mut storage_failure: Option<StorageError> = None;
         for (tree, tv) in trees.iter_mut().zip(values.iter_mut()) {
             match tree.advance(&mut env) {
                 Ok(delta) => {
@@ -447,11 +468,21 @@ pub fn execute_aggregate(
                         tv.absorb(&delta.tuples, col);
                     }
                 }
-                Err(_) => {
+                Err(StageError::Deadline) => {
                     aborted = true;
                     break;
                 }
+                Err(StageError::Storage(e)) => {
+                    storage_failure = Some(e);
+                    break;
+                }
             }
+        }
+        health.absorb(env.health);
+        if let Some(e) = storage_failure {
+            // Not degradable (unknown file, schema mismatch, …): the
+            // caller gets the error, not a silently wrong estimate.
+            return Err(EngineError::Storage(e));
         }
 
         // Adapt the cost formulas from this stage's measured steps.
@@ -501,6 +532,12 @@ pub fn execute_aggregate(
         stages,
         total_elapsed: deadline.spent(),
         final_estimate: hard_estimate,
+        health: ReportHealth {
+            faults_seen: health.faults_seen,
+            retries: health.retries,
+            blocks_lost: health.blocks_lost,
+            degraded: health.blocks_lost > 0,
+        },
     };
     Ok(ExecOutcome {
         estimate: delivered,
@@ -513,9 +550,7 @@ mod tests {
     use super::*;
     use crate::strategy::OneAtATimeInterval;
     use eram_relalg::{eval, CmpOp, Predicate};
-    use eram_storage::{
-        ColumnType, DeviceProfile, HeapFile, Schema, SimClock, Tuple, Value,
-    };
+    use eram_storage::{ColumnType, DeviceProfile, HeapFile, Schema, SimClock, Tuple, Value};
 
     fn setup(jitter: bool) -> (Arc<Disk>, Catalog) {
         let profile = if jitter {
@@ -829,14 +864,7 @@ mod tests {
             params.stopping = StoppingCriterion::SoftDeadline;
             params.seed = 13;
             params.hybrid_leftover = hybrid;
-            execute_count(
-                &disk,
-                &cat,
-                &expr,
-                Duration::from_secs_f64(2.5),
-                params,
-            )
-            .unwrap()
+            execute_count(&disk, &cat, &expr, Duration::from_secs_f64(2.5), params).unwrap()
         };
         let plain = run(false);
         let hybrid = run(true);
@@ -850,6 +878,76 @@ mod tests {
     }
 
     #[test]
+    fn faults_degrade_the_report_not_the_deadline() {
+        let (disk, cat) = setup(false);
+        disk.set_fault_plan(
+            eram_storage::FaultPlan::new(31)
+                .with_transient(0.10)
+                .with_corruption(0.05),
+        );
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let out = run(
+            &disk,
+            &cat,
+            &expr,
+            Duration::from_secs(10),
+            StoppingCriterion::HardDeadline,
+            12.0,
+        );
+        let h = out.report.health;
+        assert!(h.faults_seen > 0, "10%+5% rates must fault");
+        assert_eq!(h.degraded, h.blocks_lost > 0);
+        // The hard deadline still holds at block granularity.
+        assert!(out.report.overspend() < Duration::from_millis(300));
+        assert!(out.estimate.estimate >= 0.0);
+    }
+
+    #[test]
+    fn fault_free_run_reports_clean_health() {
+        let (disk, cat) = setup(false);
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let out = run(
+            &disk,
+            &cat,
+            &expr,
+            Duration::from_secs(5),
+            StoppingCriterion::HardDeadline,
+            12.0,
+        );
+        assert_eq!(out.report.health, crate::report::ReportHealth::default());
+        assert!(!out.report.health.degraded);
+    }
+
+    #[test]
+    fn fault_injection_replays_bit_identically() {
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let mut results = Vec::new();
+        for _ in 0..2 {
+            let (disk, cat) = setup(true);
+            disk.set_fault_plan(
+                eram_storage::FaultPlan::new(47)
+                    .with_transient(0.08)
+                    .with_corruption(0.02),
+            );
+            let out = run(
+                &disk,
+                &cat,
+                &expr,
+                Duration::from_secs(8),
+                StoppingCriterion::HardDeadline,
+                12.0,
+            );
+            results.push((
+                out.estimate.estimate.to_bits(),
+                out.report.health,
+                out.report.completed_stages(),
+                out.report.blocks_evaluated(),
+            ));
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
     fn join_query_estimates_reasonably() {
         let (disk, cat) = setup(false);
         let expr = Expr::relation("r").join(Expr::relation("s"), vec![(0, 0)]);
@@ -858,8 +956,7 @@ mod tests {
         let mut params = ExecParams::new(&strategy);
         params.defaults = SelectivityDefaults::paper_join_experiment();
         params.seed = 7;
-        let out =
-            execute_count(&disk, &cat, &expr, Duration::from_secs(30), params).unwrap();
+        let out = execute_count(&disk, &cat, &expr, Duration::from_secs(30), params).unwrap();
         assert!(out.report.completed_stages() >= 1);
         // Join sampling on a sparse key space is noisy; require the
         // right order of magnitude.

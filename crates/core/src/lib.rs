@@ -66,6 +66,7 @@ pub mod executor;
 pub mod ops;
 pub mod predict;
 pub mod report;
+pub mod retry;
 pub mod scheduler;
 pub mod seltrack;
 pub mod session;
@@ -74,9 +75,12 @@ pub mod strategy;
 
 pub use aggregate::AggregateFn;
 pub use costs::{CostCoeff, CostModel};
-pub use executor::{execute_aggregate, execute_count, term_estimate, term_estimate_with, EngineError, ExecOutcome};
-pub use ops::{Fulfillment, MemoryMode, PlanOptions};
-pub use report::{ExecutionReport, StageReport};
+pub use executor::{
+    execute_aggregate, execute_count, term_estimate, term_estimate_with, EngineError, ExecOutcome,
+};
+pub use ops::{Fulfillment, MemoryMode, PlanOptions, StageError, StageHealth};
+pub use report::{ExecutionReport, ReportHealth, StageReport};
+pub use retry::RetryPolicy;
 pub use scheduler::{EdfScheduler, JobOutcome, QueryJob};
 pub use session::{CountQuery, Database, QueryConfig, TimedCount};
 pub use stopping::StoppingCriterion;

@@ -31,11 +31,12 @@ use std::time::Duration;
 
 use eram_relalg::{Catalog, Expr, ExprError, OpKind, Predicate};
 use eram_sampling::BlockSampler;
-use eram_storage::{Deadline, DeviceOp, Disk, HeapFile, Schema, Tuple, Value};
+use eram_storage::{Deadline, DeviceOp, Disk, HeapFile, Schema, StorageError, Tuple, Value};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::costs::CostCoeff;
+use crate::retry::RetryPolicy;
 use crate::seltrack::{SelTracker, SelectivityDefaults};
 
 /// Which sample combinations binary operators evaluate each stage.
@@ -87,9 +88,62 @@ impl From<Fulfillment> for PlanOptions {
     }
 }
 
-/// The stage was cut short by the hard deadline; the query is over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Aborted;
+/// Why a stage ended before completing its planned work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageError {
+    /// The stage was cut short by the hard deadline; the query is
+    /// over and the estimate so far is the answer.
+    Deadline,
+    /// An unrecoverable storage fault that is neither transient (the
+    /// retry policy gave up on those by dropping the block) nor a
+    /// lost cluster (absorbed by estimator renormalization) — e.g. an
+    /// unknown file or a schema mismatch. The query fails.
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for StageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageError::Deadline => write!(f, "stage aborted by the hard deadline"),
+            StageError::Storage(e) => write!(f, "stage failed on storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StageError::Deadline => None,
+            StageError::Storage(e) => Some(e),
+        }
+    }
+}
+
+/// Fault-handling counters accumulated while evaluating one stage.
+///
+/// `blocks_lost` counts clusters dropped from the sample — blocks
+/// whose transient faults outlasted the retry budget plus blocks that
+/// failed checksum verification. The estimator renormalizes over the
+/// surviving blocks automatically, because `points_covered` only ever
+/// counts tuples actually read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageHealth {
+    /// Storage faults observed (transient errors + corrupt reads).
+    pub faults_seen: u64,
+    /// Read attempts re-issued after a transient fault.
+    pub retries: u64,
+    /// Blocks dropped from the sample as unrecoverable.
+    pub blocks_lost: u64,
+}
+
+impl StageHealth {
+    /// Adds another stage's counters into this one.
+    pub fn absorb(&mut self, other: StageHealth) {
+        self.faults_seen += other.faults_seen;
+        self.retries += other.retries;
+        self.blocks_lost += other.blocks_lost;
+    }
+}
 
 /// One measured operator step, for cost-model adaptation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -117,6 +171,27 @@ pub struct StageEnv<'a> {
     pub fulfillment_override: Option<Fulfillment>,
     /// Collected step timings.
     pub observations: Vec<StepObservation>,
+    /// How transient storage faults are retried (backoff is charged
+    /// to the clock).
+    pub retry: RetryPolicy,
+    /// Fault-handling counters accumulated this stage.
+    pub health: StageHealth,
+}
+
+impl<'a> StageEnv<'a> {
+    /// Builds a stage environment with no fulfillment override, the
+    /// default retry policy, and fresh counters.
+    pub fn new(disk: Arc<Disk>, deadline: Option<&'a Deadline>, fraction: f64) -> Self {
+        StageEnv {
+            disk,
+            deadline,
+            fraction,
+            fulfillment_override: None,
+            observations: Vec::new(),
+            retry: RetryPolicy::default(),
+            health: StageHealth::default(),
+        }
+    }
 }
 
 impl StageEnv<'_> {
@@ -280,7 +355,7 @@ impl Node {
 
     /// Advances the subtree by one stage at `env.fraction`, returning
     /// the new-output delta.
-    pub(crate) fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, Aborted> {
+    pub(crate) fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, StageError> {
         match self {
             Node::Leaf(n) => n.advance(env),
             Node::Select(n) => n.advance(env),
@@ -290,8 +365,53 @@ impl Node {
     }
 }
 
+/// Reads one block through the stage's retry policy.
+///
+/// * Transient faults are retried up to `retry.max_attempts` total
+///   attempts, with the backoff *charged to the clock* — recovery
+///   consumes quota exactly like extra I/O, and the hard deadline can
+///   fire mid-retry.
+/// * A block whose transient faults outlast the retry budget, or that
+///   fails checksum verification ([`StorageError::Corrupt`]), is
+///   dropped: `Ok(None)`, one cluster lost, query continues.
+/// * Any other storage error (unknown file, schema mismatch) is not a
+///   degradable fault and fails the stage.
+fn read_block_resilient(
+    env: &mut StageEnv<'_>,
+    file: &HeapFile,
+    index: u64,
+) -> Result<Option<Vec<Tuple>>, StageError> {
+    let policy = env.retry;
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempt: u32 = 0;
+    loop {
+        attempt += 1;
+        match file.read_block(index) {
+            Ok(tuples) => return Ok(Some(tuples)),
+            Err(e) if e.is_transient() => {
+                env.health.faults_seen += 1;
+                if attempt >= max_attempts {
+                    env.health.blocks_lost += 1;
+                    return Ok(None);
+                }
+                env.health.retries += 1;
+                env.disk.clock().charge(policy.backoff_for(attempt));
+                if env.expired() {
+                    return Err(StageError::Deadline);
+                }
+            }
+            Err(StorageError::Corrupt { .. }) => {
+                env.health.faults_seen += 1;
+                env.health.blocks_lost += 1;
+                return Ok(None);
+            }
+            Err(e) => return Err(StageError::Storage(e)),
+        }
+    }
+}
+
 impl LeafNode {
-    fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, Aborted> {
+    fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, StageError> {
         let total = self.sampler.population();
         let want = ((env.fraction * total as f64).round() as u64)
             .max(1)
@@ -301,15 +421,20 @@ impl LeafNode {
         let mut tuples = Vec::with_capacity(indices.len() * self.file.blocking_factor());
         for idx in &indices {
             if env.expired() {
-                return Err(Aborted);
+                return Err(StageError::Deadline);
             }
-            let block = self
-                .file
-                .read_block(*idx)
-                .expect("sampled block index is in range");
-            tuples.extend(block);
+            // A lost block is a dropped cluster: `cum_tuples` (the
+            // points actually covered) doesn't grow for it, so the
+            // cluster estimator renormalizes over surviving blocks.
+            if let Some(block) = read_block_resilient(env, &self.file, *idx)? {
+                tuples.extend(block);
+            }
         }
-        env.observe(CostCoeff::BlockRead, indices.len() as f64, env.now() - start);
+        env.observe(
+            CostCoeff::BlockRead,
+            indices.len() as f64,
+            env.now() - start,
+        );
         self.cum_tuples += tuples.len() as f64;
         Ok(Delta {
             leaf_points: tuples.len() as f64,
@@ -327,7 +452,7 @@ fn charge_tuple_writes(
     env: &mut StageEnv<'_>,
     n_tuples: f64,
     blocking: f64,
-) -> Result<(), Aborted> {
+) -> Result<(), StageError> {
     if n_tuples <= 0.0 {
         return Ok(());
     }
@@ -335,7 +460,7 @@ fn charge_tuple_writes(
     let start = env.now();
     for _ in 0..pages {
         if env.expired() {
-            return Err(Aborted);
+            return Err(StageError::Deadline);
         }
         env.disk.charge(DeviceOp::BlockWrite);
     }
@@ -353,12 +478,12 @@ fn charge_chunked(
     make: impl Fn(u64) -> DeviceOp,
     units: u64,
     chunk: u64,
-) -> Result<(), Aborted> {
+) -> Result<(), StageError> {
     let chunk = chunk.max(1);
     let mut left = units;
     while left > 0 {
         if env.expired() {
-            return Err(Aborted);
+            return Err(StageError::Deadline);
         }
         let c = left.min(chunk);
         env.disk.charge(make(c));
@@ -368,10 +493,10 @@ fn charge_chunked(
 }
 
 impl SelectNode {
-    fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, Aborted> {
+    fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, StageError> {
         let child = self.child.advance(env)?;
         if env.expired() {
-            return Err(Aborted);
+            return Err(StageError::Deadline);
         }
         let n_in = child.tuples.len();
         let start = env.now();
@@ -402,7 +527,7 @@ fn charged_sort(
     env: &mut StageEnv<'_>,
     tuples: &mut [Tuple],
     key: &dyn Fn(&Tuple) -> Vec<Value>,
-) -> Result<(), Aborted> {
+) -> Result<(), StageError> {
     let n = tuples.len();
     if n < 2 {
         return Ok(());
@@ -416,10 +541,10 @@ fn charged_sort(
 }
 
 impl ProjectNode {
-    fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, Aborted> {
+    fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, StageError> {
         let child = self.child.advance(env)?;
         if env.expired() {
-            return Err(Aborted);
+            return Err(StageError::Deadline);
         }
         let n_in = child.tuples.len();
         // Step 1+2 (Figure 4.7): project and sort the new tuples.
@@ -445,7 +570,7 @@ impl ProjectNode {
         let mut new_groups: Vec<Tuple> = Vec::new();
         for t in projected {
             if env.expired() {
-                return Err(Aborted);
+                return Err(StageError::Deadline);
             }
             match self.occupancy.get_mut(&t) {
                 Some(c) => *c += 1,
@@ -539,11 +664,11 @@ impl BinaryNode {
         self.right_runs.len()
     }
 
-    fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, Aborted> {
+    fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, StageError> {
         let dl = self.left.advance(env)?;
         let dr = self.right.advance(env)?;
         if env.expired() {
-            return Err(Aborted);
+            return Err(StageError::Deadline);
         }
 
         // Ingest: sort each delta and persist it as a run
@@ -577,7 +702,7 @@ impl BinaryNode {
 
         for (li, ri) in pairs {
             if env.expired() {
-                return Err(Aborted);
+                return Err(StageError::Deadline);
             }
             let produced = self.merge_pair(env, li, ri, &mut out)?;
             let (lrun, rrun) = (&self.left_runs[li], &self.right_runs[ri]);
@@ -607,7 +732,7 @@ impl BinaryNode {
         env: &mut StageEnv<'_>,
         delta: Delta,
         left: bool,
-    ) -> Result<(), Aborted> {
+    ) -> Result<(), StageError> {
         let mut tuples = delta.tuples;
         let kind = &self.kind;
         if left {
@@ -628,9 +753,9 @@ impl BinaryNode {
                 let start = env.now();
                 let mut file = HeapFile::create(env.disk.clone(), schema, true);
                 for t in &tuples {
-                    file.append(t.clone()).expect("run tuple matches schema");
+                    file.append(t.clone()).map_err(StageError::Storage)?;
                 }
-                file.flush().expect("flush in-memory temp file");
+                file.flush().map_err(StageError::Storage)?;
                 env.observe(CostCoeff::WriteTuple, n as f64, env.now() - start);
                 RunData::File(file)
             }
@@ -657,7 +782,7 @@ impl BinaryNode {
         li: usize,
         ri: usize,
         out: &mut Vec<Tuple>,
-    ) -> Result<usize, Aborted> {
+    ) -> Result<usize, StageError> {
         let lrun = &self.left_runs[li];
         let rrun = &self.right_runs[ri];
         let start = env.now();
@@ -698,22 +823,26 @@ impl BinaryNode {
 /// Reads a whole sorted run, honouring the deadline at block
 /// granularity. Disk-resident runs charge block reads; in-memory
 /// runs are free — that asymmetry *is* the main-memory variant's
-/// advantage.
-fn read_run(env: &StageEnv<'_>, data: &RunData) -> Result<Vec<Tuple>, Aborted> {
+/// advantage. Run blocks go through the same retry-or-drop policy as
+/// sample blocks: a lost run block under-merges its tuples, which is
+/// degradation, not failure.
+fn read_run(env: &mut StageEnv<'_>, data: &RunData) -> Result<Vec<Tuple>, StageError> {
     match data {
         RunData::File(file) => {
             let mut out = Vec::with_capacity(file.num_tuples() as usize);
             for b in 0..file.num_blocks() {
                 if env.expired() {
-                    return Err(Aborted);
+                    return Err(StageError::Deadline);
                 }
-                out.extend(file.read_block(b).expect("run block in range"));
+                if let Some(tuples) = read_block_resilient(env, file, b)? {
+                    out.extend(tuples);
+                }
             }
             Ok(out)
         }
         RunData::Mem(tuples) => {
             if env.expired() {
-                return Err(Aborted);
+                return Err(StageError::Deadline);
             }
             Ok(tuples.clone())
         }
@@ -785,8 +914,7 @@ impl PhysTree {
                 *total_points *= file.num_tuples() as f64;
                 *total_space_blocks *= file.num_blocks() as f64;
                 let seed: u64 = rng.gen();
-                let mut leaf_rng =
-                    <StdRng as rand::SeedableRng>::seed_from_u64(seed);
+                let mut leaf_rng = <StdRng as rand::SeedableRng>::seed_from_u64(seed);
                 let sampler = BlockSampler::new(file.num_blocks(), &mut leaf_rng);
                 Ok(Node::Leaf(LeafNode {
                     file,
@@ -985,7 +1113,7 @@ impl PhysTree {
     }
 
     /// Advances the whole term by one stage.
-    pub fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, Aborted> {
+    pub fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, StageError> {
         self.root.advance(env)
     }
 
@@ -1045,13 +1173,7 @@ mod tests {
     }
 
     fn env(disk: &Arc<Disk>, fraction: f64) -> StageEnv<'static> {
-        StageEnv {
-            disk: disk.clone(),
-            deadline: None,
-            fraction,
-            fulfillment_override: None,
-            observations: Vec::new(),
-        }
+        StageEnv::new(disk.clone(), None, fraction)
     }
 
     fn rows(n: i64) -> Vec<(i64, i64)> {
@@ -1247,14 +1369,8 @@ mod tests {
         .unwrap();
         // Quota shorter than the stage needs (2000 blocks at ~30 ms).
         let deadline = Deadline::new(disk.clock().clone(), Duration::from_secs(1));
-        let mut e = StageEnv {
-            disk: disk.clone(),
-            deadline: Some(&deadline),
-            fraction: 1.0,
-            fulfillment_override: None,
-            observations: Vec::new(),
-        };
-        assert!(matches!(tree.advance(&mut e), Err(Aborted)));
+        let mut e = StageEnv::new(disk.clone(), Some(&deadline), 1.0);
+        assert!(matches!(tree.advance(&mut e), Err(StageError::Deadline)));
         assert!(deadline.expired());
         // The abort happened at block granularity — not long after T.
         assert!(deadline.overspent() < Duration::from_millis(200));
@@ -1322,6 +1438,105 @@ mod tests {
         assert!(
             mem_cost < disk_cost / 2,
             "main memory {mem_cost:?} vs disk {disk_cost:?}"
+        );
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_charged() {
+        let (disk, cat) = setup(&[("r", rows(100))]);
+        let expr = Expr::relation("r");
+        let mut tree = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(10),
+        )
+        .unwrap();
+        disk.set_fault_plan(eram_storage::FaultPlan::new(13).with_transient(0.4));
+        let before = disk.clock().elapsed();
+        let mut e = env(&disk, 1.0);
+        tree.advance(&mut e).unwrap();
+        assert!(e.health.faults_seen > 0, "40% rate on 20 blocks is sure");
+        assert!(e.health.retries > 0);
+        // Retried backoff was charged: elapsed exceeds the fault-free
+        // cost of the same work by at least the backoff charges.
+        assert!(disk.clock().elapsed() > before);
+        // Most clusters survive retries at this rate/budget.
+        assert!(tree.points_covered() > 0.0);
+    }
+
+    #[test]
+    fn corrupt_blocks_are_dropped_and_counted() {
+        let (disk, cat) = setup(&[("r", rows(100))]);
+        let expr = Expr::relation("r");
+        let mut tree = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(11),
+        )
+        .unwrap();
+        // Half the sites rot: the census loses clusters but finishes.
+        disk.set_fault_plan(eram_storage::FaultPlan::new(17).with_corruption(0.5));
+        let mut e = env(&disk, 1.0);
+        let delta = tree.advance(&mut e).unwrap();
+        assert!(e.health.blocks_lost > 0);
+        assert!(e.health.blocks_lost < 20, "some of 20 blocks survive");
+        // Coverage reflects only surviving clusters (renormalization):
+        // 5 tuples per block, every lost block removes exactly 5.
+        let expected = 100.0 - 5.0 * e.health.blocks_lost as f64;
+        assert_eq!(tree.points_covered(), expected);
+        assert_eq!(delta.tuples.len() as f64, expected);
+    }
+
+    #[test]
+    fn all_blocks_lost_still_returns_empty_delta() {
+        let (disk, cat) = setup(&[("r", rows(50))]);
+        let expr = Expr::relation("r").select(Predicate::True);
+        let mut tree = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(12),
+        )
+        .unwrap();
+        disk.set_fault_plan(eram_storage::FaultPlan::new(19).with_corruption(1.0));
+        let mut e = env(&disk, 1.0);
+        let delta = tree.advance(&mut e).unwrap();
+        assert!(delta.tuples.is_empty());
+        assert_eq!(tree.points_covered(), 0.0);
+        assert_eq!(e.health.blocks_lost, 10);
+    }
+
+    #[test]
+    fn retry_exhaustion_loses_the_block_not_the_query() {
+        let (disk, cat) = setup(&[("r", rows(100))]);
+        let expr = Expr::relation("r");
+        let mut tree = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(14),
+        )
+        .unwrap();
+        // Every attempt fails: each block burns its full retry budget
+        // and is dropped.
+        disk.set_fault_plan(eram_storage::FaultPlan::new(23).with_transient(1.0));
+        let mut e = env(&disk, 1.0);
+        let delta = tree.advance(&mut e).unwrap();
+        assert!(delta.tuples.is_empty());
+        assert_eq!(e.health.blocks_lost, 20);
+        assert_eq!(
+            e.health.retries,
+            20 * u64::from(RetryPolicy::default().max_attempts - 1)
         );
     }
 

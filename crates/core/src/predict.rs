@@ -159,9 +159,7 @@ impl Walk<'_> {
                     MemoryMode::DiskResident => self.model.predict(CostCoeff::WriteTuple, out),
                     MemoryMode::MainMemory => 0.0,
                 };
-                let cost = child.cost
-                    + self.model.predict(CostCoeff::ScanTuple, n_in)
-                    + write;
+                let cost = child.cost + self.model.predict(CostCoeff::ScanTuple, n_in) + write;
                 NodePrediction {
                     out_tuples: out,
                     cost,
@@ -175,9 +173,9 @@ impl Walk<'_> {
                 let new_groups = sel * n;
                 let cum = p.occupancy.len() as f64;
                 let write = match p.memory {
-                    MemoryMode::DiskResident => self
-                        .model
-                        .predict(CostCoeff::WriteTuple, cum + new_groups),
+                    MemoryMode::DiskResident => {
+                        self.model.predict(CostCoeff::WriteTuple, cum + new_groups)
+                    }
                     MemoryMode::MainMemory => 0.0,
                 };
                 let cost = child.cost
@@ -245,10 +243,10 @@ fn binary_pairs(
             let pair_points = n_l * (old_r + n_r) + old_l * n_r;
             // New-left merges against every right run (old + new);
             // every old left run merges against new-right.
-            let merge_units =
-                (b.right_run_count() as f64 + 1.0) * n_l + (old_r + n_r)
-                    + b.left_run_count() as f64 * n_r
-                    + old_l;
+            let merge_units = (b.right_run_count() as f64 + 1.0) * n_l
+                + (old_r + n_r)
+                + b.left_run_count() as f64 * n_r
+                + old_l;
             (pair_points, merge_units)
         }
         Fulfillment::Partial => (n_l * n_r, n_l + n_r),
@@ -310,11 +308,10 @@ pub fn solve_fraction_with(
         } else {
             high = f;
         }
-        if (p.cost_secs - target_secs).abs() <= eps_secs
-            && p.cost_secs <= target_secs {
-                return Some((f, p));
-            }
-            // Overshooting candidate: keep narrowing from below.
+        if (p.cost_secs - target_secs).abs() <= eps_secs && p.cost_secs <= target_secs {
+            return Some((f, p));
+        }
+        // Overshooting candidate: keep narrowing from below.
         if high - low < 1e-9 {
             break;
         }
@@ -328,9 +325,7 @@ mod tests {
     use crate::ops::{Fulfillment, PhysTree};
     use crate::seltrack::SelectivityDefaults;
     use eram_relalg::{Catalog, CmpOp, Expr, Predicate};
-    use eram_storage::{
-        ColumnType, DeviceProfile, Disk, HeapFile, Schema, SimClock, Tuple, Value,
-    };
+    use eram_storage::{ColumnType, DeviceProfile, Disk, HeapFile, Schema, SimClock, Tuple, Value};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::sync::Arc;
@@ -385,10 +380,7 @@ mod tests {
         let mut last = 0.0;
         for f in [0.001, 0.01, 0.05, 0.2, 0.5, 1.0] {
             let p = predict_stage(std::slice::from_ref(&t), f, &model, &policy);
-            assert!(
-                p.cost_secs >= last,
-                "cost must not decrease with f (f={f})"
-            );
+            assert!(p.cost_secs >= last, "cost must not decrease with f (f={f})");
             last = p.cost_secs;
         }
     }
@@ -399,21 +391,10 @@ mod tests {
         let expr = Expr::relation("r").join(Expr::relation("s"), vec![(0, 0)]);
         let mut t = tree(&expr, &disk, &cat);
         // Give the tracker some data so inflation has a variance.
-        let mut env = crate::ops::StageEnv {
-            disk: disk.clone(),
-            deadline: None,
-            fraction: 0.01,
-            fulfillment_override: None,
-            observations: Vec::new(),
-        };
+        let mut env = crate::ops::StageEnv::new(disk.clone(), None, 0.01);
         t.advance(&mut env).unwrap();
         let model = CostModel::generic_default();
-        let mean = predict_stage(
-            std::slice::from_ref(&t),
-            0.05,
-            &model,
-            &SelPolicy::Mean,
-        );
+        let mean = predict_stage(std::slice::from_ref(&t), 0.05, &model, &SelPolicy::Mean);
         let inflated = predict_stage(
             std::slice::from_ref(&t),
             0.05,
@@ -528,35 +509,18 @@ mod tests {
         let mut t = tree(&expr, &disk, &cat);
         let mut model = CostModel::oracle(disk.profile(), 5.0);
         // Stage 1 informs the tracker and fine-tunes coefficients.
-        let mut env = crate::ops::StageEnv {
-            disk: disk.clone(),
-            deadline: None,
-            fraction: 0.01,
-            fulfillment_override: None,
-            observations: Vec::new(),
-        };
+        let mut env = crate::ops::StageEnv::new(disk.clone(), None, 0.01);
         t.advance(&mut env).unwrap();
         for o in &env.observations {
             model.observe(o.coeff, o.units, o.elapsed);
         }
         // Predict stage 2 at a fixed fraction, then run it.
         let f = 0.02;
-        let predicted = predict_stage(
-            std::slice::from_ref(&t),
-            f,
-            &model,
-            &SelPolicy::Mean,
-        )
-        .cost_secs
+        let predicted = predict_stage(std::slice::from_ref(&t), f, &model, &SelPolicy::Mean)
+            .cost_secs
             - model.predict(CostCoeff::StageOverhead, 1.0);
         let before = disk.clock().elapsed();
-        let mut env = crate::ops::StageEnv {
-            disk: disk.clone(),
-            deadline: None,
-            fraction: f,
-            fulfillment_override: None,
-            observations: Vec::new(),
-        };
+        let mut env = crate::ops::StageEnv::new(disk.clone(), None, f);
         t.advance(&mut env).unwrap();
         let actual = (disk.clock().elapsed() - before).as_secs_f64();
         let rel = (predicted - actual).abs() / actual;
@@ -572,33 +536,15 @@ mod tests {
         let expr = Expr::relation("r").intersect(Expr::relation("s"));
         let mut t = tree(&expr, &disk, &cat);
         let model = CostModel::generic_default();
-        let c1 = predict_stage(
-            std::slice::from_ref(&t),
-            0.01,
-            &model,
-            &SelPolicy::Mean,
-        )
-        .cost_secs;
+        let c1 = predict_stage(std::slice::from_ref(&t), 0.01, &model, &SelPolicy::Mean).cost_secs;
         // Advance two stages; the run grid grows, so the same f costs
         // more at the next stage (eq. 4.4's stage dependence).
         for _ in 0..2 {
-            let mut env = crate::ops::StageEnv {
-                disk: disk.clone(),
-                deadline: None,
-                fraction: 0.01,
-                fulfillment_override: None,
-                observations: Vec::new(),
-            };
+            let mut env = crate::ops::StageEnv::new(disk.clone(), None, 0.01);
             t.advance(&mut env).unwrap();
         }
         let model = CostModel::generic_default();
-        let c3 = predict_stage(
-            std::slice::from_ref(&t),
-            0.01,
-            &model,
-            &SelPolicy::Mean,
-        )
-        .cost_secs;
+        let c3 = predict_stage(std::slice::from_ref(&t), 0.01, &model, &SelPolicy::Mean).cost_secs;
         assert!(c3 > c1, "stage cost should grow: {c1} → {c3}");
     }
 }

@@ -33,6 +33,30 @@ pub struct StageReport {
     pub estimate: CountEstimate,
 }
 
+/// Fault-tolerance accounting for one execution: what went wrong at
+/// the storage layer and how the engine absorbed it.
+///
+/// Under cluster sampling a lost block is a dropped cluster: the
+/// estimator renormalizes over the clusters actually read, so the
+/// answer stays unbiased but its variance grows. `degraded` flags
+/// exactly that situation so callers can tell a clean estimate from
+/// one delivered despite data loss.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportHealth {
+    /// Storage faults observed (transient errors and checksum
+    /// mismatches), counted per failed read attempt.
+    pub faults_seen: u64,
+    /// Retries issued by the retry policy; each one charged its
+    /// backoff to the query clock.
+    pub retries: u64,
+    /// Blocks abandoned after corruption or retry exhaustion. Each is
+    /// a cluster dropped from the sample.
+    pub blocks_lost: u64,
+    /// True iff `blocks_lost > 0`: the estimate was delivered over a
+    /// reduced sample.
+    pub degraded: bool,
+}
+
 /// A complete account of one time-constrained query execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionReport {
@@ -47,6 +71,10 @@ pub struct ExecutionReport {
     /// The estimate a *hard*-deadline caller receives: the one from
     /// the last stage that finished within the quota.
     pub final_estimate: CountEstimate,
+    /// Fault-tolerance accounting. `#[serde(default)]` keeps reports
+    /// serialized before this field existed deserializable.
+    #[serde(default)]
+    pub health: ReportHealth,
 }
 
 impl ExecutionReport {
@@ -138,6 +166,7 @@ mod tests {
             stages: vec![stage(1, 4.0, 30, true), stage(2, 5.0, 40, true)],
             total_elapsed: Duration::from_secs_f64(9.0),
             final_estimate: est(42.0),
+            health: ReportHealth::default(),
         };
         assert_eq!(r.completed_stages(), 2);
         assert!(!r.overspent());
@@ -154,6 +183,7 @@ mod tests {
             stages: vec![stage(1, 6.0, 30, true), stage(2, 5.0, 40, false)],
             total_elapsed: Duration::from_secs(11),
             final_estimate: est(42.0),
+            health: ReportHealth::default(),
         };
         assert_eq!(r.completed_stages(), 1);
         assert!(r.overspent());
@@ -171,9 +201,31 @@ mod tests {
             stages: vec![],
             total_elapsed: Duration::ZERO,
             final_estimate: est(0.0),
+            health: ReportHealth::default(),
         };
         assert_eq!(r.utilization(), 0.0);
         assert_eq!(r.completed_stages(), 0);
+    }
+
+    #[test]
+    fn health_defaults_when_absent_from_json() {
+        let r = ExecutionReport {
+            quota: Duration::from_secs(2),
+            stages: vec![],
+            total_elapsed: Duration::from_secs(1),
+            final_estimate: est(1.0),
+            health: ReportHealth {
+                faults_seen: 3,
+                retries: 2,
+                blocks_lost: 1,
+                degraded: true,
+            },
+        };
+        let mut json: serde_json::Value = serde_json::to_value(&r).unwrap();
+        // Simulate a report written before the health field existed.
+        json.as_object_mut().unwrap().remove("health");
+        let back: ExecutionReport = serde_json::from_value(json).unwrap();
+        assert_eq!(back.health, ReportHealth::default());
     }
 
     #[test]
@@ -183,6 +235,7 @@ mod tests {
             stages: vec![stage(1, 1.0, 5, true)],
             total_elapsed: Duration::from_secs(1),
             final_estimate: est(1.0),
+            health: ReportHealth::default(),
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: ExecutionReport = serde_json::from_str(&json).unwrap();

@@ -116,9 +116,9 @@ impl EdfScheduler {
         for job in jobs {
             let started_at = now(&clock);
             let slack = job.deadline.saturating_sub(started_at);
-            let quota = job
-                .desired_quota
-                .min(Duration::from_secs_f64(slack.as_secs_f64() * self.slack_margin));
+            let quota = job.desired_quota.min(Duration::from_secs_f64(
+                slack.as_secs_f64() * self.slack_margin,
+            ));
             if quota < job.min_quota {
                 outcomes.push(JobOutcome {
                     name: job.name,
@@ -177,7 +177,12 @@ mod tests {
         let outcomes = EdfScheduler::default().run(&mut db, jobs);
         assert_eq!(outcomes.len(), 3);
         for (o, d) in outcomes.iter().zip(deadlines) {
-            assert!(o.met(d), "{} finished {:?} vs deadline {d:?}", o.name, o.finished_at);
+            assert!(
+                o.met(d),
+                "{} finished {:?} vs deadline {d:?}",
+                o.name,
+                o.finished_at
+            );
             let est = o.result.as_ref().unwrap().estimate.estimate;
             assert!(est > 0.0);
         }

@@ -107,10 +107,7 @@ impl SelTracker {
     /// Intersect.
     pub fn new(kind: OpKind, total_points: f64, max_operand_tuples: f64) -> Self {
         let initial = match kind {
-            OpKind::Intersect
-                if max_operand_tuples > 0.0 => {
-                    1.0 / max_operand_tuples
-                }
+            OpKind::Intersect if max_operand_tuples > 0.0 => 1.0 / max_operand_tuples,
             _ => 1.0,
         };
         SelTracker {

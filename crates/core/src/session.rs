@@ -14,10 +14,11 @@ use eram_storage::{
     Clock, DeviceProfile, Disk, HeapFile, Schema, SeedSeq, SimClock, Tuple, WallClock,
 };
 
-use crate::costs::CostModel;
 use crate::aggregate::AggregateFn;
+use crate::costs::CostModel;
 use crate::executor::{execute_aggregate, EngineError, ExecOutcome, ExecParams};
 use crate::ops::{Fulfillment, MemoryMode};
+use crate::retry::RetryPolicy;
 use crate::seltrack::SelectivityDefaults;
 use crate::stopping::StoppingCriterion;
 use crate::strategy::{OneAtATimeInterval, TimeControlStrategy};
@@ -50,6 +51,9 @@ pub struct QueryConfig {
     pub hybrid_leftover: bool,
     /// Selection pushdown before compilation (on by default).
     pub optimize: bool,
+    /// How transient storage faults are retried (backoff charged to
+    /// the query clock).
+    pub retry: RetryPolicy,
 }
 
 impl Default for QueryConfig {
@@ -65,6 +69,7 @@ impl Default for QueryConfig {
             distinct: eram_sampling::DistinctEstimator::Goodman,
             hybrid_leftover: false,
             optimize: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -202,8 +207,7 @@ impl Database {
         has_header: bool,
     ) -> Result<usize, eram_storage::StorageError> {
         let file = std::fs::File::open(path)?;
-        let tuples =
-            eram_storage::read_csv(std::io::BufReader::new(file), &schema, has_header)?;
+        let tuples = eram_storage::read_csv(std::io::BufReader::new(file), &schema, has_header)?;
         let n = tuples.len();
         self.load_relation(name, schema, tuples)?;
         Ok(n)
@@ -217,6 +221,26 @@ impl Database {
     /// The underlying device.
     pub fn disk(&self) -> &Arc<Disk> {
         &self.disk
+    }
+
+    /// Arms deterministic fault injection on the device: subsequent
+    /// charged reads suffer transient errors, bit-flip corruption, and
+    /// latency spikes at the plan's rates. Queries keep returning
+    /// estimates — lost blocks degrade precision, not availability.
+    pub fn inject_faults(&self, plan: eram_storage::FaultPlan) {
+        self.disk.set_fault_plan(plan);
+    }
+
+    /// Disarms fault injection (previously corrupted sites heal:
+    /// corruption is injected on read, not persisted to the backend).
+    pub fn clear_faults(&self) {
+        self.disk.clear_fault_plan();
+    }
+
+    /// Cumulative injected-fault counts since the plan was armed, or
+    /// `None` when no plan is active.
+    pub fn fault_stats(&self) -> Option<eram_storage::FaultStats> {
+        self.disk.fault_stats()
     }
 
     /// Exact `COUNT(expr)` computed outside the quota mechanism
@@ -340,6 +364,12 @@ impl CountQuery<'_> {
         self
     }
 
+    /// Replaces the retry policy for transient storage faults.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
     /// Replaces the whole config in one call.
     pub fn config(mut self, config: QueryConfig) -> Self {
         self.config = config;
@@ -360,6 +390,7 @@ impl CountQuery<'_> {
             distinct: self.config.distinct,
             hybrid_leftover: self.config.hybrid_leftover,
             optimize: self.config.optimize,
+            retry: self.config.retry,
         };
         execute_aggregate(
             &self.db.disk,
@@ -424,11 +455,7 @@ mod tests {
             .within(Duration::from_secs(2))
             .run()
             .unwrap();
-        let b = db
-            .count(expr)
-            .within(Duration::from_secs(2))
-            .run()
-            .unwrap();
+        let b = db.count(expr).within(Duration::from_secs(2)).run().unwrap();
         // Different samples → (almost surely) different estimates.
         assert_ne!(
             (a.estimate.estimate, a.report.blocks_evaluated()),
@@ -440,8 +467,12 @@ mod tests {
     fn wall_clock_database_works_end_to_end() {
         let mut db = Database::wall(4);
         let schema = Schema::new(vec![("k", ColumnType::Int)]);
-        db.load_relation("w", schema, (0..1_000).map(|i| Tuple::new(vec![Value::Int(i)])))
-            .unwrap();
+        db.load_relation(
+            "w",
+            schema,
+            (0..1_000).map(|i| Tuple::new(vec![Value::Int(i)])),
+        )
+        .unwrap();
         let out = db
             .count(Expr::relation("w").select(Predicate::col_cmp(0, CmpOp::Lt, 500)))
             .within(Duration::from_millis(500))
@@ -450,6 +481,43 @@ mod tests {
         // On a modern machine the census completes almost instantly.
         assert!(out.report.total_elapsed <= Duration::from_millis(500));
         assert!((out.estimate.estimate - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn faulty_database_still_answers_and_reports_health() {
+        let mut db = populated(6);
+        db.inject_faults(
+            eram_storage::FaultPlan::new(99)
+                .with_transient(0.10)
+                .with_corruption(0.02),
+        );
+        let expr = Expr::relation("t").select(Predicate::col_cmp(1, CmpOp::Eq, 0));
+        let out = db.count(expr).within(Duration::from_secs(6)).run().unwrap();
+        assert!(out.estimate.estimate >= 0.0);
+        let h = out.report.health;
+        assert!(h.faults_seen > 0);
+        assert_eq!(h.degraded, h.blocks_lost > 0);
+        let stats = db.fault_stats().expect("plan is armed");
+        assert!(stats.transient_errors + stats.corrupt_reads > 0);
+        // Disarming returns the device to clean operation.
+        db.clear_faults();
+        assert!(db.fault_stats().is_none());
+    }
+
+    #[test]
+    fn retry_policy_none_loses_blocks_faster() {
+        let mut db = populated(7);
+        db.inject_faults(eram_storage::FaultPlan::new(123).with_transient(0.15));
+        let expr = Expr::relation("t").select(Predicate::col_cmp(1, CmpOp::Eq, 0));
+        let out = db
+            .count(expr)
+            .within(Duration::from_secs(6))
+            .retry(RetryPolicy::none())
+            .run()
+            .unwrap();
+        // With no retries every transient fault costs a block.
+        assert_eq!(out.report.health.retries, 0);
+        assert_eq!(out.report.health.blocks_lost, out.report.health.faults_seen);
     }
 
     #[test]

@@ -19,8 +19,7 @@ use serde::{Deserialize, Serialize};
 use eram_sampling::CountEstimate;
 
 /// When to stop the stage loop.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum StoppingCriterion {
     /// Hard deadline: the timer interrupt aborts the in-flight stage
     /// at the quota; its time is wasted. The result is the estimate
@@ -80,9 +79,7 @@ impl StoppingCriterion {
     pub fn value_function(&self) -> Option<Duration> {
         match self {
             StoppingCriterion::ValueFunction { zero_value_at } => Some(*zero_value_at),
-            StoppingCriterion::Combined(members) => {
-                members.iter().find_map(Self::value_function)
-            }
+            StoppingCriterion::Combined(members) => members.iter().find_map(Self::value_function),
             _ => None,
         }
     }
@@ -133,7 +130,6 @@ fn relative_change(a: f64, b: f64) -> f64 {
     let denom = a.abs().max(1.0);
     (b - a).abs() / denom
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -186,7 +182,12 @@ mod tests {
         };
         let noisy = [est(100.0, 1.0), est(150.0, 1.0), est(150.5, 1.0)];
         assert!(!c.precision_satisfied(&noisy));
-        let quiet = [est(100.0, 1.0), est(150.0, 1.0), est(150.1, 1.0), est(150.2, 1.0)];
+        let quiet = [
+            est(100.0, 1.0),
+            est(150.0, 1.0),
+            est(150.1, 1.0),
+            est(150.2, 1.0),
+        ];
         assert!(c.precision_satisfied(&quiet));
         // Too little history.
         assert!(!c.precision_satisfied(&quiet[..2]));
@@ -209,7 +210,10 @@ mod tests {
     fn completion_value_decays_linearly() {
         let q = Duration::from_secs(10);
         let z = Duration::from_secs(20);
-        assert_eq!(StoppingCriterion::completion_value(q, z, Duration::from_secs(5)), 1.0);
+        assert_eq!(
+            StoppingCriterion::completion_value(q, z, Duration::from_secs(5)),
+            1.0
+        );
         assert_eq!(StoppingCriterion::completion_value(q, z, q), 1.0);
         let mid = StoppingCriterion::completion_value(q, z, Duration::from_secs(15));
         assert!((mid - 0.5).abs() < 1e-12);

@@ -334,9 +334,7 @@ mod tests {
     use super::*;
     use crate::ops::{Fulfillment, PhysTree, StageEnv};
     use eram_relalg::{Catalog, CmpOp, Expr, Predicate};
-    use eram_storage::{
-        ColumnType, DeviceProfile, Disk, HeapFile, Schema, SimClock, Tuple, Value,
-    };
+    use eram_storage::{ColumnType, DeviceProfile, Disk, HeapFile, Schema, SimClock, Tuple, Value};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::sync::Arc;
@@ -392,13 +390,7 @@ mod tests {
         let (disk, cat) = setup();
         let mut tree = select_tree(&disk, &cat);
         // Observe some data so inflation differs from the mean.
-        let mut env = StageEnv {
-            disk: disk.clone(),
-            deadline: None,
-            fraction: 0.005,
-            fulfillment_override: None,
-            observations: Vec::new(),
-        };
+        let mut env = StageEnv::new(disk.clone(), None, 0.005);
         tree.advance(&mut env).unwrap();
         let trees = [tree];
         let model = CostModel::generic_default();
@@ -437,13 +429,7 @@ mod tests {
     fn single_interval_reserves_headroom() {
         let (disk, cat) = setup();
         let mut tree = select_tree(&disk, &cat);
-        let mut env = StageEnv {
-            disk: disk.clone(),
-            deadline: None,
-            fraction: 0.005,
-            fulfillment_override: None,
-            observations: Vec::new(),
-        };
+        let mut env = StageEnv::new(disk.clone(), None, 0.005);
         tree.advance(&mut env).unwrap();
         let trees = [tree];
         let model = CostModel::generic_default();
@@ -478,7 +464,10 @@ mod tests {
 
     #[test]
     fn strategy_names_are_stable() {
-        assert_eq!(OneAtATimeInterval::default().name(), "one-at-a-time-interval");
+        assert_eq!(
+            OneAtATimeInterval::default().name(),
+            "one-at-a-time-interval"
+        );
         assert_eq!(SingleInterval::default().name(), "single-interval");
         assert_eq!(HeuristicStrategy::default().name(), "heuristic");
     }

@@ -108,8 +108,7 @@ mod tests {
                     .map(|i| (format!("c{i}"), ColumnType::Int))
                     .collect(),
             );
-            let hf =
-                HeapFile::load(disk.clone(), schema, data.iter().map(|r| tup(r))).unwrap();
+            let hf = HeapFile::load(disk.clone(), schema, data.iter().map(|r| tup(r))).unwrap();
             c.register(*name, hf);
         }
         c
@@ -153,7 +152,10 @@ mod tests {
         let a = Expr::relation("a");
         let b = Expr::relation("b");
         assert_eq!(exact_count(&a.clone().union(b.clone()), &c).unwrap(), 4);
-        assert_eq!(exact_count(&a.clone().difference(b.clone()), &c).unwrap(), 1);
+        assert_eq!(
+            exact_count(&a.clone().difference(b.clone()), &c).unwrap(),
+            1
+        );
         assert_eq!(exact_count(&a.intersect(b), &c).unwrap(), 2);
     }
 

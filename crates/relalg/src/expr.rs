@@ -392,7 +392,11 @@ mod tests {
             2
         );
         assert_eq!(
-            r1.clone().project(vec![1]).output_schema(&c).unwrap().arity(),
+            r1.clone()
+                .project(vec![1])
+                .output_schema(&c)
+                .unwrap()
+                .arity(),
             1
         );
         assert_eq!(
@@ -404,17 +408,22 @@ mod tests {
             4
         );
         assert_eq!(
-            r1.clone().union(r2.clone()).output_schema(&c).unwrap().arity(),
+            r1.clone()
+                .union(r2.clone())
+                .output_schema(&c)
+                .unwrap()
+                .arity(),
             2
         );
         assert_eq!(
-            r1.clone().difference(r2.clone()).output_schema(&c).unwrap().arity(),
+            r1.clone()
+                .difference(r2.clone())
+                .output_schema(&c)
+                .unwrap()
+                .arity(),
             2
         );
-        assert_eq!(
-            r1.intersect(r2).output_schema(&c).unwrap().arity(),
-            2
-        );
+        assert_eq!(r1.intersect(r2).output_schema(&c).unwrap().arity(), 2);
     }
 
     #[test]
@@ -439,7 +448,9 @@ mod tests {
             Err(ExprError::EmptyJoinKeys)
         ));
         assert!(matches!(
-            Expr::relation("r1").union(Expr::relation("s")).output_schema(&c),
+            Expr::relation("r1")
+                .union(Expr::relation("s"))
+                .output_schema(&c),
             Err(ExprError::IncompatibleSchemas(_))
         ));
         assert!(matches!(
@@ -455,10 +466,11 @@ mod tests {
         let e = Expr::relation("r1")
             .join(Expr::relation("r2"), vec![(0, 0)])
             .select(Predicate::True)
-            .union(Expr::relation("r1").project(vec![0]).join(
-                Expr::relation("r2").project(vec![0]),
-                vec![(0, 0)],
-            ));
+            .union(
+                Expr::relation("r1")
+                    .project(vec![0])
+                    .join(Expr::relation("r2").project(vec![0]), vec![(0, 0)]),
+            );
         assert_eq!(e.base_relations(), vec!["r1", "r2", "r1", "r2"]);
         assert!(e.contains_projection());
         assert!(e.contains_union_or_difference());

@@ -228,9 +228,7 @@ impl TableStats {
         match pred {
             Predicate::True => 1.0,
             Predicate::False => 0.0,
-            Predicate::And(a, b) => {
-                self.predicate_selectivity(a) * self.predicate_selectivity(b)
-            }
+            Predicate::And(a, b) => self.predicate_selectivity(a) * self.predicate_selectivity(b),
             Predicate::Or(a, b) => {
                 let sa = self.predicate_selectivity(a);
                 let sb = self.predicate_selectivity(b);
@@ -238,12 +236,12 @@ impl TableStats {
             }
             Predicate::Not(a) => 1.0 - self.predicate_selectivity(a),
             Predicate::Compare { left, op, right } => match (left, right) {
-                (Operand::Column(c), Operand::Const(v)) => self
-                    .column(*c)
-                    .map_or(0.5, |h| h.selectivity(*op, v)),
-                (Operand::Const(v), Operand::Column(c)) => self
-                    .column(*c)
-                    .map_or(0.5, |h| h.selectivity(flip(*op), v)),
+                (Operand::Column(c), Operand::Const(v)) => {
+                    self.column(*c).map_or(0.5, |h| h.selectivity(*op, v))
+                }
+                (Operand::Const(v), Operand::Column(c)) => {
+                    self.column(*c).map_or(0.5, |h| h.selectivity(flip(*op), v))
+                }
                 // Column-to-column or constant-to-constant: fall back
                 // to the textbook guesses.
                 (Operand::Column(_), Operand::Column(_)) => match op {

@@ -140,12 +140,10 @@ fn arity(expr: &Expr, arity_of: &dyn Fn(&str) -> Option<usize>) -> Option<usize>
         Expr::Relation(name) => arity_of(name),
         Expr::Select { input, .. } => arity(input, arity_of),
         Expr::Project { columns, .. } => Some(columns.len()),
-        Expr::Join { left, right, .. } => {
-            Some(arity(left, arity_of)? + arity(right, arity_of)?)
+        Expr::Join { left, right, .. } => Some(arity(left, arity_of)? + arity(right, arity_of)?),
+        Expr::Union { left, .. } | Expr::Difference { left, .. } | Expr::Intersect { left, .. } => {
+            arity(left, arity_of)
         }
-        Expr::Union { left, .. }
-        | Expr::Difference { left, .. }
-        | Expr::Intersect { left, .. } => arity(left, arity_of),
     }
 }
 
@@ -236,7 +234,9 @@ mod tests {
     #[test]
     fn distributes_over_set_ops() {
         let p = Predicate::col_cmp(0, CmpOp::Eq, 1);
-        let e = Expr::relation("a").union(Expr::relation("b")).select(p.clone());
+        let e = Expr::relation("a")
+            .union(Expr::relation("b"))
+            .select(p.clone());
         let out = push_selections(e, &arity2);
         assert_eq!(
             out,

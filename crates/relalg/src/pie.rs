@@ -364,10 +364,7 @@ mod tests {
     #[test]
     fn projection_over_difference_is_rejected() {
         let e = a().difference(b()).project(vec![0]);
-        assert_eq!(
-            PieRewrite::rewrite(&e),
-            Err(ExprError::ProjectionOverSetOp)
-        );
+        assert_eq!(PieRewrite::rewrite(&e), Err(ExprError::ProjectionOverSetOp));
     }
 
     #[test]

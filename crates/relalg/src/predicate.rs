@@ -120,9 +120,7 @@ impl Predicate {
         match self {
             Predicate::True | Predicate::False => 0,
             Predicate::Compare { .. } => 1,
-            Predicate::And(a, b) | Predicate::Or(a, b) => {
-                a.num_comparisons() + b.num_comparisons()
-            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.num_comparisons() + b.num_comparisons(),
             Predicate::Not(a) => a.num_comparisons(),
         }
     }
@@ -251,9 +249,15 @@ mod tests {
     #[test]
     fn validate_catches_bad_columns() {
         let schema = Schema::new(vec![("a", ColumnType::Int)]);
-        assert!(Predicate::col_cmp(0, CmpOp::Eq, 1).validate(&schema).is_ok());
-        assert!(Predicate::col_cmp(1, CmpOp::Eq, 1).validate(&schema).is_err());
-        assert!(Predicate::col_col(0, CmpOp::Lt, 3).validate(&schema).is_err());
+        assert!(Predicate::col_cmp(0, CmpOp::Eq, 1)
+            .validate(&schema)
+            .is_ok());
+        assert!(Predicate::col_cmp(1, CmpOp::Eq, 1)
+            .validate(&schema)
+            .is_err());
+        assert!(Predicate::col_col(0, CmpOp::Lt, 3)
+            .validate(&schema)
+            .is_err());
     }
 
     #[test]

@@ -10,8 +10,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
         (-1000i64..1000).prop_map(Value::Int),
         // Finite floats only: the language has no NaN/inf literals.
-        (-100i64..100, 1u32..1000)
-            .prop_map(|(m, d)| Value::Float(m as f64 + 1.0 / f64::from(d))),
+        (-100i64..100, 1u32..1000).prop_map(|(m, d)| Value::Float(m as f64 + 1.0 / f64::from(d))),
         any::<bool>().prop_map(Value::Bool),
         "[a-z ]{0,8}".prop_map(Value::Str),
     ]
@@ -32,8 +31,7 @@ fn arb_predicate() -> impl Strategy<Value = Predicate> {
     let atom = prop_oneof![
         Just(Predicate::True),
         Just(Predicate::False),
-        (0usize..4, arb_cmp(), arb_value())
-            .prop_map(|(c, op, v)| Predicate::col_cmp(c, op, v)),
+        (0usize..4, arb_cmp(), arb_value()).prop_map(|(c, op, v)| Predicate::col_cmp(c, op, v)),
         (0usize..4, arb_cmp(), 0usize..4).prop_map(|(l, op, r)| Predicate::col_col(l, op, r)),
     ];
     atom.prop_recursive(3, 12, 2, |inner| {
@@ -51,8 +49,17 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
         .prop_filter("not a keyword", |n| {
             !matches!(
                 n.as_str(),
-                "select" | "project" | "join" | "union" | "minus" | "intersect"
-                    | "and" | "or" | "not" | "true" | "false"
+                "select"
+                    | "project"
+                    | "join"
+                    | "union"
+                    | "minus"
+                    | "intersect"
+                    | "and"
+                    | "or"
+                    | "not"
+                    | "true"
+                    | "false"
             )
         })
         .prop_map(Expr::relation);

@@ -26,12 +26,8 @@ fn catalog(rows: [&[(i64, i64)]; 3]) -> Catalog {
     let mut c = Catalog::new();
     for (name, data) in ["a", "b", "c"].iter().zip(rows) {
         let schema = Schema::new(vec![("x", ColumnType::Int), ("y", ColumnType::Int)]);
-        let hf = HeapFile::load(
-            disk.clone(),
-            schema,
-            data.iter().map(|&(a, b)| tup(a, b)),
-        )
-        .unwrap();
+        let hf =
+            HeapFile::load(disk.clone(), schema, data.iter().map(|&(a, b)| tup(a, b))).unwrap();
         c.register(*name, hf);
     }
     c
@@ -68,8 +64,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(l, r)| l.intersect(r)),
             (inner.clone(), 0usize..2, -2i64..6)
                 .prop_map(|(e, col, k)| e.select(Predicate::col_cmp(col, CmpOp::Le, k))),
-            (inner, 0usize..2, -2i64..6)
-                .prop_map(|(e, col, k)| e.select(Predicate::col_cmp(col, CmpOp::Eq, k))),
+            (inner, 0usize..2, -2i64..6).prop_map(|(e, col, k)| e.select(Predicate::col_cmp(
+                col,
+                CmpOp::Eq,
+                k
+            ))),
         ]
     })
 }

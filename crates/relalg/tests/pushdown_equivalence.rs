@@ -31,7 +31,12 @@ fn catalog(rows_a: &[(i64, i64)], rows_b: &[(i64, i64)]) -> Catalog {
 
 fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64)>> {
     prop::collection::vec(0i64..5, 0..20)
-        .prop_map(|ys| ys.into_iter().enumerate().map(|(i, y)| (i as i64 % 7, y)).collect::<Vec<_>>())
+        .prop_map(|ys| {
+            ys.into_iter()
+                .enumerate()
+                .map(|(i, y)| (i as i64 % 7, y))
+                .collect::<Vec<_>>()
+        })
         .prop_map(|mut v: Vec<(i64, i64)>| {
             v.sort_unstable();
             v.dedup();
@@ -63,7 +68,10 @@ fn arb_shape() -> impl Strategy<Value = (Expr, usize)> {
         Just((Expr::relation("a").union(Expr::relation("b")), 2)),
         Just((Expr::relation("a").difference(Expr::relation("b")), 2)),
         Just((Expr::relation("a").intersect(Expr::relation("b")), 2)),
-        Just((Expr::relation("a").join(Expr::relation("b"), vec![(0, 0)]), 4)),
+        Just((
+            Expr::relation("a").join(Expr::relation("b"), vec![(0, 0)]),
+            4
+        )),
         Just((
             Expr::relation("a")
                 .join(Expr::relation("b"), vec![(1, 1)])

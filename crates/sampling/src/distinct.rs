@@ -204,7 +204,10 @@ mod tests {
         let occ = occupancies(&classes, &s95);
         let d = occ.len() as f64;
         let e = jackknife1(100.0, &occ);
-        assert!(e - d <= 5.0, "correction must be small near census: {e} vs {d}");
+        assert!(
+            e - d <= 5.0,
+            "correction must be small near census: {e} vs {d}"
+        );
     }
 
     #[test]

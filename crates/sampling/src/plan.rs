@@ -49,7 +49,9 @@ impl BlockSampler {
     /// Draws up to `d` new blocks (fewer if the relation is nearly
     /// exhausted), returning their indices.
     pub fn draw(&mut self, d: u64) -> &[u64] {
-        let take = usize::try_from(d).unwrap_or(usize::MAX).min(self.perm.len() - self.cursor);
+        let take = usize::try_from(d)
+            .unwrap_or(usize::MAX)
+            .min(self.perm.len() - self.cursor);
         let slice = &self.perm[self.cursor..self.cursor + take];
         self.cursor += take;
         slice

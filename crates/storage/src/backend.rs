@@ -73,14 +73,19 @@ impl BlockBackend for MemoryBackend {
     }
 
     fn read(&self, file: u64, index: u64) -> Result<Block> {
-        let blocks = self.files.get(&file).ok_or(StorageError::UnknownFile(file))?;
-        blocks
-            .get(usize::try_from(index).expect("index fits usize"))
+        let blocks = self
+            .files
+            .get(&file)
+            .ok_or(StorageError::UnknownFile(file))?;
+        let len = blocks.len() as u64;
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| blocks.get(i))
             .cloned()
             .ok_or(StorageError::BlockOutOfRange {
                 file,
                 block: index,
-                len: blocks.len() as u64,
+                len,
             })
     }
 
@@ -90,8 +95,9 @@ impl BlockBackend for MemoryBackend {
             .get_mut(&file)
             .ok_or(StorageError::UnknownFile(file))?;
         let len = blocks.len() as u64;
-        let slot = blocks
-            .get_mut(usize::try_from(index).expect("index fits usize"))
+        let slot = usize::try_from(index)
+            .ok()
+            .and_then(|i| blocks.get_mut(i))
             .ok_or(StorageError::BlockOutOfRange {
                 file,
                 block: index,
@@ -115,7 +121,7 @@ impl FileBackend {
     /// directory must exist and be writable.
     pub(crate) fn new(dir: &Path, block_size: usize) -> Result<Self> {
         if !dir.is_dir() {
-            return Err(StorageError::Io(format!(
+            return Err(StorageError::io(format!(
                 "{} is not a directory",
                 dir.display()
             )));
@@ -174,7 +180,10 @@ impl BlockBackend for FileBackend {
 
     fn read(&self, file: u64, index: u64) -> Result<Block> {
         use std::os::unix::fs::FileExt;
-        let (f, n) = self.files.get(&file).ok_or(StorageError::UnknownFile(file))?;
+        let (f, n) = self
+            .files
+            .get(&file)
+            .ok_or(StorageError::UnknownFile(file))?;
         if index >= *n {
             return Err(StorageError::BlockOutOfRange {
                 file,
@@ -218,10 +227,8 @@ mod tests {
     }
 
     fn temp_dir(label: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "eram-backend-test-{label}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("eram-backend-test-{label}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -261,6 +268,21 @@ mod tests {
     #[test]
     fn memory_backend_contract() {
         exercise(&mut MemoryBackend::new(), 64);
+    }
+
+    #[test]
+    fn hostile_index_is_an_error_not_a_panic() {
+        let mut b = MemoryBackend::new();
+        let f = b.create_file();
+        b.append(f, &block(1, 16)).unwrap();
+        assert!(matches!(
+            b.read(f, u64::MAX),
+            Err(StorageError::BlockOutOfRange { block, .. }) if block == u64::MAX
+        ));
+        assert!(matches!(
+            b.write(f, u64::MAX, &block(2, 16)),
+            Err(StorageError::BlockOutOfRange { .. })
+        ));
     }
 
     #[test]

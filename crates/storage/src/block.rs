@@ -65,6 +65,24 @@ impl Block {
     pub fn bytes_mut(&mut self) -> &mut [u8] {
         &mut self.data
     }
+
+    /// 64-bit FNV-1a checksum over the block's bytes.
+    ///
+    /// Recorded on every write and verified on every charged read by
+    /// [`crate::Disk`]; a mismatch surfaces as
+    /// [`crate::StorageError::Corrupt`]. FNV-1a is not cryptographic,
+    /// but a single flipped bit anywhere in the block always changes
+    /// the digest, which is the failure model we defend against.
+    pub fn checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for &byte in self.data.iter() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +102,29 @@ mod tests {
         let mut b = Block::zeroed(16);
         b.bytes_mut()[3] = 0xAB;
         assert_eq!(b.bytes()[3], 0xAB);
+    }
+
+    #[test]
+    fn checksum_detects_any_single_bit_flip() {
+        let mut b = Block::zeroed(64);
+        for (i, byte) in b.bytes_mut().iter_mut().enumerate() {
+            *byte = (i * 7) as u8;
+        }
+        let clean = b.checksum();
+        for bit in 0..(64 * 8) {
+            let mut flipped = b.clone();
+            flipped.bytes_mut()[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(flipped.checksum(), clean, "bit {bit} went undetected");
+        }
+    }
+
+    #[test]
+    fn checksum_is_deterministic() {
+        let b = Block::zeroed(BLOCK_SIZE);
+        assert_eq!(b.checksum(), b.checksum());
+        let mut c = Block::zeroed(BLOCK_SIZE);
+        c.bytes_mut()[0] = 1;
+        assert_ne!(b.checksum(), c.checksum());
     }
 
     #[test]

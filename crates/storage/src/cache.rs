@@ -98,11 +98,7 @@ impl BlockCache {
                 Some((key, tick)) => {
                     // Only evict if this queue entry is the key's
                     // *latest* touch; otherwise it is stale.
-                    if self
-                        .entries
-                        .get(&key)
-                        .is_some_and(|(_, cur)| *cur == tick)
-                    {
+                    if self.entries.get(&key).is_some_and(|(_, cur)| *cur == tick) {
                         self.entries.remove(&key);
                     }
                 }

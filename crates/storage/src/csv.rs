@@ -38,7 +38,7 @@ fn split_record(line: &str) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(StorageError::Io("unterminated quoted CSV field".into()));
+        return Err(StorageError::io("unterminated quoted CSV field"));
     }
     fields.push(field);
     Ok(fields)
@@ -46,7 +46,9 @@ fn split_record(line: &str) -> Result<Vec<String>> {
 
 fn parse_value(text: &str, ty: ColumnType, line_no: usize) -> Result<Value> {
     let err = |what: &str| {
-        StorageError::Io(format!("CSV line {line_no}: cannot parse {text:?} as {what}"))
+        StorageError::io(format!(
+            "CSV line {line_no}: cannot parse {text:?} as {what}"
+        ))
     };
     match ty {
         ColumnType::Int => text
@@ -89,7 +91,7 @@ pub fn read_csv<R: BufRead>(reader: R, schema: &Schema, has_header: bool) -> Res
         }
         let fields = split_record(&line)?;
         if fields.len() != schema.arity() {
-            return Err(StorageError::Io(format!(
+            return Err(StorageError::io(format!(
                 "CSV line {line_no}: {} fields, schema expects {}",
                 fields.len(),
                 schema.arity()
@@ -115,7 +117,7 @@ pub fn parse_schema_spec(spec: &str, pad_to: Option<usize>) -> Result<Schema> {
     for part in spec.split(',') {
         let (name, ty_text) = part
             .split_once(':')
-            .ok_or_else(|| StorageError::Io(format!("bad column spec {part:?}")))?;
+            .ok_or_else(|| StorageError::io(format!("bad column spec {part:?}")))?;
         let name = name.trim();
         let ty_text = ty_text.trim();
         let ty = match ty_text {
@@ -125,22 +127,22 @@ pub fn parse_schema_spec(spec: &str, pad_to: Option<usize>) -> Result<Schema> {
             s if s.starts_with("str") => {
                 let width: u16 = s[3..]
                     .parse()
-                    .map_err(|_| StorageError::Io(format!("bad string width in {part:?}")))?;
+                    .map_err(|_| StorageError::io(format!("bad string width in {part:?}")))?;
                 ColumnType::Str { width }
             }
             _ => {
-                return Err(StorageError::Io(format!(
+                return Err(StorageError::io(format!(
                     "unknown column type {ty_text:?} (use int, float, bool, strN)"
                 )))
             }
         };
         if name.is_empty() {
-            return Err(StorageError::Io(format!("empty column name in {part:?}")));
+            return Err(StorageError::io(format!("empty column name in {part:?}")));
         }
         columns.push((name.to_owned(), ty));
     }
     if columns.is_empty() {
-        return Err(StorageError::Io("empty schema spec".into()));
+        return Err(StorageError::io("empty schema spec"));
     }
     let schema = Schema::new(columns);
     Ok(match pad_to {

@@ -14,6 +14,7 @@
 //! computation (exact `COUNT` evaluation must not consume the query's
 //! simulated quota).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -27,7 +28,8 @@ use crate::block::{Block, BLOCK_SIZE};
 use crate::cache::BlockCache;
 use crate::clock::Clock;
 use crate::cost::{DeviceOp, DeviceProfile};
-use crate::error::StorageError;
+use crate::error::{IoFault, StorageError};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultStats};
 use crate::Result;
 
 /// Identifies a file on a [`Disk`].
@@ -51,6 +53,11 @@ struct DiskInner {
     backend: Box<dyn BlockBackend>,
     rng: StdRng,
     cache: Option<BlockCache>,
+    /// FNV-1a digest of every block written through this disk, keyed
+    /// by (file, index); verified on every charged read.
+    checksums: HashMap<(u64, u64), u64>,
+    /// Active fault injector, if a [`FaultPlan`] has been armed.
+    faults: Option<FaultInjector>,
 }
 
 /// A block store that charges a clock for every operation.
@@ -82,7 +89,13 @@ impl Disk {
         seed: u64,
     ) -> Arc<Self> {
         assert!(block_size > 0, "block size must be positive");
-        Self::with_backend(clock, profile, block_size, seed, Box::new(MemoryBackend::new()))
+        Self::with_backend(
+            clock,
+            profile,
+            block_size,
+            seed,
+            Box::new(MemoryBackend::new()),
+        )
     }
 
     /// Creates a disk whose blocks live in real files under `dir`
@@ -116,6 +129,8 @@ impl Disk {
                 backend,
                 rng: StdRng::seed_from_u64(seed),
                 cache: None,
+                checksums: HashMap::new(),
+                faults: None,
             }),
             clock,
             profile,
@@ -149,6 +164,28 @@ impl Disk {
         inner.cache.as_ref().map(|c| (c.hits(), c.misses()))
     }
 
+    /// Arms fault injection: every subsequent charged read runs
+    /// through the plan's deterministic fault decisions. Replaces any
+    /// previously armed plan (and its counters).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.inner.lock().faults = Some(FaultInjector::new(plan));
+    }
+
+    /// Disarms fault injection.
+    pub fn clear_fault_plan(&self) {
+        self.inner.lock().faults = None;
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.lock().faults.as_ref().map(|i| *i.plan())
+    }
+
+    /// Counters of faults injected so far, if a plan is armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.inner.lock().faults.as_ref().map(|i| i.stats())
+    }
+
     /// The clock charged by this disk.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
@@ -173,6 +210,7 @@ impl Disk {
     pub fn free_file(&self, file: FileId) {
         let mut inner = self.inner.lock();
         inner.backend.free_file(file.0);
+        inner.checksums.retain(|&(f, _), _| f != file.0);
         if let Some(cache) = inner.cache.as_mut() {
             cache.invalidate_file(file.0);
         }
@@ -197,6 +235,7 @@ impl Disk {
         self.writes.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock();
         let index = inner.backend.append(file.0, &block)?;
+        inner.checksums.insert((file.0, index), block.checksum());
         if let Some(cache) = inner.cache.as_mut() {
             cache.put(file.0, index, block);
         }
@@ -205,6 +244,14 @@ impl Disk {
 
     /// Reads block `index` of `file`, charging one block read (or a
     /// cache hit when the block is resident in the buffer cache).
+    ///
+    /// Charged reads are the fault-injection and integrity-check
+    /// surface: an armed [`FaultPlan`] may fail the read transiently,
+    /// add a latency spike, or corrupt the returned bytes, and every
+    /// block read from the backend is verified against the checksum
+    /// recorded when it was written. Cache hits skip both — a cached
+    /// block was verified when it entered the cache, matching a real
+    /// buffer pool where rot lives on the medium, not in RAM.
     pub fn read_block(&self, file: FileId, index: u64) -> Result<Block> {
         // Cache lookup first (uncontended fast path under the same
         // lock the charge would take anyway).
@@ -221,8 +268,59 @@ impl Disk {
         }
         self.charge(DeviceOp::BlockRead);
         self.reads.fetch_add(1, Ordering::Relaxed);
-        let block = self.read_block_uncharged(file, index)?;
         let mut inner = self.inner.lock();
+        // Fault decisions, the backend read, corruption, and checksum
+        // verification all happen under one lock acquisition so the
+        // (file, block, attempt) accounting can never interleave.
+        // Spikes charge the clock directly — `Clock::charge` is
+        // atomic, while `Disk::charge` would re-lock `inner`.
+        let mut injected_corrupt = false;
+        if let Some(injector) = inner.faults.as_mut() {
+            let outcome = injector.on_read(file.0, index);
+            if let Some(spike) = outcome.spike {
+                self.clock.charge(spike);
+            }
+            match outcome.kind {
+                Some(FaultKind::Transient) => {
+                    return Err(StorageError::Io(IoFault::new(
+                        std::io::ErrorKind::Interrupted,
+                        format!(
+                            "injected transient fault reading block {index} of file {}",
+                            file.0
+                        ),
+                    )));
+                }
+                Some(FaultKind::Corrupt) => injected_corrupt = true,
+                None => {}
+            }
+        }
+        let mut block = inner.backend.read(file.0, index)?;
+        if injected_corrupt {
+            // Flip one deterministic bit on the returned copy; the
+            // backend's bytes stay clean so uncharged (ground-truth)
+            // reads are unaffected.
+            let (byte, mask) = inner
+                .faults
+                .as_ref()
+                .expect("injector set when corruption decided")
+                .corrupt_bit(file.0, index, block.len());
+            block.bytes_mut()[byte] ^= mask;
+        }
+        if let Some(&expected) = inner.checksums.get(&(file.0, index)) {
+            if block.checksum() != expected {
+                return Err(StorageError::Corrupt {
+                    file: file.0,
+                    block: index,
+                });
+            }
+        } else if injected_corrupt {
+            // No recorded digest (block never written through this
+            // disk); the injected rot is still a detected corruption.
+            return Err(StorageError::Corrupt {
+                file: file.0,
+                block: index,
+            });
+        }
         if let Some(cache) = inner.cache.as_mut() {
             cache.put(file.0, index, block.clone());
         }
@@ -242,6 +340,7 @@ impl Disk {
         self.writes.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock();
         inner.backend.write(file.0, index, &block)?;
+        inner.checksums.insert((file.0, index), block.checksum());
         if let Some(cache) = inner.cache.as_mut() {
             cache.put(file.0, index, block);
         }
@@ -252,7 +351,10 @@ impl Disk {
     /// relations before the query's quota is armed, and for tests.
     pub fn append_block_uncharged(&self, file: FileId, block: Block) -> Result<u64> {
         assert_eq!(block.len(), self.block_size, "block size mismatch");
-        self.inner.lock().backend.append(file.0, &block)
+        let mut inner = self.inner.lock();
+        let index = inner.backend.append(file.0, &block)?;
+        inner.checksums.insert((file.0, index), block.checksum());
+        Ok(index)
     }
 
     /// Charges the clock for `op` (with jitter under a simulated
@@ -305,11 +407,7 @@ mod tests {
 
     fn sim_disk() -> (Arc<SimClock>, Arc<Disk>) {
         let clock = Arc::new(SimClock::new());
-        let disk = Disk::new(
-            clock.clone(),
-            DeviceProfile::sun_3_60().without_jitter(),
-            7,
-        );
+        let disk = Disk::new(clock.clone(), DeviceProfile::sun_3_60().without_jitter(), 7);
         (clock, disk)
     }
 
@@ -453,6 +551,128 @@ mod tests {
     }
 
     #[test]
+    fn transient_fault_fails_then_recovers_on_retry() {
+        let (_, disk) = sim_disk();
+        let f = disk.create_file();
+        for _ in 0..50 {
+            disk.append_block_uncharged(f, Block::zeroed(disk.block_size()))
+                .unwrap();
+        }
+        disk.set_fault_plan(crate::FaultPlan::new(21).with_transient(0.5));
+        // Find a block whose first attempt fails...
+        let failed = (0..50u64)
+            .find(|&i| disk.read_block(f, i).is_err())
+            .expect("50% transient rate fails at least one of 50 reads");
+        // ...and retry it until it succeeds (attempt-varying faults).
+        let recovered = (0..64).any(|_| disk.read_block(f, failed).is_ok());
+        assert!(recovered, "transient fault never cleared on retry");
+        let stats = disk.fault_stats().unwrap();
+        assert!(stats.transient_errors >= 1);
+        assert_eq!(stats.corrupt_reads, 0);
+    }
+
+    #[test]
+    fn transient_errors_are_classified_transient() {
+        let (_, disk) = sim_disk();
+        let f = disk.create_file();
+        disk.append_block_uncharged(f, Block::zeroed(disk.block_size()))
+            .unwrap();
+        disk.set_fault_plan(crate::FaultPlan::new(1).with_transient(1.0));
+        let err = disk.read_block(f, 0).unwrap_err();
+        assert!(err.is_transient(), "injected fault not transient: {err}");
+    }
+
+    #[test]
+    fn corrupt_site_surfaces_checksum_mismatch_permanently() {
+        let (_, disk) = sim_disk();
+        let f = disk.create_file();
+        disk.append_block_uncharged(f, Block::zeroed(disk.block_size()))
+            .unwrap();
+        disk.set_fault_plan(crate::FaultPlan::new(2).with_corruption(1.0));
+        for _ in 0..3 {
+            assert!(matches!(
+                disk.read_block(f, 0),
+                Err(StorageError::Corrupt { block: 0, .. })
+            ));
+        }
+        // Ground truth is unaffected: the backend bytes stay clean.
+        assert!(disk.read_block_uncharged(f, 0).is_ok());
+        assert!(disk.fault_stats().unwrap().corrupt_reads >= 3);
+    }
+
+    #[test]
+    fn latency_spikes_charge_the_sim_clock() {
+        let (clock, disk) = sim_disk();
+        let f = disk.create_file();
+        disk.append_block_uncharged(f, Block::zeroed(disk.block_size()))
+            .unwrap();
+        disk.set_fault_plan(crate::FaultPlan::new(3).with_spikes(1.0, Duration::from_millis(500)));
+        let t0 = clock.elapsed();
+        disk.read_block(f, 0).unwrap();
+        let cost = clock.elapsed() - t0;
+        assert_eq!(cost, disk.profile().block_read + Duration::from_millis(500));
+        assert_eq!(disk.fault_stats().unwrap().latency_spikes, 1);
+    }
+
+    #[test]
+    fn clear_fault_plan_restores_clean_reads() {
+        let (_, disk) = sim_disk();
+        let f = disk.create_file();
+        disk.append_block_uncharged(f, Block::zeroed(disk.block_size()))
+            .unwrap();
+        disk.set_fault_plan(crate::FaultPlan::new(4).with_transient(1.0));
+        assert!(disk.read_block(f, 0).is_err());
+        disk.clear_fault_plan();
+        assert!(disk.read_block(f, 0).is_ok());
+        assert!(disk.fault_stats().is_none());
+    }
+
+    #[test]
+    fn fault_sites_replay_identically_for_one_seed() {
+        let run = || {
+            let (_, disk) = sim_disk();
+            let f = disk.create_file();
+            for _ in 0..100 {
+                disk.append_block_uncharged(f, Block::zeroed(disk.block_size()))
+                    .unwrap();
+            }
+            disk.set_fault_plan(
+                crate::FaultPlan::new(77)
+                    .with_transient(0.1)
+                    .with_corruption(0.05),
+            );
+            (0..100u64)
+                .map(|i| match disk.read_block(f, i) {
+                    Ok(_) => 0u8,
+                    Err(StorageError::Io(_)) => 1,
+                    Err(StorageError::Corrupt { .. }) => 2,
+                    Err(_) => 3,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn checksums_follow_writes_and_survive_overwrite() {
+        let (_, disk) = sim_disk();
+        let f = disk.create_file();
+        disk.append_block(f, Block::zeroed(disk.block_size()))
+            .unwrap();
+        let mut b = Block::zeroed(disk.block_size());
+        b.bytes_mut()[7] = 7;
+        disk.write_block(f, 0, b.clone()).unwrap();
+        // Read verifies against the *latest* digest.
+        assert_eq!(disk.read_block(f, 0).unwrap(), b);
+        // Freeing the file drops its digests.
+        disk.free_file(f);
+        let g = disk.create_file();
+        disk.append_block_uncharged(g, Block::zeroed(disk.block_size()))
+            .unwrap();
+        assert!(disk.read_block(g, 0).is_ok());
+    }
+
+    #[test]
     fn cpu_charges_update_stats_and_clock() {
         let (clock, disk) = sim_disk();
         disk.charge(DeviceOp::TupleCpu(5));
@@ -460,8 +680,7 @@ mod tests {
         let stats = disk.stats();
         assert_eq!(stats.tuple_cpu, 5);
         assert_eq!(stats.compares, 100);
-        let expected =
-            disk.profile().tuple_cpu * 5 + disk.profile().compare * 100;
+        let expected = disk.profile().tuple_cpu * 5 + disk.profile().compare * 100;
         assert_eq!(clock.elapsed(), expected);
     }
 }

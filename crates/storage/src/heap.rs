@@ -242,8 +242,7 @@ mod tests {
     #[test]
     fn paper_geometry_5_tuples_per_block() {
         let (_, disk) = test_disk();
-        let hf = HeapFile::load(disk, int_schema(), (0..10_000).map(|i| int_tuple(i, -i)))
-            .unwrap();
+        let hf = HeapFile::load(disk, int_schema(), (0..10_000).map(|i| int_tuple(i, -i))).unwrap();
         assert_eq!(hf.blocking_factor(), 5);
         assert_eq!(hf.num_tuples(), 10_000);
         assert_eq!(hf.num_blocks(), 2_000);

@@ -24,7 +24,11 @@
 //!   the paper's 200-run experiment sweeps run in milliseconds while
 //!   preserving every time-control decision;
 //! * [`Deadline`] — a time quota measured against a clock, used by the
-//!   executor to implement hard time constraints.
+//!   executor to implement hard time constraints;
+//! * [`FaultPlan`] — seeded, deterministic fault injection (transient
+//!   read errors, permanent bit rot caught by per-block checksums,
+//!   latency spikes) so the hard-deadline contract can be tested under
+//!   storage failure.
 //!
 //! The crate is self-contained (no I/O beyond an optional file-backed
 //! block store) and is the bottom layer of the workspace:
@@ -41,6 +45,7 @@ pub mod cost;
 pub mod csv;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod rng;
 pub mod schema;
@@ -52,7 +57,8 @@ pub use clock::{Clock, Deadline, SimClock, WallClock};
 pub use cost::{DeviceOp, DeviceProfile};
 pub use csv::{parse_schema_spec, read_csv};
 pub use disk::{Disk, DiskStats, FileId};
-pub use error::StorageError;
+pub use error::{IoFault, StorageError};
+pub use fault::{FaultPlan, FaultStats};
 pub use heap::HeapFile;
 pub use rng::SeedSeq;
 pub use schema::{ColumnType, Schema};

@@ -15,11 +15,8 @@ use eram_storage::{ColumnType, Schema, Tuple, Value};
 
 fn main() {
     let mut db = Database::sim_default(3);
-    let schema = Schema::new(vec![
-        ("id", ColumnType::Int),
-        ("status", ColumnType::Int),
-    ])
-    .padded_to(200);
+    let schema =
+        Schema::new(vec![("id", ColumnType::Int), ("status", ColumnType::Int)]).padded_to(200);
     db.load_relation(
         "events",
         schema,

@@ -28,12 +28,7 @@ fn load(db: &mut Database, name: &str, salt: i64) {
     db.load_relation(
         name,
         schema,
-        (0..10_000).map(|i| {
-            Tuple::new(vec![
-                Value::Int(i),
-                Value::Int((i * 131 + salt) % 10_000),
-            ])
-        }),
+        (0..10_000).map(|i| Tuple::new(vec![Value::Int(i), Value::Int((i * 131 + salt) % 10_000)])),
     )
     .expect("load relation");
 }
@@ -45,9 +40,7 @@ fn main() {
 
     // Users with high scores on either channel:
     // COUNT(σ(web) ∪ σ(mobile)).
-    let high = |rel: &str| {
-        Expr::relation(rel).select(Predicate::col_cmp(1, CmpOp::Ge, 8_000))
-    };
+    let high = |rel: &str| Expr::relation(rel).select(Predicate::col_cmp(1, CmpOp::Ge, 8_000));
     let expr = high("web_signups").union(high("mobile_signups"));
     let truth = db.exact_count(&expr).expect("ground truth");
     println!("question: how many distinct high-score signup rows across channels?");

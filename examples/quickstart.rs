@@ -43,8 +43,7 @@ fn main() {
     .expect("load orders");
 
     // COUNT(σ_{price ≥ 75 000}(orders)) — evaluate within 10 s.
-    let expr =
-        Expr::relation("orders").select(Predicate::col_cmp(1, CmpOp::Ge, 75_000));
+    let expr = Expr::relation("orders").select(Predicate::col_cmp(1, CmpOp::Ge, 75_000));
     let truth = db.exact_count(&expr).expect("ground truth");
 
     let result = db

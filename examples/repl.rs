@@ -119,7 +119,11 @@ fn dispatch(db: &mut Database, input: &str) -> Result<bool, String> {
     if input == "relations" {
         for name in db.catalog().names() {
             let r = db.catalog().relation(name).expect("stored");
-            println!("  {name}: {} tuples, {} blocks", r.num_tuples(), r.num_blocks());
+            println!(
+                "  {name}: {} tuples, {} blocks",
+                r.num_tuples(),
+                r.num_blocks()
+            );
         }
         return Ok(false);
     }

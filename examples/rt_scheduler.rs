@@ -68,7 +68,11 @@ fn run_policy(quota_edf: bool) -> (usize, usize) {
     let mut db = fresh_db();
     println!(
         "--- policy: {} ---",
-        if quota_edf { "quota-EDF (this paper)" } else { "exact-first" }
+        if quota_edf {
+            "quota-EDF (this paper)"
+        } else {
+            "exact-first"
+        }
     );
 
     let mut queue = jobs();
@@ -115,7 +119,10 @@ fn run_policy(quota_edf: bool) -> (usize, usize) {
                 } else {
                     "truth 0".into()
                 };
-                (e, format!("{} stages, {rel}", out.report.completed_stages()))
+                (
+                    e,
+                    format!("{} stages, {rel}", out.report.completed_stages()),
+                )
             }
             None => (f64::NAN, "refused at admission".into()),
         };

@@ -19,11 +19,8 @@ use eram_storage::{ColumnType, Schema, Tuple, Value};
 
 fn main() {
     let mut db = Database::sim_default(21);
-    let schema = Schema::new(vec![
-        ("id", ColumnType::Int),
-        ("grade", ColumnType::Int),
-    ])
-    .padded_to(200);
+    let schema =
+        Schema::new(vec![("id", ColumnType::Int), ("grade", ColumnType::Int)]).padded_to(200);
     db.load_relation(
         "parts",
         schema,

@@ -10,11 +10,8 @@ use eram_storage::{ColumnType, Schema, Tuple, Value};
 fn db(seed: u64) -> Database {
     let mut db = Database::sim_default(seed);
     for (name, stride) in [("r", 1i64), ("s", 2i64)] {
-        let schema = Schema::new(vec![
-            ("k", ColumnType::Int),
-            ("amount", ColumnType::Int),
-        ])
-        .padded_to(200);
+        let schema =
+            Schema::new(vec![("k", ColumnType::Int), ("amount", ColumnType::Int)]).padded_to(200);
         db.load_relation(
             name,
             schema,
@@ -65,13 +62,14 @@ fn sum_estimate_lands_near_truth_under_quota() {
         .run()
         .unwrap();
     let rel = (out.estimate.estimate - truth).abs() / truth;
-    assert!(rel < 0.3, "rel err {rel}: {} vs {truth}", out.estimate.estimate);
+    assert!(
+        rel < 0.3,
+        "rel err {rel}: {} vs {truth}",
+        out.estimate.estimate
+    );
     let (lo, hi) = out.estimate.ci(0.95);
     assert!(lo <= hi && lo >= 0.0);
-    assert!(
-        hi.is_finite(),
-        "CI must be finite even without an N clamp"
-    );
+    assert!(hi.is_finite(), "CI must be finite even without an N clamp");
 }
 
 #[test]

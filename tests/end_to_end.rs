@@ -14,11 +14,8 @@ use eram_storage::{ColumnType, Schema, Tuple, Value};
 fn small_db(seed: u64) -> Database {
     let mut db = Database::sim_default(seed);
     for (name, stride, modulo) in [("r", 1i64, 50i64), ("s", 3i64, 40i64)] {
-        let schema = Schema::new(vec![
-            ("k", ColumnType::Int),
-            ("g", ColumnType::Int),
-        ])
-        .padded_to(200);
+        let schema =
+            Schema::new(vec![("k", ColumnType::Int), ("g", ColumnType::Int)]).padded_to(200);
         db.load_relation(
             name,
             schema,
@@ -45,12 +42,7 @@ fn census_quota_is_exact_for_every_operator() {
     ];
     for expr in queries {
         let truth = db.exact_count(&expr).unwrap() as f64;
-        let out = db
-            .count(expr.clone())
-            .within(huge)
-            .seed(9)
-            .run()
-            .unwrap();
+        let out = db.count(expr.clone()).within(huge).seed(9).run().unwrap();
         assert!(
             (out.estimate.estimate - truth).abs() < 1e-6,
             "census must be exact for {expr}: {} vs {truth}",
@@ -97,13 +89,12 @@ fn paper_workloads_estimate_within_quota() {
     ] {
         let mut w = Workload::build(kind, 77);
         let truth = w.truth;
-        let out = w
-            .db
-            .count(w.expr.clone())
-            .within(quota)
-            .seed(3)
-            .run()
-            .unwrap();
+        let out =
+            w.db.count(w.expr.clone())
+                .within(quota)
+                .seed(3)
+                .run()
+                .unwrap();
         assert!(out.report.utilization() <= 1.0);
         assert!(out.report.completed_stages() >= 1);
         if truth > 0 {
@@ -137,14 +128,13 @@ fn all_strategies_run_the_paper_select() {
             strategy,
             ..Default::default()
         };
-        let out = w
-            .db
-            .count(w.expr.clone())
-            .within(Duration::from_secs(10))
-            .config(config)
-            .seed(i as u64)
-            .run()
-            .unwrap();
+        let out =
+            w.db.count(w.expr.clone())
+                .within(Duration::from_secs(10))
+                .config(config)
+                .seed(i as u64)
+                .run()
+                .unwrap();
         assert!(out.report.completed_stages() >= 1, "strategy {i} idle");
         assert!(out.report.utilization() > 0.1, "strategy {i} wasted quota");
     }
@@ -177,7 +167,14 @@ fn wall_clock_mode_end_to_end() {
 /// uses post-quota work, the soft one may.
 #[test]
 fn hard_view_is_a_prefix_of_soft_view() {
-    let build = || Workload::build(WorkloadKind::Select { output_tuples: 5_000 }, 55);
+    let build = || {
+        Workload::build(
+            WorkloadKind::Select {
+                output_tuples: 5_000,
+            },
+            55,
+        )
+    };
     let mut soft_w = build();
     let soft = soft_w
         .db
@@ -202,17 +199,13 @@ fn hard_view_is_a_prefix_of_soft_view() {
 #[test]
 fn seeded_runs_replay_exactly() {
     let run = || {
-        let mut w = Workload::build(
-            WorkloadKind::Intersect { overlap: 3_000 },
-            31,
-        );
-        let out = w
-            .db
-            .count(w.expr.clone())
-            .within(Duration::from_secs_f64(2.5))
-            .seed(42)
-            .run()
-            .unwrap();
+        let mut w = Workload::build(WorkloadKind::Intersect { overlap: 3_000 }, 31);
+        let out =
+            w.db.count(w.expr.clone())
+                .within(Duration::from_secs_f64(2.5))
+                .seed(42)
+                .run()
+                .unwrap();
         out.report
     };
     assert_eq!(run(), run());
@@ -227,11 +220,8 @@ fn file_backed_store_end_to_end() {
     std::fs::create_dir_all(&dir).unwrap();
 
     let run = |db: &mut Database| {
-        let schema = Schema::new(vec![
-            ("k", ColumnType::Int),
-            ("g", ColumnType::Int),
-        ])
-        .padded_to(200);
+        let schema =
+            Schema::new(vec![("k", ColumnType::Int), ("g", ColumnType::Int)]).padded_to(200);
         db.load_relation(
             "t",
             schema,

@@ -19,13 +19,12 @@ fn run_ensemble(kind: WorkloadKind, quota: Duration, runs: u64, confidence: f64)
     for seed in 0..runs {
         let mut w = Workload::build(kind, 9_000 + seed);
         truth = w.truth as f64;
-        let out = w
-            .db
-            .count(w.expr.clone())
-            .within(quota)
-            .seed(seed)
-            .run()
-            .unwrap();
+        let out =
+            w.db.count(w.expr.clone())
+                .within(quota)
+                .seed(seed)
+                .run()
+                .unwrap();
         sum += out.estimate.estimate;
         let (lo, hi) = out.estimate.ci(confidence);
         if lo <= truth && truth <= hi {
@@ -108,13 +107,12 @@ fn intersect_estimates_improve_with_quota() {
 fn zero_output_selection_estimates_zero() {
     for seed in 0..10u64 {
         let mut w = Workload::build(WorkloadKind::Select { output_tuples: 0 }, seed);
-        let out = w
-            .db
-            .count(w.expr.clone())
-            .within(Duration::from_secs(10))
-            .seed(seed)
-            .run()
-            .unwrap();
+        let out =
+            w.db.count(w.expr.clone())
+                .within(Duration::from_secs(10))
+                .seed(seed)
+                .run()
+                .unwrap();
         assert_eq!(out.estimate.estimate, 0.0, "seed {seed}");
     }
 }

@@ -46,8 +46,12 @@ fn setup(rows_a: &[(i64, i64)], rows_b: &[(i64, i64)]) -> (Arc<Disk>, Catalog) {
 /// engine trusts that — duplicates would make the physical count a
 /// multiset count while the exact evaluator dedups.
 fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64)>> {
-    prop::collection::vec(0i64..6, 1..60)
-        .prop_map(|ys| ys.into_iter().enumerate().map(|(i, y)| (i as i64, y)).collect())
+    prop::collection::vec(0i64..6, 1..60).prop_map(|ys| {
+        ys.into_iter()
+            .enumerate()
+            .map(|(i, y)| (i as i64, y))
+            .collect()
+    })
 }
 
 fn arb_sji() -> impl Strategy<Value = Expr> {
@@ -83,13 +87,7 @@ fn drain(
     let mut i = 0;
     while !tree.exhausted() && i < 64 {
         let f = fractions[i % fractions.len()];
-        let mut env = StageEnv {
-            disk: disk.clone(),
-            deadline: None,
-            fraction: f,
-            fulfillment_override: None,
-            observations: Vec::new(),
-        };
+        let mut env = StageEnv::new(disk.clone(), None, f);
         tree.advance(&mut env).unwrap();
         i += 1;
     }

@@ -11,8 +11,7 @@ use eram_storage::{ColumnType, Schema, Tuple, Value};
 
 fn tiny_db(seed: u64, rows: i64) -> Database {
     let mut db = Database::sim_default(seed);
-    let schema =
-        Schema::new(vec![("k", ColumnType::Int), ("g", ColumnType::Int)]).padded_to(200);
+    let schema = Schema::new(vec![("k", ColumnType::Int), ("g", ColumnType::Int)]).padded_to(200);
     db.load_relation(
         "t",
         schema,

@@ -61,7 +61,11 @@ fn string_predicate_through_the_query_language() {
         .run()
         .unwrap();
     let rel = (out.estimate.estimate - truth as f64).abs() / truth as f64;
-    assert!(rel < 0.5, "estimate {} vs truth {truth}", out.estimate.estimate);
+    assert!(
+        rel < 0.5,
+        "estimate {} vs truth {truth}",
+        out.estimate.estimate
+    );
 }
 
 #[test]
@@ -75,8 +79,11 @@ fn float_sum_and_avg() {
         .unwrap();
     // Exact average of score over the active subset.
     let rows = eram_relalg::eval::eval(&expr, db.catalog()).unwrap();
-    let exact: f64 =
-        rows.iter().map(|t| t.value(1).as_float().unwrap()).sum::<f64>() / rows.len() as f64;
+    let exact: f64 = rows
+        .iter()
+        .map(|t| t.value(1).as_float().unwrap())
+        .sum::<f64>()
+        / rows.len() as f64;
     assert!((out.estimate.estimate - exact).abs() < 1e-9);
 }
 
@@ -103,11 +110,10 @@ fn mixed_type_intersection() {
     ])
     .padded_to(100);
     let make = |lo: i64, hi: i64| {
-        (lo..hi).map(|i| {
-            Tuple::new(vec![Value::Int(i), Value::Str(format!("v{}", i % 50))])
-        })
+        (lo..hi).map(|i| Tuple::new(vec![Value::Int(i), Value::Str(format!("v{}", i % 50))]))
     };
-    db.load_relation("a", schema.clone(), make(0, 1_000)).unwrap();
+    db.load_relation("a", schema.clone(), make(0, 1_000))
+        .unwrap();
     db.load_relation("b", schema, make(600, 1_600)).unwrap();
     let expr = Expr::relation("a").intersect(Expr::relation("b"));
     assert_eq!(db.exact_count(&expr).unwrap(), 400);
