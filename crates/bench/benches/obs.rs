@@ -1,0 +1,69 @@
+//! Criterion micro-bench guarding the observability layer's
+//! zero-cost-when-disabled contract: `execute_count` with the default
+//! (disabled) tracer must not regress against the pre-observability
+//! baseline, and the recording variant is measured alongside so the
+//! cost of turning tracing on stays visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use eram_core::executor::{execute_count, ExecParams};
+use eram_core::{OneAtATimeInterval, StoppingCriterion, Tracer};
+use eram_relalg::{Catalog, CmpOp, Expr, Predicate};
+use eram_storage::{ColumnType, DeviceProfile, Disk, HeapFile, Schema, SimClock, Tuple, Value};
+
+fn paper_setup() -> (Arc<Disk>, Catalog, Expr) {
+    let disk = Disk::new(
+        Arc::new(SimClock::new()),
+        DeviceProfile::sun_3_60().without_jitter(),
+        7,
+    );
+    let schema = Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)]).padded_to(200);
+    let hf = HeapFile::load(
+        disk.clone(),
+        schema,
+        (0..10_000).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 100)])),
+    )
+    .unwrap();
+    let mut cat = Catalog::new();
+    cat.register("r", hf);
+    let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+    (disk, cat, expr)
+}
+
+fn bench_tracer_disabled(c: &mut Criterion) {
+    let (disk, cat, expr) = paper_setup();
+    let strategy = OneAtATimeInterval::new(12.0);
+    c.bench_function("execute_count_tracer_disabled", |b| {
+        b.iter(|| {
+            let mut params = ExecParams::new(&strategy);
+            params.stopping = StoppingCriterion::HardDeadline;
+            params.seed = 7;
+            black_box(execute_count(&disk, &cat, &expr, Duration::from_secs(2), params).unwrap())
+        })
+    });
+}
+
+fn bench_tracer_recording(c: &mut Criterion) {
+    let (disk, cat, expr) = paper_setup();
+    let strategy = OneAtATimeInterval::new(12.0);
+    c.bench_function("execute_count_tracer_recording", |b| {
+        b.iter(|| {
+            let mut params = ExecParams::new(&strategy);
+            params.stopping = StoppingCriterion::HardDeadline;
+            params.seed = 7;
+            params.tracer = Tracer::recording(disk.clock().clone());
+            params.collect_metrics = true;
+            black_box(execute_count(&disk, &cat, &expr, Duration::from_secs(2), params).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = obs;
+    config = Criterion::default().measurement_time(Duration::from_secs(5));
+    targets = bench_tracer_disabled, bench_tracer_recording
+}
+criterion_main!(obs);

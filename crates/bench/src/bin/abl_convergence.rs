@@ -1,0 +1,92 @@
+//! Ablation — per-stage convergence of the running estimate.
+//!
+//! Runs the Figure 5.1 selection workload (5 000 output tuples) once
+//! per swept `d_β` with a recording [`Tracer`] attached, then prints
+//! the `convergence` trace records as a per-stage table: estimate,
+//! relative 95% CI half-width, blocks drawn, and quota spent. This is
+//! the trajectory the paper's tables summarize into a single row —
+//! watching it per stage shows *how* the interval tightens as stages
+//! bank more sample.
+//!
+//! With `--jsonl` the raw convergence records are emitted to stderr,
+//! ready for the `jq` recipes in the README.
+//!
+//! Usage: `abl_convergence [--quota SECS] [--jsonl]`
+
+use std::time::Duration;
+
+use eram_bench::{Workload, WorkloadKind};
+use eram_core::{StoppingCriterion, TraceKind, Tracer};
+
+mod common;
+
+fn field_f64(rec: &eram_core::TraceRecord, name: &str) -> f64 {
+    rec.fields.get(name).and_then(|v| v.as_f64()).unwrap_or(0.0)
+}
+
+fn main() {
+    let opts = common::Opts::parse("abl_convergence");
+    let quota = Duration::from_secs_f64(opts.quota.unwrap_or(10.0));
+
+    for (i, d_beta) in [0.0, 12.0, 24.0, 48.0].into_iter().enumerate() {
+        let seed = common::row_seed("abl-convergence", i as u64, d_beta);
+        let mut workload = Workload::build_on(
+            WorkloadKind::Select {
+                output_tuples: 5_000,
+            },
+            seed,
+            0,
+        );
+        let tracer = Tracer::recording(workload.db.disk().clock().clone());
+        let out = workload
+            .db
+            .count(workload.expr.clone())
+            .within(quota)
+            .strategy(eram_core::OneAtATimeInterval::new(d_beta))
+            .stopping(StoppingCriterion::SoftDeadline)
+            .seed(seed ^ 0x5EED)
+            .tracer(tracer.clone())
+            .run()
+            .expect("experiment query must execute");
+
+        println!(
+            "Convergence — selection 5000/10000, d_beta {d_beta}, quota {:.1} s (truth {})",
+            quota.as_secs_f64(),
+            workload.truth
+        );
+        println!(
+            "{:>5} | {:>10} | {:>8} | {:>7} | {:>9}",
+            "stage", "estimate", "rel.hw", "blocks", "spent(s)"
+        );
+        println!("{}", "-".repeat(52));
+        let records = tracer.records();
+        for rec in records
+            .iter()
+            .filter(|r| r.kind == TraceKind::Stage && r.name == "convergence")
+        {
+            println!(
+                "{:>5} | {:>10.1} | {:>8.4} | {:>7.0} | {:>9.3}",
+                rec.stage,
+                field_f64(rec, "estimate"),
+                field_f64(rec, "rel_half_width"),
+                field_f64(rec, "blocks_stage"),
+                field_f64(rec, "spent_ns") / 1e9,
+            );
+        }
+        println!(
+            "final estimate {:.1} after {} stages ({} trace records)\n",
+            out.estimate.estimate,
+            out.report.stages.len(),
+            tracer.record_count()
+        );
+        if opts.jsonl {
+            eprintln!("# convergence d_beta {d_beta}");
+            for rec in records
+                .iter()
+                .filter(|r| r.kind == TraceKind::Stage && r.name == "convergence")
+            {
+                eprintln!("{}", serde_json::to_string(rec).expect("record serializes"));
+            }
+        }
+    }
+}

@@ -42,6 +42,10 @@ pub struct TrialResult {
     /// Relative error against the exact answer (`NaN` when the truth
     /// is 0).
     pub rel_error: f64,
+    /// Relative 95% CI half-width of the delivered estimate (`NaN`
+    /// when the estimate is 0) — the precision the caller would have
+    /// been quoted.
+    pub rel_half_width: f64,
     /// Storage faults observed during the run.
     pub faults: u64,
     /// Blocks lost to corruption or retry exhaustion.
@@ -67,6 +71,7 @@ impl TrialResult {
             blocks: report.blocks_evaluated(),
             estimate,
             rel_error,
+            rel_half_width: report.final_estimate.relative_half_width(0.95),
             faults: report.health.faults_seen,
             blocks_lost: report.health.blocks_lost,
             degraded: report.health.degraded,
@@ -93,6 +98,9 @@ pub struct RowStats {
     pub blocks: f64,
     /// Mean relative estimation error (ignoring zero-truth trials).
     pub mean_rel_error: f64,
+    /// Mean relative 95% CI half-width (ignoring trials where it is
+    /// undefined) — the convergence column.
+    pub mean_rel_hw: f64,
     /// Mean storage faults observed per trial.
     pub faults: f64,
     /// Mean blocks lost per trial.
@@ -116,6 +124,11 @@ impl RowStats {
             .map(|t| t.rel_error)
             .filter(|e| e.is_finite())
             .collect();
+        let hws: Vec<f64> = trials
+            .iter()
+            .map(|t| t.rel_half_width)
+            .filter(|h| h.is_finite())
+            .collect();
         RowStats {
             runs: trials.len(),
             stages: trials.iter().map(|t| t.stages as f64).sum::<f64>() / n,
@@ -127,6 +140,11 @@ impl RowStats {
                 f64::NAN
             } else {
                 errs.iter().sum::<f64>() / errs.len() as f64
+            },
+            mean_rel_hw: if hws.is_empty() {
+                f64::NAN
+            } else {
+                hws.iter().sum::<f64>() / hws.len() as f64
             },
             faults: trials.iter().map(|t| t.faults as f64).sum::<f64>() / n,
             blocks_lost: trials.iter().map(|t| t.blocks_lost as f64).sum::<f64>() / n,
@@ -306,6 +324,7 @@ mod tests {
         assert!(t.utilization > 0.0 && t.utilization <= 1.0);
         assert!(t.blocks > 0);
         assert!(t.rel_error.is_finite());
+        assert!(t.rel_half_width.is_finite() && t.rel_half_width >= 0.0);
     }
 
     #[test]
@@ -348,6 +367,7 @@ mod tests {
             blocks: 10,
             estimate: 1.0,
             rel_error: 0.0,
+            rel_half_width: 0.1,
             faults: 2,
             blocks_lost: 1,
             degraded: true,

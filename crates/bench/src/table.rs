@@ -30,8 +30,8 @@ pub fn render_table(title: &str, param_name: &str, rows: &[PaperRow]) -> String 
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!(
-        "{:>8} | {:>7} | {:>6} | {:>7} | {:>11} | {:>8} | {:>8}",
-        param_name, "stages", "risk%", "ovsp(s)", "utilization%", "blocks", "rel.err"
+        "{:>8} | {:>7} | {:>6} | {:>7} | {:>11} | {:>8} | {:>8} | {:>7}",
+        param_name, "stages", "risk%", "ovsp(s)", "utilization%", "blocks", "rel.err", "rel.hw"
     ));
     if with_health {
         out.push_str(&format!(
@@ -40,7 +40,7 @@ pub fn render_table(title: &str, param_name: &str, rows: &[PaperRow]) -> String 
         ));
     }
     out.push('\n');
-    out.push_str(&"-".repeat(if with_health { 104 } else { 74 }));
+    out.push_str(&"-".repeat(if with_health { 114 } else { 84 }));
     out.push('\n');
     for row in rows {
         let s = &row.stats;
@@ -49,8 +49,13 @@ pub fn render_table(title: &str, param_name: &str, rows: &[PaperRow]) -> String 
         } else {
             format!("{:>8.3}", s.mean_rel_error)
         };
+        let hw = if s.mean_rel_hw.is_nan() {
+            "  n/a".to_string()
+        } else {
+            format!("{:>7.3}", s.mean_rel_hw)
+        };
         out.push_str(&format!(
-            "{:>8} | {:>7.2} | {:>6.1} | {:>7.2} | {:>11.1} | {:>8.1} | {err}",
+            "{:>8} | {:>7.2} | {:>6.1} | {:>7.2} | {:>11.1} | {:>8.1} | {err} | {hw}",
             row.label, s.stages, s.risk_pct, s.ovsp_secs, s.utilization_pct, s.blocks
         ));
         if with_health {
@@ -86,6 +91,7 @@ mod tests {
             utilization_pct: 63.0,
             blocks: 54.0,
             mean_rel_error: 0.08,
+            mean_rel_hw: 0.05,
             faults: 0.0,
             blocks_lost: 0.0,
             degraded_pct: 0.0,
@@ -106,6 +112,8 @@ mod tests {
         assert!(t.contains("0.11"));
         assert!(t.contains("63.0"));
         assert!(t.contains("54.0"));
+        assert!(t.contains("rel.hw"));
+        assert!(t.contains("0.050"));
         // Clean rows keep the paper's original column set.
         assert!(!t.contains("degraded%"));
     }

@@ -20,7 +20,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use eram_core::{AggregateFn, Database, ReportHealth};
+use eram_core::{AggregateFn, Database, MetricsSnapshot, ReportHealth, Tracer};
 use eram_relalg::parse_expr;
 use eram_storage::{parse_schema_spec, DeviceProfile, FaultPlan};
 
@@ -71,6 +71,11 @@ pub struct Cli {
     /// Probability a block site reads back corrupt (checksum
     /// mismatch).
     pub fault_corrupt: f64,
+    /// Write a clock-charged execution trace (JSONL) to this path
+    /// after a one-shot query.
+    pub trace: Option<PathBuf>,
+    /// Collect and render storage/stage-loop metrics.
+    pub metrics: bool,
 }
 
 /// A CLI-level error with a user-facing message.
@@ -93,6 +98,7 @@ fn err(msg: impl Into<String>) -> CliError {
 pub const USAGE: &str = "usage: eram --load NAME=FILE.csv:COL:TYPE[,COL:TYPE...] \
 [--load ...] [--device sun|modern] [--cache BLOCKS] [--seed N] [--header] \
 [--fault-transient RATE] [--fault-corrupt RATE] [--fault-seed N] \
+[--trace FILE] [--metrics] \
 [--query EXPR --quota SECS [--agg count|sum:COL|avg:COL]]";
 
 impl Cli {
@@ -167,6 +173,12 @@ impl Cli {
                 "--fault-corrupt" => {
                     cli.fault_corrupt = parse_rate(args.next(), "--fault-corrupt")?;
                 }
+                "--trace" => {
+                    cli.trace = Some(PathBuf::from(
+                        args.next().ok_or_else(|| err("--trace needs a path"))?,
+                    ));
+                }
+                "--metrics" => cli.metrics = true,
                 "--help" | "-h" => return Err(err(USAGE)),
                 other => return Err(err(format!("unknown argument {other:?}\n{USAGE}"))),
             }
@@ -280,18 +292,45 @@ fn render_health(h: &ReportHealth) -> String {
     )
 }
 
-/// Runs a one-shot aggregate and renders the outcome.
+/// Renders the metrics snapshot: counters one per line, then
+/// histogram means (map order, i.e. sorted by name).
+fn render_metrics(m: &MetricsSnapshot) -> String {
+    let mut out = String::from("metrics:");
+    for (name, v) in &m.counters {
+        out.push_str(&format!("\n  {name} = {v}"));
+    }
+    for (name, h) in &m.histograms {
+        let mean = h.mean().unwrap_or(0.0);
+        out.push_str(&format!(
+            "\n  {name}: n {} mean {mean:.4} min {:.4} max {:.4}",
+            h.count, h.min, h.max
+        ));
+    }
+    out
+}
+
+/// Runs a one-shot aggregate and renders the outcome. With
+/// `--trace FILE` the clock-charged execution trace is written to
+/// `FILE` as JSONL; with `--metrics` the report's counters are
+/// appended to the rendering.
 pub fn run_one_shot(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
     let text = cli.query.as_deref().expect("caller checked");
     let quota = Duration::from_secs_f64(cli.quota_secs.expect("caller checked"));
     let expr = parse_expr(text).map_err(|e| err(e.to_string()))?;
+    let tracer = if cli.trace.is_some() {
+        Tracer::recording(db.disk().clock().clone())
+    } else {
+        Tracer::disabled()
+    };
     let out = db
         .aggregate(cli.agg, expr)
         .within(quota)
+        .tracer(tracer.clone())
+        .metrics(cli.metrics)
         .run()
         .map_err(|e| err(e.to_string()))?;
     let (lo, hi) = out.estimate.ci(0.95);
-    Ok(format!(
+    let mut rendered = format!(
         "estimate {:.2}\n95% CI [{lo:.2}, {hi:.2}]\nstages {} | blocks {} | utilization {:.1}% | elapsed {:?}\n{}",
         out.estimate.estimate,
         out.report.completed_stages(),
@@ -299,7 +338,21 @@ pub fn run_one_shot(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
         100.0 * out.report.utilization(),
         out.report.total_elapsed,
         render_health(&out.report.health),
-    ))
+    );
+    if let Some(path) = &cli.trace {
+        std::fs::write(path, tracer.to_jsonl())
+            .map_err(|e| err(format!("--trace {}: {e}", path.display())))?;
+        rendered.push_str(&format!(
+            "\ntrace: {} records → {}",
+            tracer.record_count(),
+            path.display()
+        ));
+    }
+    if let Some(metrics) = &out.report.metrics {
+        rendered.push('\n');
+        rendered.push_str(&render_metrics(metrics));
+    }
+    Ok(rendered)
 }
 
 /// Dispatches one interactive command. `Ok(None)` means quit.
@@ -492,6 +545,51 @@ mod tests {
         let rendered = run_one_shot(&mut db, &cli).unwrap();
         assert!(rendered.contains("estimate"), "{rendered}");
         assert!(rendered.contains("health: faults"), "{rendered}");
+    }
+
+    #[test]
+    fn parses_trace_and_metrics_flags() {
+        let cli = Cli::parse(["--trace", "out.jsonl", "--metrics"]).unwrap();
+        assert_eq!(cli.trace, Some(PathBuf::from("out.jsonl")));
+        assert!(cli.metrics);
+        assert!(Cli::parse(["--trace"]).is_err()); // missing path
+        let cli = Cli::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(cli.trace, None);
+        assert!(!cli.metrics);
+    }
+
+    #[test]
+    fn one_shot_trace_writes_parseable_jsonl_and_metrics_render() {
+        let rows: String = (0..256).map(|i| format!("{i},{}\n", i % 100)).collect();
+        let csv = write_csv("traced", &rows);
+        let trace_path =
+            std::env::temp_dir().join(format!("eram-cli-trace-{}.jsonl", std::process::id()));
+        let cli = Cli::parse([
+            "--load".to_string(),
+            format!("t={}:k:int,v:int", csv.display()),
+            "--query".to_string(),
+            "select[#1 < 50](t)".to_string(),
+            "--quota".to_string(),
+            "10".to_string(),
+            "--trace".to_string(),
+            trace_path.display().to_string(),
+            "--metrics".to_string(),
+        ])
+        .unwrap();
+        let mut db = build_database(&cli).unwrap();
+        let rendered = run_one_shot(&mut db, &cli).unwrap();
+        assert!(rendered.contains("trace:"), "{rendered}");
+        assert!(rendered.contains("metrics:"), "{rendered}");
+        assert!(rendered.contains("core.stages"), "{rendered}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(!trace.is_empty());
+        for line in trace.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("t_ns").is_some(), "every record is stamped: {line}");
+            assert!(v.get("kind").is_some(), "{line}");
+        }
+        let _ = std::fs::remove_file(csv);
+        let _ = std::fs::remove_file(trace_path);
     }
 
     #[test]

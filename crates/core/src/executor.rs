@@ -21,12 +21,14 @@ use std::time::Duration;
 
 use eram_relalg::{push_selections, Catalog, Expr, ExprError, PieRewrite};
 use eram_sampling::{srs_proportion_variance, CountEstimate, DistinctEstimator};
-use eram_storage::{Deadline, DeviceOp, Disk, StorageError};
+use eram_storage::{Deadline, DeviceOp, Disk, DiskStats, FaultStats, StorageError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde_json::Value as JsonValue;
 
 use crate::aggregate::{avg_estimate, sum_estimate, AggregateFn, TermValues};
 use crate::costs::{CostCoeff, CostModel};
+use crate::obs::{MetricsRegistry, MetricsSnapshot, Tracer};
 use crate::ops::{
     Fulfillment, MemoryMode, PhysTree, PlanOptions, StageEnv, StageError, StageHealth,
 };
@@ -118,6 +120,14 @@ pub struct ExecParams<'a> {
     /// How transient storage faults are retried. Backoff is charged
     /// to the clock, so retries consume quota like real I/O.
     pub retry: RetryPolicy,
+    /// Trace sink for stage-loop spans and events. Disabled by
+    /// default; every emission site is a single branch when disabled.
+    pub tracer: Tracer,
+    /// Collect a [`MetricsSnapshot`] into `ExecutionReport::metrics`.
+    /// Off by default; collection happens outside the stage loop
+    /// (baseline before, deltas after), so it never touches the hot
+    /// path.
+    pub collect_metrics: bool,
 }
 
 impl<'a> ExecParams<'a> {
@@ -137,6 +147,8 @@ impl<'a> ExecParams<'a> {
             hybrid_leftover: false,
             optimize: true,
             retry: RetryPolicy::default(),
+            tracer: Tracer::disabled(),
+            collect_metrics: false,
         }
     }
 }
@@ -263,6 +275,72 @@ fn combine(
     }
 }
 
+/// Storage counter values captured before the stage loop runs, so the
+/// metrics snapshot reports this run's deltas rather than the disk's
+/// lifetime totals.
+type MetricsBaseline = (DiskStats, Option<(u64, u64)>, Option<FaultStats>);
+
+/// Builds the metrics snapshot from storage-counter deltas and the
+/// per-stage reports. Runs once, after the loop — never on the hot
+/// path.
+fn metrics_snapshot(
+    disk: &Disk,
+    baseline: MetricsBaseline,
+    stages: &[StageReport],
+    health: &StageHealth,
+    blocks_drawn: u64,
+) -> MetricsSnapshot {
+    let (s0, cache0, faults0) = baseline;
+    let s1 = disk.stats();
+    let mut reg = MetricsRegistry::new();
+    reg.add("storage.block_reads", s1.block_reads - s0.block_reads);
+    reg.add("storage.block_writes", s1.block_writes - s0.block_writes);
+    reg.add("storage.tuple_cpu", s1.tuple_cpu - s0.tuple_cpu);
+    reg.add("storage.compares", s1.compares - s0.compares);
+    reg.add(
+        "storage.checksum_verifies",
+        s1.checksum_verifies - s0.checksum_verifies,
+    );
+    if let Some((hits1, misses1)) = disk.cache_stats() {
+        let (hits0, misses0) = cache0.unwrap_or((0, 0));
+        reg.add("storage.cache_hits", hits1 - hits0);
+        reg.add("storage.cache_misses", misses1 - misses0);
+    }
+    if let Some(f1) = disk.fault_stats() {
+        let f0 = faults0.unwrap_or_default();
+        reg.add(
+            "storage.faults_transient",
+            f1.transient_errors - f0.transient_errors,
+        );
+        reg.add(
+            "storage.faults_corrupt",
+            f1.corrupt_reads - f0.corrupt_reads,
+        );
+        reg.add(
+            "storage.latency_spikes",
+            f1.latency_spikes - f0.latency_spikes,
+        );
+    }
+    reg.add("core.stages", stages.len() as u64);
+    reg.add(
+        "core.stages_completed",
+        stages.iter().filter(|s| s.within_quota).count() as u64,
+    );
+    reg.add("core.faults_seen", health.faults_seen);
+    reg.add("core.retries", health.retries);
+    reg.add("core.blocks_lost", health.blocks_lost);
+    reg.add("core.blocks_drawn", blocks_drawn);
+    for s in stages {
+        reg.observe("stage.actual_secs", s.actual_cost.as_secs_f64());
+        reg.observe("stage.fraction", s.fraction);
+        reg.observe("stage.blocks", s.blocks_drawn as f64);
+        reg.observe("stage.variance", s.estimate.variance);
+        reg.observe("stage.rel_half_width", s.estimate.relative_half_width(0.95));
+        reg.observe("estimate.trajectory", s.estimate.estimate);
+    }
+    reg.snapshot()
+}
+
 /// Runs `COUNT(expr)` within `quota` against `catalog` on `disk`.
 pub fn execute_count(
     disk: &Arc<Disk>,
@@ -330,7 +408,15 @@ pub fn execute_aggregate(
     }
     let mut values = vec![TermValues::default(); trees.len()];
 
+    let tracer = params.tracer.clone();
+    let baseline: Option<MetricsBaseline> = params
+        .collect_metrics
+        .then(|| (disk.stats(), disk.cache_stats(), disk.fault_stats()));
     let deadline = Deadline::new(disk.clock().clone(), quota);
+    // The root span opens at the same clock instant the deadline is
+    // armed and closes right as `total_elapsed` is read, so its
+    // duration equals the report's elapsed time exactly.
+    let root_span = tracer.span("execute");
     let hard = params.stopping.is_hard();
     // Value-function tail ([AbGM 88]): past the quota, keep going
     // only while the next stage is expected to raise
@@ -351,12 +437,18 @@ pub fn execute_aggregate(
 
     if trees.is_empty() {
         // The rewrite proved COUNT(E) = 0 (e.g. E = A − A).
+        tracer.event("stop", || {
+            vec![("reason", JsonValue::from("empty_rewrite"))]
+        });
+        let metrics = baseline.map(|b| metrics_snapshot(disk, b, &stages, &health, 0));
+        drop(root_span);
         let report = ExecutionReport {
             quota,
             stages,
             total_elapsed: deadline.spent(),
             final_estimate: zero_estimate(),
             health: ReportHealth::default(),
+            metrics,
         };
         return Ok(ExecOutcome {
             estimate: zero_estimate(),
@@ -364,8 +456,10 @@ pub fn execute_aggregate(
         });
     }
 
+    let mut stop_reason = "max_stages";
     while stages.len() < params.max_stages {
         if trees.iter().all(PhysTree::exhausted) {
+            stop_reason = "census_complete";
             break; // census complete — the estimate is exact
         }
         let in_tail = value_tail.is_some() && deadline.expired();
@@ -374,9 +468,24 @@ pub fn execute_aggregate(
             _ => deadline.remaining(),
         };
         if remaining.is_zero() {
+            stop_reason = "quota_exhausted";
             break;
         }
         let stage_no = stages.len() + 1;
+        tracer.set_stage(stage_no);
+        tracer.event("revise_selectivities", || {
+            let sels = trees
+                .iter()
+                .map(|tree| {
+                    let mut per_tree = Vec::new();
+                    tree.for_each_tracker(&mut |t| {
+                        per_tree.push(JsonValue::from(t.revised_selectivity()));
+                    });
+                    JsonValue::Array(per_tree)
+                })
+                .collect();
+            vec![("selectivities", JsonValue::Array(sels))]
+        });
         let mut stage_fulfillment: Option<Fulfillment> = None;
         let planning_remaining = if in_tail {
             // A stage sized to the whole decay tail would finish at
@@ -415,11 +524,35 @@ pub fn execute_aggregate(
                             predicted_blocks: p.blocks_drawn,
                         }
                     }
-                    None => break,
+                    None => {
+                        stop_reason = "leftover_too_small";
+                        break;
+                    }
                 }
             }
-            None => break, // leftover too small for another stage → wasted
+            None => {
+                // Leftover too small for another stage → wasted.
+                stop_reason = "leftover_too_small";
+                break;
+            }
         };
+        tracer.event("plan_stage", || {
+            vec![
+                ("fraction", JsonValue::from(plan.fraction)),
+                (
+                    "predicted_ns",
+                    JsonValue::from(plan.predicted.as_nanos() as u64),
+                ),
+                ("predicted_blocks", JsonValue::from(plan.predicted_blocks)),
+                (
+                    "fulfillment",
+                    JsonValue::from(match stage_fulfillment {
+                        Some(Fulfillment::Partial) => "partial",
+                        _ => "full",
+                    }),
+                ),
+            ]
+        });
         if in_tail {
             // Marginal-utility gate: run the tail stage only if the
             // decayed value of a later, more precise answer beats
@@ -444,11 +577,17 @@ pub fn execute_aggregate(
             let utility_after =
                 StoppingCriterion::completion_value(quota, zero_at, t_after) / (1.0 + projected_hw);
             if utility_after <= utility_now {
+                stop_reason = "value_tail_unprofitable";
                 break;
             }
         }
 
         let stage_start = deadline.spent();
+        // Every charge this stage makes (overhead, reads, CPU, retry
+        // backoff) lands between this span's endpoints, so its
+        // duration equals `StageReport::actual_cost` and the stage
+        // spans partition the run's charged time.
+        let stage_span = tracer.span("stage");
         let blocks_before: u64 = trees.iter().map(PhysTree::blocks_drawn).sum();
 
         // The fixed per-stage bookkeeping, measured at run time.
@@ -459,6 +598,7 @@ pub fn execute_aggregate(
         let mut env = StageEnv::new(disk.clone(), hard.then_some(&deadline), plan.fraction);
         env.fulfillment_override = stage_fulfillment;
         env.retry = params.retry;
+        env.tracer = tracer.clone();
         let mut aborted = false;
         let mut storage_failure: Option<StorageError> = None;
         for (tree, tv) in trees.iter_mut().zip(values.iter_mut()) {
@@ -492,6 +632,7 @@ pub fn execute_aggregate(
         }
 
         let actual = deadline.spent() - stage_start;
+        drop(stage_span);
         let blocks_after: u64 = trees.iter().map(PhysTree::blocks_drawn).sum();
         let estimate = combine(&coefficients, &trees, &values, agg, params.distinct);
         let within = !aborted && deadline.spent() <= quota;
@@ -511,33 +652,89 @@ pub fn execute_aggregate(
             // Soft constraint: the overrunning stage still delivers.
             history.push(estimate);
         }
+        tracer.stage_record("convergence", || {
+            let mut sels = Vec::new();
+            for tree in &trees {
+                tree.for_each_tracker(&mut |t| {
+                    sels.push(JsonValue::from(t.revised_selectivity()));
+                });
+            }
+            vec![
+                ("estimate", JsonValue::from(estimate.estimate)),
+                ("variance", JsonValue::from(estimate.variance)),
+                (
+                    "rel_half_width",
+                    JsonValue::from(estimate.relative_half_width(0.95)),
+                ),
+                ("points_sampled", JsonValue::from(estimate.points_sampled)),
+                ("blocks_total", JsonValue::from(blocks_after)),
+                (
+                    "blocks_stage",
+                    JsonValue::from(blocks_after - blocks_before),
+                ),
+                ("fraction", JsonValue::from(plan.fraction)),
+                (
+                    "spent_ns",
+                    JsonValue::from(deadline.spent().as_nanos() as u64),
+                ),
+                (
+                    "remaining_ns",
+                    JsonValue::from(deadline.remaining().as_nanos() as u64),
+                ),
+                ("within_quota", JsonValue::from(within)),
+                ("selectivities", JsonValue::Array(sels)),
+            ]
+        });
+        // One stopping check per executed stage, with the decision
+        // recorded before the equivalent breaks run. `expired` and
+        // `precision_satisfied` are pure reads, so pre-evaluating
+        // them does not change loop behaviour.
+        let expired_now = deadline.expired() && value_tail.is_none();
+        let precision = params.stopping.precision_satisfied(&history);
+        tracer.event("stopping_check", || {
+            vec![
+                ("aborted", JsonValue::from(aborted)),
+                ("deadline_expired", JsonValue::from(expired_now)),
+                ("precision_satisfied", JsonValue::from(precision)),
+                ("stop", JsonValue::from(aborted || expired_now || precision)),
+            ]
+        });
         if aborted {
+            stop_reason = "aborted";
             break;
         }
-        if deadline.expired() && value_tail.is_none() {
+        if expired_now {
+            stop_reason = "quota_expired";
             break;
         }
-        if params.stopping.precision_satisfied(&history) {
+        if precision {
+            stop_reason = "precision_satisfied";
             break;
         }
     }
+    tracer.event("stop", || vec![("reason", JsonValue::from(stop_reason))]);
 
     let delivered = if hard {
         hard_estimate
     } else {
         history.last().copied().unwrap_or(hard_estimate)
     };
+    let health_report = ReportHealth {
+        faults_seen: health.faults_seen,
+        retries: health.retries,
+        blocks_lost: health.blocks_lost,
+        degraded: health.blocks_lost > 0,
+    };
+    let blocks_drawn: u64 = trees.iter().map(PhysTree::blocks_drawn).sum();
+    let metrics = baseline.map(|b| metrics_snapshot(disk, b, &stages, &health, blocks_drawn));
+    drop(root_span);
     let report = ExecutionReport {
         quota,
         stages,
         total_elapsed: deadline.spent(),
         final_estimate: hard_estimate,
-        health: ReportHealth {
-            faults_seen: health.faults_seen,
-            retries: health.retries,
-            blocks_lost: health.blocks_lost,
-            degraded: health.blocks_lost > 0,
-        },
+        health: health_report,
+        metrics,
     };
     Ok(ExecOutcome {
         estimate: delivered,
@@ -548,6 +745,7 @@ pub fn execute_aggregate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::{TraceKind, TraceRecord};
     use crate::strategy::OneAtATimeInterval;
     use eram_relalg::{eval, CmpOp, Predicate};
     use eram_storage::{ColumnType, DeviceProfile, HeapFile, Schema, SimClock, Tuple, Value};
@@ -945,6 +1143,101 @@ mod tests {
             ));
         }
         assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn trace_and_metrics_capture_the_run() {
+        let (disk, cat) = setup(false);
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let tracer = Tracer::recording(disk.clock().clone());
+        let strategy = OneAtATimeInterval::new(12.0);
+        let mut params = ExecParams::new(&strategy);
+        params.seed = 99;
+        params.tracer = tracer.clone();
+        params.collect_metrics = true;
+        let out = execute_count(&disk, &cat, &expr, Duration::from_secs(10), params).unwrap();
+
+        let records = tracer.records();
+        assert!(!records.is_empty());
+        // One stage span end per reported stage, each with the stage's
+        // charged duration.
+        let stage_ends: Vec<&TraceRecord> = records
+            .iter()
+            .filter(|r| r.kind == TraceKind::End && r.name == "stage")
+            .collect();
+        assert_eq!(stage_ends.len(), out.report.stages.len());
+        let span_sum: u64 = stage_ends.iter().map(|r| r.dur_ns.unwrap()).sum();
+        assert_eq!(
+            span_sum,
+            out.report.total_elapsed.as_nanos() as u64,
+            "stage spans must partition the charged time"
+        );
+        // The root span covers the whole execution.
+        let root = records
+            .iter()
+            .find(|r| r.kind == TraceKind::End && r.name == "execute")
+            .unwrap();
+        assert_eq!(
+            root.dur_ns.unwrap(),
+            out.report.total_elapsed.as_nanos() as u64
+        );
+        // Exactly one stopping check per executed stage and one
+        // terminal stop event.
+        let checks = records
+            .iter()
+            .filter(|r| r.name == "stopping_check")
+            .count();
+        assert_eq!(checks, out.report.stages.len());
+        assert_eq!(records.iter().filter(|r| r.name == "stop").count(), 1);
+
+        let metrics = out.report.metrics.as_ref().unwrap();
+        assert_eq!(
+            metrics.counter("core.stages"),
+            out.report.stages.len() as u64
+        );
+        assert_eq!(
+            metrics.counter("core.stages_completed"),
+            out.report.completed_stages() as u64
+        );
+        assert!(metrics.counter("storage.block_reads") > 0);
+        assert_eq!(
+            metrics.histogram("stage.actual_secs").map(|h| h.count),
+            Some(out.report.stages.len() as u64)
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_leaves_reports_unchanged() {
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let base = {
+            let (disk, cat) = setup(false);
+            run(
+                &disk,
+                &cat,
+                &expr,
+                Duration::from_secs(5),
+                StoppingCriterion::HardDeadline,
+                12.0,
+            )
+        };
+        let traced = {
+            let (disk, cat) = setup(false);
+            let strategy = OneAtATimeInterval::new(12.0);
+            let mut params = ExecParams::new(&strategy);
+            params.stopping = StoppingCriterion::HardDeadline;
+            params.seed = 99;
+            params.tracer = Tracer::recording(disk.clock().clone());
+            params.collect_metrics = true;
+            execute_count(&disk, &cat, &expr, Duration::from_secs(5), params).unwrap()
+        };
+        // Tracing/metrics are pure observation: identical clock
+        // charges, identical estimate.
+        assert_eq!(
+            base.estimate.estimate.to_bits(),
+            traced.estimate.estimate.to_bits()
+        );
+        assert_eq!(base.report.total_elapsed, traced.report.total_elapsed);
+        assert_eq!(base.report.stages, traced.report.stages);
     }
 
     #[test]

@@ -63,6 +63,7 @@
 pub mod aggregate;
 pub mod costs;
 pub mod executor;
+pub mod obs;
 pub mod ops;
 pub mod predict;
 pub mod report;
@@ -77,6 +78,9 @@ pub use aggregate::AggregateFn;
 pub use costs::{CostCoeff, CostModel};
 pub use executor::{
     execute_aggregate, execute_count, term_estimate, term_estimate_with, EngineError, ExecOutcome,
+};
+pub use obs::{
+    Histogram, MetricsRegistry, MetricsSnapshot, SpanGuard, TraceKind, TraceRecord, Tracer,
 };
 pub use ops::{Fulfillment, MemoryMode, PlanOptions, StageError, StageHealth};
 pub use report::{ExecutionReport, ReportHealth, StageReport};

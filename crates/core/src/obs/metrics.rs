@@ -1,0 +1,167 @@
+//! Named counters and min/max/sum histograms.
+//!
+//! A [`MetricsRegistry`] is filled by the executor at the end of a
+//! run (from storage-counter deltas and the per-stage reports) and
+//! frozen into a [`MetricsSnapshot`] attached to
+//! [`ExecutionReport`](crate::ExecutionReport). Collection is opt-in;
+//! the hot path never touches the registry.
+//!
+//! Metric names are dotted strings: `storage.*` for disk-level
+//! counters (block reads/writes, cache hits, faults, checksum
+//! verifies), `core.*` for loop-level counters (stages, retries,
+//! blocks lost), `stage.*` and `estimate.*` for per-stage histograms.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of an observed series: count, sum, min, max.
+///
+/// Non-finite observations are ignored (a raw `NaN` would make the
+/// snapshot unserializable as JSON).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Number of finite observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// Records one observation; non-finite values are dropped.
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean of the observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// A mutable registry of named counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter (creating it at 0).
+    pub fn add(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Records one observation in the named histogram.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    /// Freezes the registry into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// An immutable, serializable snapshot of a [`MetricsRegistry`].
+///
+/// Sorted maps keep serialization deterministic; the snapshot rides
+/// on [`ExecutionReport`](crate::ExecutionReport) behind
+/// `Option` so reports without metrics serialize exactly as before.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotone counters by name.
+    #[serde(default)]
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    #[serde(default)]
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// The named counter's value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("storage.block_reads", 3);
+        reg.add("storage.block_reads", 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("storage.block_reads"), 7);
+        assert_eq!(snap.counter("never.seen"), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_bounds_and_ignores_non_finite() {
+        let mut h = Histogram::default();
+        h.observe(2.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(-1.0);
+        h.observe(5.0);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, -1.0);
+        assert_eq!(h.max, 5.0);
+        assert_eq!(h.sum, 6.0);
+        assert_eq!(h.mean(), Some(2.0));
+        assert_eq!(Histogram::default().mean(), None);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trips() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("core.stages", 3);
+        reg.observe("stage.fraction", 0.1);
+        reg.observe("stage.fraction", 0.3);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert!(!snap.is_empty());
+        assert!(MetricsSnapshot::default().is_empty());
+    }
+}

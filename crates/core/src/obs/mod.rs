@@ -1,0 +1,46 @@
+//! Observability: clock-charged tracing and a metrics registry.
+//!
+//! The paper's stage loop (Figure 3.1) is an adaptive control loop —
+//! revise selectivities, size the sample, draw blocks, evaluate, check
+//! the stopping criterion — and control loops are impossible to tune
+//! blind. This module provides the measurement substrate:
+//!
+//! * [`Tracer`] — a lightweight span/event recorder timestamped from
+//!   the session [`Clock`](eram_storage::Clock), so simulated and wall
+//!   runs share one trace format. Because `SimClock` is deterministic,
+//!   a trace of a seeded run is **bit-deterministic**: same seed, same
+//!   bytes, which turns traces into testable artifacts (see
+//!   `tests/observability.rs` and the committed golden trace).
+//! * [`MetricsRegistry`] / [`MetricsSnapshot`] — named counters and
+//!   min/max/sum histograms threaded through storage (blocks read,
+//!   cache hits, faults, checksum verifies) and core (stages, estimate
+//!   trajectory), snapshot-able into
+//!   [`ExecutionReport`](crate::ExecutionReport).
+//!
+//! The layer is zero-cost when disabled: a disabled [`Tracer`] is a
+//! `None` behind a cheap clone, so every emission site is a single
+//! branch (verified by the `obs` criterion micro-bench in
+//! `eram-bench`).
+//!
+//! # Span taxonomy
+//!
+//! | record | kind | scope |
+//! |---|---|---|
+//! | `execute` | span | the whole query, from deadline arm to report |
+//! | `stage` | span | one stage; duration == `StageReport::actual_cost` |
+//! | `block_draw` | span | one operator's block draw + read loop |
+//! | `revise_selectivities` | event | per-stage revised selectivities |
+//! | `plan_stage` | event | the (uncharged) sampling-plan decision |
+//! | `retry` | event | one charged retry backoff (attempt, backoff_ns) |
+//! | `block_lost` | event | a cluster dropped from the sample |
+//! | `stopping_check` | event | exactly one per executed stage |
+//! | `stop` | event | exactly one per run, with the loop-exit reason |
+//! | `convergence` | stage | per-stage estimate / CI / time trajectory |
+//!
+//! The JSONL schema is documented in `DESIGN.md` §"Observability".
+
+mod metrics;
+mod tracer;
+
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use tracer::{SpanGuard, TraceKind, TraceRecord, Tracer};

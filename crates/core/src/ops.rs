@@ -34,8 +34,10 @@ use eram_sampling::BlockSampler;
 use eram_storage::{Deadline, DeviceOp, Disk, HeapFile, Schema, StorageError, Tuple, Value};
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde_json::Value as JsonValue;
 
 use crate::costs::CostCoeff;
+use crate::obs::Tracer;
 use crate::retry::RetryPolicy;
 use crate::seltrack::{SelTracker, SelectivityDefaults};
 
@@ -176,6 +178,9 @@ pub struct StageEnv<'a> {
     pub retry: RetryPolicy,
     /// Fault-handling counters accumulated this stage.
     pub health: StageHealth,
+    /// Trace sink for block-draw spans and retry/degradation events
+    /// (disabled by default — one branch per site).
+    pub tracer: Tracer,
 }
 
 impl<'a> StageEnv<'a> {
@@ -190,6 +195,7 @@ impl<'a> StageEnv<'a> {
             observations: Vec::new(),
             retry: RetryPolicy::default(),
             health: StageHealth::default(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -392,10 +398,23 @@ fn read_block_resilient(
                 env.health.faults_seen += 1;
                 if attempt >= max_attempts {
                     env.health.blocks_lost += 1;
+                    env.tracer.event("block_lost", || {
+                        vec![
+                            ("block", JsonValue::from(index)),
+                            ("reason", JsonValue::from("retry_exhausted")),
+                        ]
+                    });
                     return Ok(None);
                 }
                 env.health.retries += 1;
-                env.disk.clock().charge(policy.backoff_for(attempt));
+                let backoff = policy.backoff_for(attempt);
+                env.tracer.event("retry", || {
+                    vec![
+                        ("attempt", JsonValue::from(attempt)),
+                        ("backoff_ns", JsonValue::from(backoff.as_nanos() as u64)),
+                    ]
+                });
+                env.disk.clock().charge(backoff);
                 if env.expired() {
                     return Err(StageError::Deadline);
                 }
@@ -403,6 +422,12 @@ fn read_block_resilient(
             Err(StorageError::Corrupt { .. }) => {
                 env.health.faults_seen += 1;
                 env.health.blocks_lost += 1;
+                env.tracer.event("block_lost", || {
+                    vec![
+                        ("block", JsonValue::from(index)),
+                        ("reason", JsonValue::from("corrupt")),
+                    ]
+                });
                 return Ok(None);
             }
             Err(e) => return Err(StageError::Storage(e)),
@@ -417,6 +442,7 @@ impl LeafNode {
             .max(1)
             .min(self.sampler.remaining());
         let start = env.now();
+        let _draw_span = env.tracer.span("block_draw");
         let indices: Vec<u64> = self.sampler.draw(want).to_vec();
         let mut tuples = Vec::with_capacity(indices.len() * self.file.blocking_factor());
         for idx in &indices {

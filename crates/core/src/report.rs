@@ -11,6 +11,8 @@ use serde::{Deserialize, Serialize};
 
 use eram_sampling::CountEstimate;
 
+use crate::obs::MetricsSnapshot;
+
 /// What one stage of the loop did.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StageReport {
@@ -45,15 +47,19 @@ pub struct StageReport {
 pub struct ReportHealth {
     /// Storage faults observed (transient errors and checksum
     /// mismatches), counted per failed read attempt.
+    #[serde(default)]
     pub faults_seen: u64,
     /// Retries issued by the retry policy; each one charged its
     /// backoff to the query clock.
+    #[serde(default)]
     pub retries: u64,
     /// Blocks abandoned after corruption or retry exhaustion. Each is
     /// a cluster dropped from the sample.
+    #[serde(default)]
     pub blocks_lost: u64,
     /// True iff `blocks_lost > 0`: the estimate was delivered over a
     /// reduced sample.
+    #[serde(default)]
     pub degraded: bool,
 }
 
@@ -75,6 +81,11 @@ pub struct ExecutionReport {
     /// serialized before this field existed deserializable.
     #[serde(default)]
     pub health: ReportHealth,
+    /// Counters/histograms collected during the run, when metrics
+    /// collection was requested. `None` serializes to nothing, so
+    /// metrics-free reports keep their pre-existing JSON shape.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl ExecutionReport {
@@ -167,6 +178,7 @@ mod tests {
             total_elapsed: Duration::from_secs_f64(9.0),
             final_estimate: est(42.0),
             health: ReportHealth::default(),
+            metrics: None,
         };
         assert_eq!(r.completed_stages(), 2);
         assert!(!r.overspent());
@@ -184,6 +196,7 @@ mod tests {
             total_elapsed: Duration::from_secs(11),
             final_estimate: est(42.0),
             health: ReportHealth::default(),
+            metrics: None,
         };
         assert_eq!(r.completed_stages(), 1);
         assert!(r.overspent());
@@ -202,6 +215,7 @@ mod tests {
             total_elapsed: Duration::ZERO,
             final_estimate: est(0.0),
             health: ReportHealth::default(),
+            metrics: None,
         };
         assert_eq!(r.utilization(), 0.0);
         assert_eq!(r.completed_stages(), 0);
@@ -220,6 +234,7 @@ mod tests {
                 blocks_lost: 1,
                 degraded: true,
             },
+            metrics: None,
         };
         let mut json: serde_json::Value = serde_json::to_value(&r).unwrap();
         // Simulate a report written before the health field existed.
@@ -236,9 +251,46 @@ mod tests {
             total_elapsed: Duration::from_secs(1),
             final_estimate: est(1.0),
             health: ReportHealth::default(),
+            metrics: None,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        // `None` metrics stay out of the wire format entirely.
+        assert!(!json.contains("metrics"));
+        let back: ExecutionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn health_fields_default_individually() {
+        // A partially-populated health object (e.g. from an older
+        // writer that knew fewer fields) fills the rest with defaults
+        // instead of rejecting the document.
+        let h: ReportHealth = serde_json::from_str(r#"{"faults_seen": 3}"#).unwrap();
+        assert_eq!(
+            h,
+            ReportHealth {
+                faults_seen: 3,
+                ..ReportHealth::default()
+            }
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_rides_the_report_round_trip() {
+        let mut reg = crate::obs::MetricsRegistry::new();
+        reg.add("core.stages", 2);
+        reg.observe("stage.fraction", 0.25);
+        let r = ExecutionReport {
+            quota: Duration::from_secs(2),
+            stages: vec![],
+            total_elapsed: Duration::from_secs(1),
+            final_estimate: est(1.0),
+            health: ReportHealth::default(),
+            metrics: Some(reg.snapshot()),
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: ExecutionReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+        assert_eq!(back.metrics.unwrap().counter("core.stages"), 2);
     }
 }

@@ -17,6 +17,7 @@ use eram_storage::{
 use crate::aggregate::AggregateFn;
 use crate::costs::CostModel;
 use crate::executor::{execute_aggregate, EngineError, ExecOutcome, ExecParams};
+use crate::obs::Tracer;
 use crate::ops::{Fulfillment, MemoryMode};
 use crate::retry::RetryPolicy;
 use crate::seltrack::SelectivityDefaults;
@@ -54,6 +55,12 @@ pub struct QueryConfig {
     /// How transient storage faults are retried (backoff charged to
     /// the query clock).
     pub retry: RetryPolicy,
+    /// Execution tracer. Disabled by default; attach a recording
+    /// tracer to capture clock-charged spans and events.
+    pub tracer: Tracer,
+    /// Collect a [`crate::MetricsSnapshot`] into the report's
+    /// `metrics` field (off by default).
+    pub collect_metrics: bool,
 }
 
 impl Default for QueryConfig {
@@ -70,6 +77,8 @@ impl Default for QueryConfig {
             hybrid_leftover: false,
             optimize: true,
             retry: RetryPolicy::default(),
+            tracer: Tracer::disabled(),
+            collect_metrics: false,
         }
     }
 }
@@ -370,6 +379,23 @@ impl CountQuery<'_> {
         self
     }
 
+    /// Attaches an execution tracer. Use
+    /// [`Tracer::recording`] with the database's clock (e.g.
+    /// `db.disk().clock().clone()`) so span durations are stamped in
+    /// charged time. Call after [`CountQuery::config`], which replaces
+    /// the whole config including the tracer.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.config.tracer = tracer;
+        self
+    }
+
+    /// Enables metrics collection: the report's `metrics` field gets a
+    /// [`crate::MetricsSnapshot`] of storage and stage-loop counters.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.config.collect_metrics = on;
+        self
+    }
+
     /// Replaces the whole config in one call.
     pub fn config(mut self, config: QueryConfig) -> Self {
         self.config = config;
@@ -391,6 +417,8 @@ impl CountQuery<'_> {
             hybrid_leftover: self.config.hybrid_leftover,
             optimize: self.config.optimize,
             retry: self.config.retry,
+            tracer: self.config.tracer,
+            collect_metrics: self.config.collect_metrics,
         };
         execute_aggregate(
             &self.db.disk,
@@ -518,6 +546,30 @@ mod tests {
         // With no retries every transient fault costs a block.
         assert_eq!(out.report.health.retries, 0);
         assert_eq!(out.report.health.blocks_lost, out.report.health.faults_seen);
+    }
+
+    #[test]
+    fn tracer_and_metrics_attach_through_the_builder() {
+        let mut db = populated(8);
+        let tracer = Tracer::recording(db.disk().clock().clone());
+        let expr = Expr::relation("t").select(Predicate::col_cmp(1, CmpOp::Eq, 0));
+        let out = db
+            .count(expr)
+            .within(Duration::from_secs(4))
+            .tracer(tracer.clone())
+            .metrics(true)
+            .run()
+            .unwrap();
+        assert!(tracer.record_count() > 0);
+        let metrics = out.report.metrics.expect("metrics were requested");
+        assert_eq!(
+            metrics.counter("core.stages"),
+            out.report.stages.len() as u64
+        );
+        // The trace is valid JSONL.
+        for line in tracer.to_jsonl().lines() {
+            let _: serde_json::Value = serde_json::from_str(line).unwrap();
+        }
     }
 
     #[test]

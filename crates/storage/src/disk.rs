@@ -47,6 +47,9 @@ pub struct DiskStats {
     pub tuple_cpu: u64,
     /// Charged comparison units.
     pub compares: u64,
+    /// Checksum verifications performed on charged reads.
+    #[serde(default)]
+    pub checksum_verifies: u64,
 }
 
 struct DiskInner {
@@ -70,6 +73,7 @@ pub struct Disk {
     writes: AtomicU64,
     tuple_cpu: AtomicU64,
     compares: AtomicU64,
+    verifies: AtomicU64,
 }
 
 impl Disk {
@@ -139,6 +143,7 @@ impl Disk {
             writes: AtomicU64::new(0),
             tuple_cpu: AtomicU64::new(0),
             compares: AtomicU64::new(0),
+            verifies: AtomicU64::new(0),
         })
     }
 
@@ -307,6 +312,7 @@ impl Disk {
             block.bytes_mut()[byte] ^= mask;
         }
         if let Some(&expected) = inner.checksums.get(&(file.0, index)) {
+            self.verifies.fetch_add(1, Ordering::Relaxed);
             if block.checksum() != expected {
                 return Err(StorageError::Corrupt {
                     file: file.0,
@@ -386,6 +392,7 @@ impl Disk {
             block_writes: self.writes.load(Ordering::Relaxed),
             tuple_cpu: self.tuple_cpu.load(Ordering::Relaxed),
             compares: self.compares.load(Ordering::Relaxed),
+            checksum_verifies: self.verifies.load(Ordering::Relaxed),
         }
     }
 }
@@ -670,6 +677,22 @@ mod tests {
         disk.append_block_uncharged(g, Block::zeroed(disk.block_size()))
             .unwrap();
         assert!(disk.read_block(g, 0).is_ok());
+    }
+
+    #[test]
+    fn checksum_verifies_are_counted_on_charged_reads_only() {
+        let (_, disk) = sim_disk();
+        let f = disk.create_file();
+        disk.append_block(f, Block::zeroed(disk.block_size()))
+            .unwrap();
+        assert_eq!(disk.stats().checksum_verifies, 0);
+        disk.read_block(f, 0).unwrap();
+        assert_eq!(disk.stats().checksum_verifies, 1);
+        // Uncharged (ground-truth) reads skip verification.
+        disk.read_block_uncharged(f, 0).unwrap();
+        assert_eq!(disk.stats().checksum_verifies, 1);
+        disk.read_block(f, 0).unwrap();
+        assert_eq!(disk.stats().checksum_verifies, 2);
     }
 
     #[test]
