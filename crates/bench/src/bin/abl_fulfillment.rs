@@ -45,6 +45,7 @@ fn main() {
             hybrid_leftover: false,
             seed_from_stats: false,
             fault_plan: None,
+            workers: 1,
         };
         let stats = run_row(&cfg, opts.runs, common::row_seed("abl-fulfill", 0, d_beta));
         rows.push(PaperRow {

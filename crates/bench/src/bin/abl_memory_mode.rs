@@ -60,6 +60,7 @@ fn main() {
                 hybrid_leftover: false,
                 seed_from_stats: false,
                 fault_plan: None,
+                workers: 1,
             };
             let stats = run_row(&cfg, opts.runs, common::row_seed(wname, 1, d_beta));
             rows.push(PaperRow {

@@ -80,6 +80,7 @@ fn main() {
                 hybrid_leftover: false,
                 seed_from_stats: false,
                 fault_plan: None,
+                workers: 1,
             };
             let stats = run_row(
                 &cfg,

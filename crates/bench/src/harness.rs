@@ -181,6 +181,10 @@ pub struct TrialConfig {
     /// plan seed is XOR-folded with the trial seed so independent
     /// trials see independent fault sites.
     pub fault_plan: Option<FaultPlan>,
+    /// Worker threads for the pure-CPU stage work inside each trial.
+    /// Every trial's results are byte-identical regardless; only
+    /// wall-clock time changes.
+    pub workers: usize,
 }
 
 impl TrialConfig {
@@ -203,6 +207,7 @@ impl TrialConfig {
             hybrid_leftover: false,
             seed_from_stats: false,
             fault_plan: None,
+            workers: 1,
         }
     }
 }
@@ -266,6 +271,7 @@ pub fn run_trial(config: &TrialConfig, seed: u64) -> TrialResult {
         memory: config.memory,
         max_stages: 1_000,
         hybrid_leftover: config.hybrid_leftover,
+        workers: config.workers.max(1),
         ..QueryConfig::default()
     };
     let out = workload

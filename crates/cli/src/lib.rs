@@ -76,6 +76,10 @@ pub struct Cli {
     pub trace: Option<PathBuf>,
     /// Collect and render storage/stage-loop metrics.
     pub metrics: bool,
+    /// Worker threads for the pure-CPU stage work (0 means 1 —
+    /// `Default` leaves it at 0, so treat it through `max(1)`).
+    /// Estimates and traces are identical at any worker count.
+    pub workers: usize,
 }
 
 /// A CLI-level error with a user-facing message.
@@ -98,7 +102,7 @@ fn err(msg: impl Into<String>) -> CliError {
 pub const USAGE: &str = "usage: eram --load NAME=FILE.csv:COL:TYPE[,COL:TYPE...] \
 [--load ...] [--device sun|modern] [--cache BLOCKS] [--seed N] [--header] \
 [--fault-transient RATE] [--fault-corrupt RATE] [--fault-seed N] \
-[--trace FILE] [--metrics] \
+[--trace FILE] [--metrics] [--workers N] \
 [--query EXPR --quota SECS [--agg count|sum:COL|avg:COL]]";
 
 impl Cli {
@@ -179,6 +183,16 @@ impl Cli {
                     ));
                 }
                 "--metrics" => cli.metrics = true,
+                "--workers" => {
+                    let n: usize = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("--workers needs a thread count"))?;
+                    if n == 0 {
+                        return Err(err("--workers must be at least 1"));
+                    }
+                    cli.workers = n;
+                }
                 "--help" | "-h" => return Err(err(USAGE)),
                 other => return Err(err(format!("unknown argument {other:?}\n{USAGE}"))),
             }
@@ -327,6 +341,7 @@ pub fn run_one_shot(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
         .within(quota)
         .tracer(tracer.clone())
         .metrics(cli.metrics)
+        .workers(cli.workers.max(1))
         .run()
         .map_err(|e| err(e.to_string()))?;
     let (lo, hi) = out.estimate.ci(0.95);
@@ -472,6 +487,8 @@ mod tests {
             "2.5",
             "--agg",
             "sum:1",
+            "--workers",
+            "4",
         ])
         .unwrap();
         assert_eq!(cli.loads.len(), 1);
@@ -483,6 +500,7 @@ mod tests {
         assert!(cli.header);
         assert_eq!(cli.quota_secs, Some(2.5));
         assert_eq!(cli.agg, AggregateFn::Sum { column: 1 });
+        assert_eq!(cli.workers, 4);
     }
 
     #[test]
@@ -496,6 +514,9 @@ mod tests {
         assert!(Cli::parse(["--query", "r"]).is_err()); // no quota
         assert!(Cli::parse(["--flux"]).is_err());
         assert!(Cli::parse(["--cache"]).is_err());
+        assert!(Cli::parse(["--workers"]).is_err()); // missing count
+        assert!(Cli::parse(["--workers", "0"]).is_err());
+        assert!(Cli::parse(["--workers", "two"]).is_err());
     }
 
     #[test]
@@ -606,6 +627,8 @@ mod tests {
             "select[#1 >= 50](orders)".to_string(),
             "--quota".to_string(),
             "60".to_string(),
+            "--workers".to_string(),
+            "4".to_string(),
         ])
         .unwrap();
         let mut db = build_database(&cli).unwrap();

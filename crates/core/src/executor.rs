@@ -128,6 +128,12 @@ pub struct ExecParams<'a> {
     /// (baseline before, deltas after), so it never touches the hot
     /// path.
     pub collect_metrics: bool,
+    /// Worker threads for the pure-CPU portions of each stage (block
+    /// decode, run merges). Charges, trace events, and deadline
+    /// checks stay on the calling thread in canonical order, so a
+    /// seeded run is byte-identical at any worker count; `1` (the
+    /// default) runs everything inline.
+    pub workers: usize,
 }
 
 impl<'a> ExecParams<'a> {
@@ -149,6 +155,7 @@ impl<'a> ExecParams<'a> {
             retry: RetryPolicy::default(),
             tracer: Tracer::disabled(),
             collect_metrics: false,
+            workers: 1,
         }
     }
 }
@@ -599,6 +606,7 @@ pub fn execute_aggregate(
         env.fulfillment_override = stage_fulfillment;
         env.retry = params.retry;
         env.tracer = tracer.clone();
+        env.workers = params.workers.max(1);
         let mut aborted = false;
         let mut storage_failure: Option<StorageError> = None;
         for (tree, tv) in trees.iter_mut().zip(values.iter_mut()) {

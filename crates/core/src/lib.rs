@@ -65,6 +65,7 @@ pub mod costs;
 pub mod executor;
 pub mod obs;
 pub mod ops;
+pub mod parallel;
 pub mod predict;
 pub mod report;
 pub mod retry;
@@ -83,9 +84,10 @@ pub use obs::{
     Histogram, MetricsRegistry, MetricsSnapshot, SpanGuard, TraceKind, TraceRecord, Tracer,
 };
 pub use ops::{Fulfillment, MemoryMode, PlanOptions, StageError, StageHealth};
+pub use parallel::map_ordered;
 pub use report::{ExecutionReport, ReportHealth, StageReport};
 pub use retry::RetryPolicy;
-pub use scheduler::{EdfScheduler, JobOutcome, QueryJob};
+pub use scheduler::{EdfScheduler, JobOutcome, JobStatus, QueryJob};
 pub use session::{CountQuery, Database, QueryConfig, TimedCount};
 pub use stopping::StoppingCriterion;
 pub use strategy::{

@@ -31,13 +31,14 @@ use std::time::Duration;
 
 use eram_relalg::{Catalog, Expr, ExprError, OpKind, Predicate};
 use eram_sampling::BlockSampler;
-use eram_storage::{Deadline, DeviceOp, Disk, HeapFile, Schema, StorageError, Tuple, Value};
+use eram_storage::{Block, Deadline, DeviceOp, Disk, HeapFile, Schema, StorageError, Tuple, Value};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde_json::Value as JsonValue;
 
 use crate::costs::CostCoeff;
 use crate::obs::Tracer;
+use crate::parallel::map_ordered;
 use crate::retry::RetryPolicy;
 use crate::seltrack::{SelTracker, SelectivityDefaults};
 
@@ -181,11 +182,18 @@ pub struct StageEnv<'a> {
     /// Trace sink for block-draw spans and retry/degradation events
     /// (disabled by default — one branch per site).
     pub tracer: Tracer,
+    /// Worker threads for the pure-CPU portions of a stage (block
+    /// decode, run merges). Charged work — clock, tracer, deadline —
+    /// always runs on the calling thread in canonical order, so any
+    /// value here produces byte-identical results; `1` runs
+    /// everything inline.
+    pub workers: usize,
 }
 
 impl<'a> StageEnv<'a> {
     /// Builds a stage environment with no fulfillment override, the
-    /// default retry policy, and fresh counters.
+    /// default retry policy, fresh counters, and inline (single
+    /// worker) evaluation.
     pub fn new(disk: Arc<Disk>, deadline: Option<&'a Deadline>, fraction: f64) -> Self {
         StageEnv {
             disk,
@@ -196,6 +204,7 @@ impl<'a> StageEnv<'a> {
             retry: RetryPolicy::default(),
             health: StageHealth::default(),
             tracer: Tracer::disabled(),
+            workers: 1,
         }
     }
 }
@@ -248,6 +257,11 @@ pub(crate) struct LeafNode {
     pub(crate) file: HeapFile,
     pub(crate) sampler: BlockSampler,
     pub(crate) cum_tuples: f64,
+    /// Tuples of blocks fully read before a mid-draw deadline abort.
+    /// They were never delivered in a delta (and are not in
+    /// `cum_tuples`), so the next successful stage prepends them —
+    /// every point read is accounted exactly once.
+    pub(crate) pending: Vec<Tuple>,
 }
 
 pub(crate) struct SelectNode {
@@ -387,13 +401,30 @@ fn read_block_resilient(
     file: &HeapFile,
     index: u64,
 ) -> Result<Option<Vec<Tuple>>, StageError> {
+    match read_block_resilient_raw(env, file, index)? {
+        Some(block) => Ok(Some(
+            file.decode_block(index, &block)
+                .map_err(StageError::Storage)?,
+        )),
+        None => Ok(None),
+    }
+}
+
+/// The fetch half of [`read_block_resilient`]: same retry-or-drop
+/// policy, but returns the raw block without decoding it, so callers
+/// can defer the (pure) decode to worker threads.
+fn read_block_resilient_raw(
+    env: &mut StageEnv<'_>,
+    file: &HeapFile,
+    index: u64,
+) -> Result<Option<Arc<Block>>, StageError> {
     let policy = env.retry;
     let max_attempts = policy.max_attempts.max(1);
     let mut attempt: u32 = 0;
     loop {
         attempt += 1;
-        match file.read_block(index) {
-            Ok(tuples) => return Ok(Some(tuples)),
+        match file.read_block_raw(index) {
+            Ok(block) => return Ok(Some(block)),
             Err(e) if e.is_transient() => {
                 env.health.faults_seen += 1;
                 if attempt >= max_attempts {
@@ -444,17 +475,45 @@ impl LeafNode {
         let start = env.now();
         let _draw_span = env.tracer.span("block_draw");
         let indices: Vec<u64> = self.sampler.draw(want).to_vec();
-        let mut tuples = Vec::with_capacity(indices.len() * self.file.blocking_factor());
-        for idx in &indices {
-            if env.expired() {
-                return Err(StageError::Deadline);
+        // Fetch phase, serial: every charge, retry, deadline check,
+        // and trace event happens on this thread in draw order, so
+        // the simulated clock advances identically at any worker
+        // count.
+        let mut fetched: Vec<(u64, Arc<Block>)> = Vec::with_capacity(indices.len());
+        for (k, idx) in indices.iter().enumerate() {
+            let aborted = if env.expired() {
+                true
+            } else {
+                // A lost block is a dropped cluster: `cum_tuples`
+                // (the points actually covered) doesn't grow for it,
+                // so the cluster estimator renormalizes over
+                // surviving blocks.
+                match read_block_resilient_raw(env, &self.file, *idx) {
+                    Ok(Some(block)) => {
+                        fetched.push((*idx, block));
+                        false
+                    }
+                    Ok(None) => false,
+                    Err(StageError::Deadline) => true,
+                    Err(e) => return Err(e),
+                }
+            };
+            if aborted {
+                return self.abort_mid_draw(env, (indices.len() - k) as u64, fetched);
             }
-            // A lost block is a dropped cluster: `cum_tuples` (the
-            // points actually covered) doesn't grow for it, so the
-            // cluster estimator renormalizes over surviving blocks.
-            if let Some(block) = read_block_resilient(env, &self.file, *idx)? {
-                tuples.extend(block);
-            }
+        }
+        // Decode phase, parallel: pure CPU — touches neither clock
+        // nor tracer — fanned out and recombined in draw order.
+        let decoded = {
+            let file = &self.file;
+            map_ordered(env.workers, fetched, |_, (idx, block)| {
+                file.decode_block(idx, &block)
+            })
+        };
+        let mut tuples = std::mem::take(&mut self.pending);
+        tuples.reserve(indices.len() * self.file.blocking_factor());
+        for d in decoded {
+            tuples.extend(d.map_err(StageError::Storage)?);
         }
         env.observe(
             CostCoeff::BlockRead,
@@ -466,6 +525,32 @@ impl LeafNode {
             leaf_points: tuples.len() as f64,
             tuples,
         })
+    }
+
+    /// Unwinds a draw cut short by the hard deadline before block
+    /// `undrawn..` of the draw could be read: the unread indices go
+    /// back to the sampler's population (they were never covered, so
+    /// leaving them consumed would make those clusters permanently
+    /// unsampleable and silently bias the census), while blocks that
+    /// *were* read are decoded into `pending` for the next stage.
+    /// `cum_tuples` is untouched — points count when delivered.
+    fn abort_mid_draw(
+        &mut self,
+        env: &mut StageEnv<'_>,
+        undrawn: u64,
+        fetched: Vec<(u64, Arc<Block>)>,
+    ) -> Result<Delta, StageError> {
+        self.sampler.unconsume(undrawn);
+        let decoded = {
+            let file = &self.file;
+            map_ordered(env.workers, fetched, |_, (idx, block)| {
+                file.decode_block(idx, &block)
+            })
+        };
+        for d in decoded {
+            self.pending.extend(d.map_err(StageError::Storage)?);
+        }
+        Err(StageError::Deadline)
     }
 }
 
@@ -726,15 +811,39 @@ impl BinaryNode {
             Fulfillment::Partial => vec![(l_end - 1, r_end - 1)],
         };
 
-        for (li, ri) in pairs {
+        // Charged phase, serial: per-pair run reads, comparison
+        // charges, and cost observations in the canonical pair order
+        // — the simulated clock and the trace advance exactly as a
+        // single-threaded run's would.
+        let mut staged: Vec<(Vec<Tuple>, Vec<Tuple>)> = Vec::with_capacity(pairs.len());
+        for &(li, ri) in &pairs {
             if env.expired() {
                 return Err(StageError::Deadline);
             }
-            let produced = self.merge_pair(env, li, ri, &mut out)?;
             let (lrun, rrun) = (&self.left_runs[li], &self.right_runs[ri]);
+            let start = env.now();
+            let lt = read_run(env, &lrun.data)?;
+            let rt = read_run(env, &rrun.data)?;
+            charge_chunked(env, DeviceOp::Compare, (lt.len() + rt.len()) as u64, 128)?;
+            env.observe(
+                CostCoeff::MergeTuple,
+                (lt.len() + rt.len()) as f64,
+                env.now() - start,
+            );
             pair_points += lrun.tuples as f64 * rrun.tuples as f64;
             leaf_points += lrun.leaf_points * rrun.leaf_points;
-            let _ = produced;
+            staged.push((lt, rt));
+        }
+        // Merge phase, parallel: each pair's sorted merge is pure CPU
+        // over the staged runs; results concatenate in pair order.
+        let merged = {
+            let kind = &self.kind;
+            map_ordered(env.workers, staged, |_, (lt, rt)| {
+                merge_sorted(kind, &lt, &rt)
+            })
+        };
+        for m in merged {
+            out.extend(m);
         }
 
         // Materialize the operator's new output (kept on disk in the
@@ -799,51 +908,35 @@ impl BinaryNode {
         }
         Ok(())
     }
+}
 
-    /// Merges the sorted runs `left_runs[li]` and `right_runs[ri]`,
-    /// appending matches to `out`. Returns the number of outputs.
-    fn merge_pair(
-        &self,
-        env: &mut StageEnv<'_>,
-        li: usize,
-        ri: usize,
-        out: &mut Vec<Tuple>,
-    ) -> Result<usize, StageError> {
-        let lrun = &self.left_runs[li];
-        let rrun = &self.right_runs[ri];
-        let start = env.now();
-        let lt = read_run(env, &lrun.data)?;
-        let rt = read_run(env, &rrun.data)?;
-        charge_chunked(env, DeviceOp::Compare, (lt.len() + rt.len()) as u64, 128)?;
-
-        let before = out.len();
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < lt.len() && j < rt.len() {
-            let lk = self.kind.left_key(&lt[i]);
-            let rk = self.kind.right_key(&rt[j]);
-            match lk.cmp(&rk) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    let i_end = (i..lt.len())
-                        .find(|&x| self.kind.left_key(&lt[x]) != lk)
-                        .unwrap_or(lt.len());
-                    let j_end = (j..rt.len())
-                        .find(|&x| self.kind.right_key(&rt[x]) != rk)
-                        .unwrap_or(rt.len());
-                    self.kind.emit(&lt[i..i_end], &rt[j..j_end], out);
-                    i = i_end;
-                    j = j_end;
-                }
+/// Merges two sorted runs, returning the matches. Pure CPU: touches
+/// neither the clock, the tracer, nor the deadline, so worker threads
+/// may run pair merges concurrently — the caller charges comparisons
+/// and records the `MergeTuple` observation serially beforehand.
+fn merge_sorted(kind: &BinKind, lt: &[Tuple], rt: &[Tuple]) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lt.len() && j < rt.len() {
+        let lk = kind.left_key(&lt[i]);
+        let rk = kind.right_key(&rt[j]);
+        match lk.cmp(&rk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let i_end = (i..lt.len())
+                    .find(|&x| kind.left_key(&lt[x]) != lk)
+                    .unwrap_or(lt.len());
+                let j_end = (j..rt.len())
+                    .find(|&x| kind.right_key(&rt[x]) != rk)
+                    .unwrap_or(rt.len());
+                kind.emit(&lt[i..i_end], &rt[j..j_end], &mut out);
+                i = i_end;
+                j = j_end;
             }
         }
-        env.observe(
-            CostCoeff::MergeTuple,
-            (lt.len() + rt.len()) as f64,
-            env.now() - start,
-        );
-        Ok(out.len() - before)
     }
+    out
 }
 
 /// Reads a whole sorted run, honouring the deadline at block
@@ -946,6 +1039,7 @@ impl PhysTree {
                     file,
                     sampler,
                     cum_tuples: 0.0,
+                    pending: Vec::new(),
                 }))
             }
             Expr::Select { input, predicate } => {
@@ -1400,6 +1494,82 @@ mod tests {
         assert!(deadline.expired());
         // The abort happened at block granularity — not long after T.
         assert!(deadline.overspent() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn mid_draw_abort_returns_undrawn_blocks_and_banks_read_tuples() {
+        // Regression: a mid-draw deadline abort used to leave every
+        // index of the draw consumed in the sampler while discarding
+        // the tuples already read — those clusters became permanently
+        // unsampleable and a later full census silently lost their
+        // points.
+        let (disk, cat) = setup(&[("r", rows(10_000))]);
+        let expr = Expr::relation("r");
+        let mut tree = PhysTree::build(
+            &expr,
+            &cat,
+            &disk,
+            &SelectivityDefaults::default(),
+            Fulfillment::Full,
+            &mut StdRng::seed_from_u64(23),
+        )
+        .unwrap();
+        // 1 s quota vs a 2000-block full draw (~30 ms/block): the
+        // deadline fires a few dozen blocks in.
+        let deadline = Deadline::new(disk.clock().clone(), Duration::from_secs(1));
+        let mut e = StageEnv::new(disk.clone(), Some(&deadline), 1.0);
+        assert!(matches!(tree.advance(&mut e), Err(StageError::Deadline)));
+        let Node::Leaf(leaf) = &tree.root else {
+            panic!("leaf-only tree");
+        };
+        // The unread tail of the draw went back to the population…
+        assert!(leaf.sampler.remaining() > 0, "undrawn blocks not returned");
+        assert!(
+            leaf.sampler.drawn() < 2_000,
+            "abort left whole draw consumed"
+        );
+        // …the blocks that were read are banked, not yet counted…
+        assert_eq!(leaf.sampler.drawn() as usize * 5, leaf.pending.len());
+        assert_eq!(tree.points_covered(), 0.0);
+        // …and an unconstrained census still reaches every point.
+        let mut e = env(&disk, 1.0);
+        let delta = tree.advance(&mut e).unwrap();
+        assert!(tree.exhausted());
+        assert_eq!(delta.tuples.len(), 10_000, "banked tuples lost or doubled");
+        assert_eq!(tree.points_covered(), 10_000.0);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_stage_output() {
+        // The parallel phases (block decode, pair merges) are pure:
+        // outputs, coverage, and simulated cost must be identical at
+        // any worker count.
+        let a: Vec<(i64, i64)> = (0..60).map(|i| (i % 6, i)).collect();
+        let b: Vec<(i64, i64)> = (0..40).map(|i| (i % 6, -i)).collect();
+        let run = |workers: usize| {
+            let (disk, cat) = setup(&[("a", a.clone()), ("b", b.clone())]);
+            let expr = Expr::relation("a").join(Expr::relation("b"), vec![(0, 0)]);
+            let mut tree = PhysTree::build(
+                &expr,
+                &cat,
+                &disk,
+                &SelectivityDefaults::default(),
+                Fulfillment::Full,
+                &mut StdRng::seed_from_u64(29),
+            )
+            .unwrap();
+            let mut outputs = Vec::new();
+            for _ in 0..3 {
+                let mut e = env(&disk, 0.4);
+                e.workers = workers;
+                outputs.push(tree.advance(&mut e).unwrap().tuples);
+            }
+            (outputs, tree.points_covered(), disk.clock().elapsed())
+        };
+        let serial = run(1);
+        for workers in [2, 4, 8] {
+            assert_eq!(run(workers), serial, "divergence at workers={workers}");
+        }
     }
 
     #[test]

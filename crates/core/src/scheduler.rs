@@ -20,7 +20,7 @@ use eram_relalg::Expr;
 use eram_storage::Clock;
 
 use crate::aggregate::AggregateFn;
-use crate::executor::ExecOutcome;
+use crate::executor::{EngineError, ExecOutcome};
 use crate::session::Database;
 
 /// One query in a scheduled batch.
@@ -57,6 +57,23 @@ impl QueryJob {
     }
 }
 
+/// Why a scheduled job did or did not produce an answer.
+///
+/// Distinguishing refusal (admission control worked as designed) from
+/// failure (the engine hit an error mid-run) matters for accounting:
+/// a refused job consumed no quota, while a failed job burned clock
+/// time that EDF already granted away from later jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// The engine returned an estimate.
+    Done,
+    /// Admission control rejected the job before it ran: its usable
+    /// slack fell below its declared minimum quota.
+    Refused,
+    /// The engine ran and returned an error.
+    Failed(EngineError),
+}
+
 /// How one job fared.
 #[derive(Debug)]
 pub struct JobOutcome {
@@ -68,15 +85,17 @@ pub struct JobOutcome {
     pub finished_at: Duration,
     /// The quota it was granted (zero if refused).
     pub granted_quota: Duration,
-    /// The engine outcome, or `None` if the job was refused at
-    /// admission.
+    /// Whether the job completed, was refused, or failed.
+    pub status: JobStatus,
+    /// The engine outcome, or `None` if the job was refused or
+    /// failed.
     pub result: Option<ExecOutcome>,
 }
 
 impl JobOutcome {
     /// True if the job produced an answer by its deadline.
     pub fn met(&self, job_deadline: Duration) -> bool {
-        self.result.is_some() && self.finished_at <= job_deadline
+        self.status == JobStatus::Done && self.finished_at <= job_deadline
     }
 }
 
@@ -125,16 +144,21 @@ impl EdfScheduler {
                     started_at,
                     finished_at: started_at,
                     granted_quota: Duration::ZERO,
+                    status: JobStatus::Refused,
                     result: None,
                 });
                 continue;
             }
-            let result = db.aggregate(job.agg, job.expr).within(quota).run().ok();
+            let (status, result) = match db.aggregate(job.agg, job.expr).within(quota).run() {
+                Ok(outcome) => (JobStatus::Done, Some(outcome)),
+                Err(err) => (JobStatus::Failed(err), None),
+            };
             outcomes.push(JobOutcome {
                 name: job.name,
                 started_at,
                 finished_at: now(&clock),
                 granted_quota: quota,
+                status,
                 result,
             });
         }
@@ -212,10 +236,41 @@ mod tests {
         ];
         let outcomes = EdfScheduler::default().run(&mut db, jobs);
         let starved_out = outcomes.iter().find(|o| o.name == "starved").unwrap();
+        assert_eq!(starved_out.status, JobStatus::Refused);
         assert!(starved_out.result.is_none(), "should be refused");
         assert_eq!(starved_out.granted_quota, Duration::ZERO);
         // The refusal cost (admission check) is negligible.
         assert!(starved_out.finished_at == starved_out.started_at);
+        assert!(!starved_out.met(Duration::from_secs(6)));
+    }
+
+    #[test]
+    fn engine_error_is_surfaced_not_swallowed() {
+        let mut db = db();
+        let jobs = vec![
+            QueryJob::count(
+                "broken",
+                Expr::relation("no_such_relation"),
+                Duration::from_secs(5),
+            ),
+            QueryJob::count("fine", sel(5), Duration::from_secs(12)),
+        ];
+        let outcomes = EdfScheduler::default().run(&mut db, jobs);
+        let broken = outcomes.iter().find(|o| o.name == "broken").unwrap();
+        assert!(
+            matches!(broken.status, JobStatus::Failed(EngineError::Expr(_))),
+            "expected a surfaced expression error, got {:?}",
+            broken.status
+        );
+        assert!(broken.result.is_none());
+        // A failed job was granted quota (it passed admission) but
+        // never counts as having met its deadline.
+        assert!(broken.granted_quota > Duration::ZERO);
+        assert!(!broken.met(Duration::from_secs(5)));
+        // The failure does not poison the rest of the batch.
+        let fine = outcomes.iter().find(|o| o.name == "fine").unwrap();
+        assert_eq!(fine.status, JobStatus::Done);
+        assert!(fine.met(Duration::from_secs(12)));
     }
 
     #[test]

@@ -61,6 +61,10 @@ pub struct QueryConfig {
     /// Collect a [`crate::MetricsSnapshot`] into the report's
     /// `metrics` field (off by default).
     pub collect_metrics: bool,
+    /// Worker threads for the pure-CPU portions of each stage (block
+    /// decode, run merges). Results are byte-identical at any worker
+    /// count; `1` (the default) runs everything inline.
+    pub workers: usize,
 }
 
 impl Default for QueryConfig {
@@ -79,6 +83,7 @@ impl Default for QueryConfig {
             retry: RetryPolicy::default(),
             tracer: Tracer::disabled(),
             collect_metrics: false,
+            workers: 1,
         }
     }
 }
@@ -396,6 +401,15 @@ impl CountQuery<'_> {
         self
     }
 
+    /// Sets the worker-thread count for the pure-CPU portions of each
+    /// stage. Estimates, reports, and traces are byte-identical at
+    /// any worker count; values above 1 only change wall-clock time.
+    /// Zero is treated as 1.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
+        self
+    }
+
     /// Replaces the whole config in one call.
     pub fn config(mut self, config: QueryConfig) -> Self {
         self.config = config;
@@ -419,6 +433,7 @@ impl CountQuery<'_> {
             retry: self.config.retry,
             tracer: self.config.tracer,
             collect_metrics: self.config.collect_metrics,
+            workers: self.config.workers,
         };
         execute_aggregate(
             &self.db.disk,

@@ -62,6 +62,21 @@ impl BlockSampler {
     pub fn sample_set(&self) -> &[u64] {
         &self.perm[..self.cursor]
     }
+
+    /// Returns the `n` most recently drawn blocks to the population
+    /// (clamped to the number actually drawn).
+    ///
+    /// Used when a stage aborts mid-draw: indices handed out by
+    /// [`BlockSampler::draw`] whose blocks were never read must come
+    /// back, or those clusters become permanently unsampleable and
+    /// the estimator's renormalization silently loses their points.
+    /// Rewinding the permutation cursor is exact: the un-consumed
+    /// blocks are re-drawn first on the next draw, preserving the
+    /// without-replacement guarantee and the draw distribution.
+    pub fn unconsume(&mut self, n: u64) {
+        let back = usize::try_from(n).unwrap_or(usize::MAX).min(self.cursor);
+        self.cursor -= back;
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +129,25 @@ mod tests {
             let p = c as f64 / trials as f64;
             assert!((p - 0.2).abs() < 0.02, "block {b}: p={p}");
         }
+    }
+
+    #[test]
+    fn unconsume_returns_last_drawn_blocks_in_order() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = BlockSampler::new(30, &mut rng);
+        let first: Vec<u64> = s.draw(10).to_vec();
+        assert_eq!(s.drawn(), 10);
+        // Give back the last 4: the next draw must hand out exactly
+        // those 4 again, in the same permutation order.
+        s.unconsume(4);
+        assert_eq!(s.drawn(), 6);
+        assert_eq!(s.remaining(), 24);
+        let redraw: Vec<u64> = s.draw(4).to_vec();
+        assert_eq!(redraw, first[6..]);
+        // Clamped: cannot rewind past the start.
+        s.unconsume(1_000);
+        assert_eq!(s.drawn(), 0);
+        assert_eq!(s.remaining(), 30);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! A block-granular LRU buffer cache.
+//! A block-granular, shard-striped LRU buffer cache.
 //!
 //! The paper's prototype reads every block from disk ("all the input
 //! relations and all the intermediate relations are always kept on
@@ -9,78 +9,58 @@
 //! middle ground between the paper's disk-resident and main-memory
 //! designs. Enable it with [`crate::Disk::new_cached`].
 //!
-//! The implementation is the classic hash-map + recency-queue LRU:
-//! O(1) amortized lookups, stale queue entries skipped lazily at
-//! eviction time.
+//! Each shard is the classic hash-map + recency-queue LRU: O(1)
+//! amortized lookups, stale queue entries skipped lazily at eviction
+//! time. The cache as a whole is **lock-striped**: keys hash to one of
+//! up to eight independently locked shards, so concurrent readers on
+//! different shards never contend, and cached blocks are handed out as
+//! [`Arc<Block>`] clones (a pointer bump) instead of copying the block
+//! bytes on every hit. Hit/miss counters are process-wide atomics, so
+//! they stay consistent under concurrent access.
+//!
+//! Small caches (capacity ≤ 8) get exactly one shard and therefore
+//! keep the exact global LRU order; larger caches trade global LRU
+//! exactness for parallelism (LRU is exact *per shard*). Eviction
+//! decisions depend only on the sequence of `get`/`put`/
+//! `invalidate_file` calls, so a deterministic caller sees a
+//! deterministic hit/miss pattern at any shard count.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::block::Block;
 
 /// Key of a cached block.
 type Key = (u64, u64); // (file, index)
 
-/// A fixed-capacity LRU cache of blocks.
+/// One independently locked LRU shard.
 #[derive(Debug)]
-pub struct BlockCache {
+struct Shard {
     capacity: usize,
-    entries: HashMap<Key, (Block, u64)>,
+    entries: HashMap<Key, (Arc<Block>, u64)>,
     recency: VecDeque<(Key, u64)>,
     tick: u64,
-    hits: u64,
-    misses: u64,
 }
 
-impl BlockCache {
-    /// Creates a cache holding up to `capacity` blocks.
-    ///
-    /// # Panics
-    /// Panics if `capacity` is zero (use no cache instead).
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
-        BlockCache {
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
             capacity,
             entries: HashMap::with_capacity(capacity + 1),
             recency: VecDeque::new(),
             tick: 0,
-            hits: 0,
-            misses: 0,
         }
     }
 
-    /// Maximum blocks held.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Blocks currently held.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// True when nothing is cached.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Cache hits observed.
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-
-    /// Cache misses observed.
-    pub fn misses(&self) -> u64 {
-        self.misses
-    }
-
-    fn touch(&mut self, key: Key) {
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some((_, t)) = self.entries.get_mut(&key) {
-            *t = tick;
-        }
+    /// Appends a recency entry, compacting whenever the queue
+    /// outgrows its bound — on *every* push path, so neither re-touch
+    /// storms (`get`) nor temp-file churn (`put`) can grow the queue
+    /// without limit.
+    fn push_recency(&mut self, key: Key, tick: u64) {
         self.recency.push_back((key, tick));
-        // Bound the queue against pathological re-touch storms.
         if self.recency.len() > 8 * self.capacity {
             self.compact();
         }
@@ -107,32 +87,157 @@ impl BlockCache {
         }
     }
 
-    /// Looks a block up, refreshing its recency.
-    pub fn get(&mut self, file: u64, index: u64) -> Option<Block> {
-        let key = (file, index);
-        if self.entries.contains_key(&key) {
-            self.touch(key);
-            self.hits += 1;
-            Some(self.entries[&key].0.clone())
+    fn get(&mut self, key: Key) -> Option<Arc<Block>> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((block, t)) = self.entries.get_mut(&key) {
+            *t = tick;
+            let block = Arc::clone(block);
+            self.push_recency(key, tick);
+            Some(block)
         } else {
-            self.misses += 1;
             None
         }
     }
 
-    /// Inserts (or refreshes) a block, evicting the least recently
-    /// used one if over capacity.
-    pub fn put(&mut self, file: u64, index: u64, block: Block) {
-        let key = (file, index);
+    fn put(&mut self, key: Key, block: Arc<Block>) {
         self.tick += 1;
-        self.entries.insert(key, (block, self.tick));
-        self.recency.push_back((key, self.tick));
+        let tick = self.tick;
+        self.entries.insert(key, (block, tick));
+        self.push_recency(key, tick);
         self.evict_if_needed();
     }
 
-    /// Drops every cached block of `file` (file freed/overwritten).
-    pub fn invalidate_file(&mut self, file: u64) {
+    fn invalidate_file(&mut self, file: u64) {
         self.entries.retain(|(f, _), _| *f != file);
+        // Drop the dead keys' recency entries too: freed temp files
+        // must not leave tombstones that grow the queue across stages.
+        self.compact();
+    }
+}
+
+/// A fixed-capacity LRU cache of blocks, striped over up to eight
+/// independently locked shards for concurrent access.
+#[derive(Debug)]
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BlockCache {
+    /// Creates a cache holding up to `capacity` blocks, with a shard
+    /// count derived from the capacity: one shard per eight blocks,
+    /// clamped to `1..=8`. Caches of eight blocks or fewer get a
+    /// single shard and hence exact global LRU behavior.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (use no cache instead).
+    pub fn new(capacity: usize) -> Self {
+        let shards = (capacity / 8).clamp(1, 8);
+        Self::with_shards(capacity, shards)
+    }
+
+    /// Creates a cache with an explicit shard count (for stress tests
+    /// and tuning). Capacity is split as evenly as possible across
+    /// shards.
+    ///
+    /// # Panics
+    /// Panics if `capacity` or `shards` is zero, or if `shards >
+    /// capacity` (a shard must hold at least one block).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(shards > 0, "shard count must be positive");
+        assert!(shards <= capacity, "more shards than capacity");
+        let base = capacity / shards;
+        let rem = capacity % shards;
+        let shards = (0..shards)
+            .map(|i| Mutex::new(Shard::new(base + usize::from(i < rem))))
+            .collect();
+        BlockCache {
+            shards,
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum blocks held (summed over shards).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocks currently held.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of shards the key space is striped over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: Key) -> &Mutex<Shard> {
+        // SplitMix64-style mix of (file, index) so consecutive block
+        // indices spread across shards instead of hammering one lock.
+        let mut x = key
+            .0
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(key.1.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        &self.shards[(x % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks a block up, refreshing its recency. Hits hand back a
+    /// shared `Arc` — no byte copy.
+    pub fn get(&self, file: u64, index: u64) -> Option<Arc<Block>> {
+        let key = (file, index);
+        let found = self.shard_for(key).lock().get(key);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Inserts (or refreshes) a block, evicting the least recently
+    /// used one in its shard if over capacity.
+    pub fn put(&self, file: u64, index: u64, block: Arc<Block>) {
+        let key = (file, index);
+        self.shard_for(key).lock().put(key, block);
+    }
+
+    /// Drops every cached block of `file` (file freed/overwritten),
+    /// including the file's recency-queue entries.
+    pub fn invalidate_file(&self, file: u64) {
+        for shard in &self.shards {
+            shard.lock().invalidate_file(file);
+        }
+    }
+
+    /// Total recency-queue length across shards (bound diagnostics).
+    #[cfg(test)]
+    fn recency_len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().recency.len()).sum()
     }
 }
 
@@ -140,15 +245,15 @@ impl BlockCache {
 mod tests {
     use super::*;
 
-    fn block(tag: u8) -> Block {
+    fn block(tag: u8) -> Arc<Block> {
         let mut b = Block::zeroed(16);
         b.bytes_mut()[0] = tag;
-        b
+        Arc::new(b)
     }
 
     #[test]
     fn hit_after_put_miss_before() {
-        let mut c = BlockCache::new(4);
+        let c = BlockCache::new(4);
         assert!(c.get(1, 0).is_none());
         c.put(1, 0, block(7));
         assert_eq!(c.get(1, 0).unwrap().bytes()[0], 7);
@@ -158,7 +263,8 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let mut c = BlockCache::new(2);
+        let c = BlockCache::new(2);
+        assert_eq!(c.shard_count(), 1, "small caches keep exact LRU");
         c.put(0, 0, block(0));
         c.put(0, 1, block(1));
         // Touch block 0 so block 1 becomes the LRU.
@@ -172,7 +278,7 @@ mod tests {
 
     #[test]
     fn re_put_refreshes_value_and_recency() {
-        let mut c = BlockCache::new(2);
+        let c = BlockCache::new(2);
         c.put(0, 0, block(1));
         c.put(0, 1, block(2));
         c.put(0, 0, block(9)); // refresh 0 → 1 is LRU
@@ -183,7 +289,7 @@ mod tests {
 
     #[test]
     fn invalidate_file_drops_only_that_file() {
-        let mut c = BlockCache::new(8);
+        let c = BlockCache::new(8);
         c.put(1, 0, block(1));
         c.put(2, 0, block(2));
         c.invalidate_file(1);
@@ -193,14 +299,14 @@ mod tests {
 
     #[test]
     fn heavy_retouching_stays_bounded_and_correct() {
-        let mut c = BlockCache::new(3);
+        let c = BlockCache::new(3);
         for i in 0..3u64 {
             c.put(0, i, block(i as u8));
         }
         for _ in 0..10_000 {
             assert!(c.get(0, 1).is_some());
         }
-        assert!(c.recency.len() <= 8 * 3 + 1);
+        assert!(c.recency_len() <= 8 * 3 + 1);
         // All three still resident.
         for i in 0..3u64 {
             assert!(c.get(0, i).is_some(), "block {i} evicted wrongly");
@@ -208,8 +314,69 @@ mod tests {
     }
 
     #[test]
+    fn put_churn_keeps_recency_bounded() {
+        // Temp-file churn: every stage writes and frees short-lived
+        // files. Neither the puts nor the invalidations may grow the
+        // recency queue without bound.
+        let c = BlockCache::new(4);
+        for file in 0..5_000u64 {
+            c.put(file, 0, block(1));
+            c.invalidate_file(file);
+        }
+        assert!(c.is_empty());
+        assert!(c.recency_len() <= 8 * 4 + 1, "queue grew without bound");
+    }
+
+    #[test]
+    fn invalidate_file_compacts_recency_entries() {
+        let c = BlockCache::new(8);
+        for i in 0..8u64 {
+            c.put(1, i, block(i as u8));
+        }
+        c.invalidate_file(1);
+        assert_eq!(c.len(), 0);
+        assert_eq!(
+            c.recency_len(),
+            0,
+            "invalidation must drop the file's recency entries"
+        );
+    }
+
+    #[test]
+    fn sharded_cache_stripes_keys_and_counts_consistently() {
+        let c = BlockCache::with_shards(64, 8);
+        assert_eq!(c.shard_count(), 8);
+        for i in 0..32u64 {
+            c.put(0, i, block(i as u8));
+        }
+        assert!(c.len() <= 64);
+        let mut hits = 0;
+        for i in 0..64u64 {
+            if c.get(0, i).is_some() {
+                hits += 1;
+            }
+        }
+        assert_eq!(c.hits(), hits);
+        assert_eq!(c.hits() + c.misses(), 64);
+    }
+
+    #[test]
+    fn shard_count_scales_with_capacity() {
+        assert_eq!(BlockCache::new(2).shard_count(), 1);
+        assert_eq!(BlockCache::new(8).shard_count(), 1);
+        assert_eq!(BlockCache::new(16).shard_count(), 2);
+        assert_eq!(BlockCache::new(1_000).shard_count(), 8);
+    }
+
+    #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = BlockCache::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards")]
+    fn more_shards_than_capacity_rejected() {
+        let _ = BlockCache::with_shards(4, 5);
     }
 }

@@ -55,7 +55,6 @@ pub struct DiskStats {
 struct DiskInner {
     backend: Box<dyn BlockBackend>,
     rng: StdRng,
-    cache: Option<BlockCache>,
     /// FNV-1a digest of every block written through this disk, keyed
     /// by (file, index); verified on every charged read.
     checksums: HashMap<(u64, u64), u64>,
@@ -66,6 +65,10 @@ struct DiskInner {
 /// A block store that charges a clock for every operation.
 pub struct Disk {
     inner: Mutex<DiskInner>,
+    /// Buffer cache, outside `inner`: it carries its own lock
+    /// striping, so concurrent readers hitting the cache never
+    /// serialize on the backend lock.
+    cache: Option<BlockCache>,
     clock: Arc<dyn Clock>,
     profile: DeviceProfile,
     block_size: usize,
@@ -99,6 +102,7 @@ impl Disk {
             block_size,
             seed,
             Box::new(MemoryBackend::new()),
+            None,
         )
     }
 
@@ -118,6 +122,7 @@ impl Disk {
             BLOCK_SIZE,
             seed,
             Box::new(backend),
+            None,
         ))
     }
 
@@ -127,15 +132,16 @@ impl Disk {
         block_size: usize,
         seed: u64,
         backend: Box<dyn BlockBackend>,
+        cache: Option<BlockCache>,
     ) -> Arc<Self> {
         Arc::new(Disk {
             inner: Mutex::new(DiskInner {
                 backend,
                 rng: StdRng::seed_from_u64(seed),
-                cache: None,
                 checksums: HashMap::new(),
                 faults: None,
             }),
+            cache,
             clock,
             profile,
             block_size,
@@ -158,15 +164,19 @@ impl Disk {
         seed: u64,
         cache_blocks: usize,
     ) -> Arc<Self> {
-        let disk = Self::new(clock, profile, seed);
-        disk.inner.lock().cache = Some(BlockCache::new(cache_blocks));
-        disk
+        Self::with_backend(
+            clock,
+            profile,
+            BLOCK_SIZE,
+            seed,
+            Box::new(MemoryBackend::new()),
+            Some(BlockCache::new(cache_blocks)),
+        )
     }
 
     /// Cache hit/miss counters, if a cache is attached.
     pub fn cache_stats(&self) -> Option<(u64, u64)> {
-        let inner = self.inner.lock();
-        inner.cache.as_ref().map(|c| (c.hits(), c.misses()))
+        self.cache.as_ref().map(|c| (c.hits(), c.misses()))
     }
 
     /// Arms fault injection: every subsequent charged read runs
@@ -216,7 +226,7 @@ impl Disk {
         let mut inner = self.inner.lock();
         inner.backend.free_file(file.0);
         inner.checksums.retain(|&(f, _), _| f != file.0);
-        if let Some(cache) = inner.cache.as_mut() {
+        if let Some(cache) = &self.cache {
             cache.invalidate_file(file.0);
         }
     }
@@ -238,11 +248,14 @@ impl Disk {
         assert_eq!(block.len(), self.block_size, "block size mismatch");
         self.charge(DeviceOp::BlockWrite);
         self.writes.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.lock();
-        let index = inner.backend.append(file.0, &block)?;
-        inner.checksums.insert((file.0, index), block.checksum());
-        if let Some(cache) = inner.cache.as_mut() {
-            cache.put(file.0, index, block);
+        let index = {
+            let mut inner = self.inner.lock();
+            let index = inner.backend.append(file.0, &block)?;
+            inner.checksums.insert((file.0, index), block.checksum());
+            index
+        };
+        if let Some(cache) = &self.cache {
+            cache.put(file.0, index, Arc::new(block));
         }
         Ok(index)
     }
@@ -257,16 +270,16 @@ impl Disk {
     /// recorded when it was written. Cache hits skip both — a cached
     /// block was verified when it entered the cache, matching a real
     /// buffer pool where rot lives on the medium, not in RAM.
-    pub fn read_block(&self, file: FileId, index: u64) -> Result<Block> {
-        // Cache lookup first (uncontended fast path under the same
-        // lock the charge would take anyway).
-        let cached = {
-            let mut inner = self.inner.lock();
-            inner
-                .cache
-                .as_mut()
-                .and_then(|cache| cache.get(file.0, index))
-        };
+    ///
+    /// Returns a shared [`Arc<Block>`]: cache hits hand back the
+    /// resident block without copying its bytes.
+    pub fn read_block(&self, file: FileId, index: u64) -> Result<Arc<Block>> {
+        // Cache lookup first — the cache carries its own striped
+        // locks, so hits never touch the backend lock.
+        let cached = self
+            .cache
+            .as_ref()
+            .and_then(|cache| cache.get(file.0, index));
         if let Some(block) = cached {
             self.charge(DeviceOp::CacheHit);
             return Ok(block);
@@ -327,8 +340,10 @@ impl Disk {
                 block: index,
             });
         }
-        if let Some(cache) = inner.cache.as_mut() {
-            cache.put(file.0, index, block.clone());
+        drop(inner);
+        let block = Arc::new(block);
+        if let Some(cache) = &self.cache {
+            cache.put(file.0, index, Arc::clone(&block));
         }
         Ok(block)
     }
@@ -344,11 +359,13 @@ impl Disk {
         assert_eq!(block.len(), self.block_size, "block size mismatch");
         self.charge(DeviceOp::BlockWrite);
         self.writes.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.lock();
-        inner.backend.write(file.0, index, &block)?;
-        inner.checksums.insert((file.0, index), block.checksum());
-        if let Some(cache) = inner.cache.as_mut() {
-            cache.put(file.0, index, block);
+        {
+            let mut inner = self.inner.lock();
+            inner.backend.write(file.0, index, &block)?;
+            inner.checksums.insert((file.0, index), block.checksum());
+        }
+        if let Some(cache) = &self.cache {
+            cache.put(file.0, index, Arc::new(block));
         }
         Ok(())
     }
@@ -426,8 +443,15 @@ mod tests {
         b.bytes_mut()[0] = 0x5A;
         let idx = disk.append_block(f, b.clone()).unwrap();
         assert_eq!(idx, 0);
-        assert_eq!(disk.read_block(f, 0).unwrap(), b);
+        assert_eq!(*disk.read_block(f, 0).unwrap(), b);
         assert_eq!(disk.num_blocks(f).unwrap(), 1);
+    }
+
+    #[test]
+    fn disk_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Disk>();
+        assert_send_sync::<Arc<Disk>>();
     }
 
     #[test]
@@ -670,7 +694,7 @@ mod tests {
         b.bytes_mut()[7] = 7;
         disk.write_block(f, 0, b.clone()).unwrap();
         // Read verifies against the *latest* digest.
-        assert_eq!(disk.read_block(f, 0).unwrap(), b);
+        assert_eq!(*disk.read_block(f, 0).unwrap(), b);
         // Freeing the file drops its digests.
         disk.free_file(f);
         let g = disk.create_file();

@@ -149,7 +149,11 @@ impl HeapFile {
         Ok(())
     }
 
-    fn decode_block(&self, index: u64, block: &Block) -> Result<Vec<Tuple>> {
+    /// Decodes the tuples stored in `block`, which must be block
+    /// `index` of this file. Pure CPU work: charges nothing and
+    /// touches no shared state, so callers may decode fetched blocks
+    /// on worker threads.
+    pub fn decode_block(&self, index: u64, block: &Block) -> Result<Vec<Tuple>> {
         let n = usize::try_from(self.tuples_in_block(index)).expect("fits usize");
         let rec = self.schema.record_size();
         let mut out = Vec::with_capacity(n);
@@ -159,8 +163,10 @@ impl HeapFile {
         Ok(out)
     }
 
-    /// Reads and decodes block `index`, charging one block read.
-    pub fn read_block(&self, index: u64) -> Result<Vec<Tuple>> {
+    /// Fetches raw block `index`, charging one block read (or cache
+    /// hit), without decoding. Pair with [`HeapFile::decode_block`] to
+    /// split the charged fetch from the pure decode.
+    pub fn read_block_raw(&self, index: u64) -> Result<Arc<Block>> {
         if index >= self.num_blocks() {
             return Err(StorageError::BlockOutOfRange {
                 file: self.file.0,
@@ -168,7 +174,12 @@ impl HeapFile {
                 len: self.num_blocks(),
             });
         }
-        let block = self.disk.read_block(self.file, index)?;
+        self.disk.read_block(self.file, index)
+    }
+
+    /// Reads and decodes block `index`, charging one block read.
+    pub fn read_block(&self, index: u64) -> Result<Vec<Tuple>> {
+        let block = self.read_block_raw(index)?;
         self.decode_block(index, &block)
     }
 
