@@ -1,8 +1,8 @@
 //! Criterion micro-bench guarding the observability layer's
 //! zero-cost-when-disabled contract: `execute_count` with the default
-//! (disabled) tracer must not regress against the pre-observability
-//! baseline, and the recording variant is measured alongside so the
-//! cost of turning tracing on stays visible.
+//! (disabled) tracer and profiler must not regress against the
+//! pre-observability baseline, and the recording variants are
+//! measured alongside so the cost of turning them on stays visible.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use eram_core::executor::{execute_count, ExecParams};
-use eram_core::{OneAtATimeInterval, StoppingCriterion, Tracer};
+use eram_core::{OneAtATimeInterval, Profiler, StoppingCriterion, Tracer};
 use eram_relalg::{Catalog, CmpOp, Expr, Predicate};
 use eram_storage::{ColumnType, DeviceProfile, Disk, HeapFile, Schema, SimClock, Tuple, Value};
 
@@ -61,9 +61,42 @@ fn bench_tracer_recording(c: &mut Criterion) {
     });
 }
 
+/// The flight recorder's disabled path: every phase site takes the
+/// `Option::None` branch and never calls `Instant::now()`, so this
+/// must track `execute_count_tracer_disabled` (both are the default
+/// `ExecParams`, spelled out here so the contract is explicit).
+fn bench_profiler_disabled(c: &mut Criterion) {
+    let (disk, cat, expr) = paper_setup();
+    let strategy = OneAtATimeInterval::new(12.0);
+    c.bench_function("execute_count_profiler_disabled", |b| {
+        b.iter(|| {
+            let mut params = ExecParams::new(&strategy);
+            params.stopping = StoppingCriterion::HardDeadline;
+            params.seed = 7;
+            params.profiler = Profiler::disabled();
+            black_box(execute_count(&disk, &cat, &expr, Duration::from_secs(2), params).unwrap())
+        })
+    });
+}
+
+fn bench_profiler_recording(c: &mut Criterion) {
+    let (disk, cat, expr) = paper_setup();
+    let strategy = OneAtATimeInterval::new(12.0);
+    c.bench_function("execute_count_profiler_recording", |b| {
+        b.iter(|| {
+            let mut params = ExecParams::new(&strategy);
+            params.stopping = StoppingCriterion::HardDeadline;
+            params.seed = 7;
+            params.profiler = Profiler::recording(disk.clock().clone());
+            black_box(execute_count(&disk, &cat, &expr, Duration::from_secs(2), params).unwrap())
+        })
+    });
+}
+
 criterion_group! {
     name = obs;
     config = Criterion::default().measurement_time(Duration::from_secs(5));
-    targets = bench_tracer_disabled, bench_tracer_recording
+    targets = bench_tracer_disabled, bench_tracer_recording,
+        bench_profiler_disabled, bench_profiler_recording
 }
 criterion_main!(obs);

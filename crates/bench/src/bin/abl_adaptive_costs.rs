@@ -10,11 +10,11 @@
 //! fixed-form formula could do — but note the oracle cannot track
 //! per-query specifics either).
 //!
-//! Usage: `abl_adaptive_costs [--runs N] [--quota SECS] [--jsonl]`
+//! Usage: `abl_adaptive_costs [--runs N] [--quota SECS] [--jsonl] [--json PATH]`
 
 use std::time::Duration;
 
-use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+use eram_bench::{measure_row, render_table, BenchReport, PaperRow, TrialConfig, WorkloadKind};
 use eram_core::{CostModel, Fulfillment, OneAtATimeInterval, SelectivityDefaults};
 use eram_storage::DeviceProfile;
 
@@ -37,6 +37,11 @@ fn main() {
         ),
     ];
 
+    let mut bench = BenchReport::new("abl_adaptive_costs");
+    bench.config_kv("quota_secs", quota.as_secs_f64());
+    bench.config_kv("runs", opts.runs as u64);
+    bench.config_kv("d_beta", d_beta);
+
     let mut rows = Vec::new();
     for (name, model) in models {
         let cfg = TrialConfig {
@@ -53,10 +58,11 @@ fn main() {
             fault_plan: None,
             workers: 1,
         };
-        let stats = run_row(&cfg, opts.runs, common::row_seed("abl-adaptive", 0, d_beta));
+        let measured = measure_row(&cfg, opts.runs, common::row_seed("abl-adaptive", 0, d_beta));
+        bench.push_measured(name, &measured);
         rows.push(PaperRow {
             label: name.to_string(),
-            stats,
+            stats: measured.stats,
         });
     }
     let title = format!(
@@ -66,4 +72,5 @@ fn main() {
     );
     common::emit(&opts, &title, "model", &rows);
     println!("{}", render_table(&title, "model", &rows));
+    common::write_bench(&opts, &bench);
 }

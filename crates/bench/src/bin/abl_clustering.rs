@@ -10,11 +10,11 @@
 //! blocks (a clustered index, a sorted load), block totals are all-or-
 //! nothing and the same sample size buys a far worse estimate.
 //!
-//! Usage: `abl_clustering [--runs N] [--quota SECS] [--jsonl]`
+//! Usage: `abl_clustering [--runs N] [--quota SECS] [--jsonl] [--json PATH]`
 
 use std::time::Duration;
 
-use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+use eram_bench::{measure_row, render_table, BenchReport, PaperRow, TrialConfig, WorkloadKind};
 
 mod common;
 
@@ -24,16 +24,23 @@ fn main() {
     let d_beta = 12.0;
     let output_tuples = 2_000u64;
 
+    let mut bench = BenchReport::new("abl_clustering");
+    bench.config_kv("quota_secs", quota.as_secs_f64());
+    bench.config_kv("runs", opts.runs as u64);
+    bench.config_kv("d_beta", d_beta);
+    bench.config_kv("output_tuples", output_tuples);
+
     let mut rows = Vec::new();
     for (label, kind) in [
         ("random (paper)", WorkloadKind::Select { output_tuples }),
         ("clustered", WorkloadKind::SelectClustered { output_tuples }),
     ] {
         let cfg = TrialConfig::paper(kind, quota, d_beta);
-        let stats = run_row(&cfg, opts.runs, common::row_seed(label, 3, d_beta));
+        let measured = measure_row(&cfg, opts.runs, common::row_seed(label, 3, d_beta));
+        bench.push_measured(label, &measured);
         rows.push(PaperRow {
             label: label.to_string(),
-            stats,
+            stats: measured.stats,
         });
     }
     let title = format!(
@@ -47,4 +54,5 @@ fn main() {
         "Same control loop, same blocks — the clustered layout's estimate error is the\n\
          between-block variance the paper dodged by loading tuples in random order."
     );
+    common::write_bench(&opts, &bench);
 }

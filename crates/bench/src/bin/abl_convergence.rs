@@ -9,14 +9,17 @@
 //! bank more sample.
 //!
 //! With `--jsonl` the raw convergence records are emitted to stderr,
-//! ready for the `jq` recipes in the README.
+//! ready for the `jq` recipes in the README. The machine-readable
+//! `BENCH_abl_convergence.json` stores the full trajectory per row
+//! (as the `simulated` payload — it is clock-charged and therefore
+//! deterministic) plus the run's phase profile.
 //!
-//! Usage: `abl_convergence [--quota SECS] [--jsonl]`
+//! Usage: `abl_convergence [--quota SECS] [--jsonl] [--json PATH]`
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use eram_bench::{Workload, WorkloadKind};
-use eram_core::{StoppingCriterion, TraceKind, Tracer};
+use eram_bench::{BenchReport, Workload, WorkloadKind};
+use eram_core::{Profiler, StoppingCriterion, TraceKind, Tracer};
 
 mod common;
 
@@ -28,6 +31,10 @@ fn main() {
     let opts = common::Opts::parse("abl_convergence");
     let quota = Duration::from_secs_f64(opts.quota.unwrap_or(10.0));
 
+    let mut bench = BenchReport::new("abl_convergence");
+    bench.config_kv("quota_secs", quota.as_secs_f64());
+    bench.config_kv("output_tuples", 5_000u64);
+
     for (i, d_beta) in [0.0, 12.0, 24.0, 48.0].into_iter().enumerate() {
         let seed = common::row_seed("abl-convergence", i as u64, d_beta);
         let mut workload = Workload::build_on(
@@ -38,6 +45,8 @@ fn main() {
             0,
         );
         let tracer = Tracer::recording(workload.db.disk().clock().clone());
+        let profiler = Profiler::recording(workload.db.disk().clock().clone());
+        let started = Instant::now();
         let out = workload
             .db
             .count(workload.expr.clone())
@@ -46,8 +55,10 @@ fn main() {
             .stopping(StoppingCriterion::SoftDeadline)
             .seed(seed ^ 0x5EED)
             .tracer(tracer.clone())
+            .profiler(profiler)
             .run()
             .expect("experiment query must execute");
+        let wall = started.elapsed().as_secs_f64();
 
         println!(
             "Convergence — selection 5000/10000, d_beta {d_beta}, quota {:.1} s (truth {})",
@@ -60,10 +71,11 @@ fn main() {
         );
         println!("{}", "-".repeat(52));
         let records = tracer.records();
-        for rec in records
+        let convergence: Vec<&eram_core::TraceRecord> = records
             .iter()
             .filter(|r| r.kind == TraceKind::Stage && r.name == "convergence")
-        {
+            .collect();
+        for rec in &convergence {
             println!(
                 "{:>5} | {:>10.1} | {:>8.4} | {:>7.0} | {:>9.3}",
                 rec.stage,
@@ -81,12 +93,23 @@ fn main() {
         );
         if opts.jsonl {
             eprintln!("# convergence d_beta {d_beta}");
-            for rec in records
-                .iter()
-                .filter(|r| r.kind == TraceKind::Stage && r.name == "convergence")
-            {
+            for rec in &convergence {
                 eprintln!("{}", serde_json::to_string(rec).expect("record serializes"));
             }
         }
+        // The trajectory is clock-charged, so it belongs to the
+        // exact-compared simulated payload.
+        bench.push_value(
+            format!("d_beta={d_beta}"),
+            serde_json::json!({
+                "truth": workload.truth,
+                "final_estimate": out.estimate.estimate,
+                "stages": out.report.stages.len(),
+                "trajectory": convergence,
+            }),
+            &[wall],
+            out.report.profile.clone(),
+        );
     }
+    common::write_bench(&opts, &bench);
 }

@@ -8,9 +8,11 @@
 //! relative error and 95 % CI coverage of the count estimators
 //! (`û` for select/join/intersect, Goodman for projection).
 //!
-//! Usage: `abl_estimator_accuracy [--runs N]`
+//! Usage: `abl_estimator_accuracy [--runs N] [--json PATH]`
 
-use eram_bench::{Workload, WorkloadKind};
+use std::time::Instant;
+
+use eram_bench::{BenchReport, Workload, WorkloadKind};
 use eram_core::{ops, term_estimate, term_estimate_with, SelectivityDefaults};
 use eram_relalg::PieRewrite;
 use eram_sampling::DistinctEstimator;
@@ -20,7 +22,13 @@ use rand::SeedableRng;
 
 mod common;
 
-fn measure(kind: WorkloadKind, name: &str, fractions: &[f64], runs: usize) {
+fn measure(
+    kind: WorkloadKind,
+    name: &str,
+    fractions: &[f64],
+    runs: usize,
+    bench: &mut BenchReport,
+) {
     println!("Estimator accuracy — {name} ({runs} runs per fraction, 95% CI coverage)");
     println!(
         "{:>9} | {:>12} | {:>10}",
@@ -29,6 +37,7 @@ fn measure(kind: WorkloadKind, name: &str, fractions: &[f64], runs: usize) {
     println!("{}", "-".repeat(38));
     let seeds = SeedSeq::new(0xACC0);
     for &fraction in fractions {
+        let started = Instant::now();
         let mut errs = Vec::new();
         let mut covered = 0usize;
         for run in 0..runs {
@@ -59,11 +68,18 @@ fn measure(kind: WorkloadKind, name: &str, fractions: &[f64], runs: usize) {
                 covered += 1;
             }
         }
-        println!(
-            "{:>9.3} | {:>12.4} | {:>10.1}",
-            fraction,
-            errs.iter().sum::<f64>() / errs.len().max(1) as f64,
-            100.0 * covered as f64 / runs as f64
+        let mean_rel_err = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+        let coverage_pct = 100.0 * covered as f64 / runs as f64;
+        println!("{fraction:>9.3} | {mean_rel_err:>12.4} | {coverage_pct:>10.1}");
+        bench.push_value(
+            format!("{name} f={fraction}"),
+            serde_json::json!({
+                "fraction": fraction,
+                "mean_rel_err": mean_rel_err,
+                "coverage_pct": coverage_pct,
+            }),
+            &[started.elapsed().as_secs_f64()],
+            None,
         );
     }
     println!();
@@ -72,7 +88,7 @@ fn measure(kind: WorkloadKind, name: &str, fractions: &[f64], runs: usize) {
 /// Compares the distinct-count estimators on the projection workload
 /// (Goodman is the paper's choice; Chao1/jackknife are the stable
 /// alternatives this library adds).
-fn measure_distinct(fractions: &[f64], runs: usize) {
+fn measure_distinct(fractions: &[f64], runs: usize, bench: &mut BenchReport) {
     let kind = WorkloadKind::Project { groups: 100 };
     println!("Distinct-count estimators — project workload, truth 100 groups ({runs} runs)");
     println!(
@@ -82,6 +98,7 @@ fn measure_distinct(fractions: &[f64], runs: usize) {
     println!("{}", "-".repeat(60));
     let seeds = SeedSeq::new(0xD157);
     for &fraction in fractions {
+        let started = Instant::now();
         let mut errs = [0.0f64; 3];
         for run in 0..runs {
             let seed = seeds.child(fraction.to_bits()).derive(run as u64);
@@ -112,12 +129,18 @@ fn measure_distinct(fractions: &[f64], runs: usize) {
                 errs[i] += (e.estimate - truth).abs() / truth;
             }
         }
-        println!(
-            "{:>9.3} | {:>14.3} | {:>14.3} | {:>14.3}",
-            fraction,
-            errs[0] / runs as f64,
-            errs[1] / runs as f64,
-            errs[2] / runs as f64
+        let [goodman, chao1, jackknife1] = errs.map(|e| e / runs as f64);
+        println!("{fraction:>9.3} | {goodman:>14.3} | {chao1:>14.3} | {jackknife1:>14.3}");
+        bench.push_value(
+            format!("distinct f={fraction}"),
+            serde_json::json!({
+                "fraction": fraction,
+                "goodman": goodman,
+                "chao1": chao1,
+                "jackknife1": jackknife1,
+            }),
+            &[started.elapsed().as_secs_f64()],
+            None,
         );
     }
     println!();
@@ -126,6 +149,10 @@ fn measure_distinct(fractions: &[f64], runs: usize) {
 fn main() {
     let opts = common::Opts::parse("abl_estimator_accuracy");
     let runs = opts.runs.min(400);
+
+    let mut bench = BenchReport::new("abl_estimator_accuracy");
+    bench.config_kv("runs", runs as u64);
+
     measure(
         WorkloadKind::Select {
             output_tuples: 5_000,
@@ -133,6 +160,7 @@ fn main() {
         "COUNT(select), truth 5000",
         &[0.01, 0.02, 0.05, 0.1, 0.2],
         runs,
+        &mut bench,
     );
     measure(
         WorkloadKind::Join {
@@ -141,18 +169,22 @@ fn main() {
         "COUNT(join), truth 70000",
         &[0.01, 0.02, 0.05, 0.1],
         runs,
+        &mut bench,
     );
     measure(
         WorkloadKind::Intersect { overlap: 5_000 },
         "COUNT(intersect), truth 5000",
         &[0.02, 0.05, 0.1, 0.2],
         runs,
+        &mut bench,
     );
     measure(
         WorkloadKind::Project { groups: 100 },
         "COUNT(project), truth 100 groups",
         &[0.01, 0.02, 0.05, 0.1],
         runs,
+        &mut bench,
     );
-    measure_distinct(&[0.01, 0.05, 0.2, 0.5], runs);
+    measure_distinct(&[0.01, 0.05, 0.2, 0.5], runs, &mut bench);
+    common::write_bench(&opts, &bench);
 }

@@ -7,11 +7,11 @@
 //! estimate within the quota, but lost blocks shrink the sample, so
 //! accuracy decays gracefully instead of the query failing.
 //!
-//! Usage: `abl_faults [--runs N] [--quota SECS] [--jsonl]`
+//! Usage: `abl_faults [--runs N] [--quota SECS] [--jsonl] [--json PATH]`
 
 use std::time::Duration;
 
-use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+use eram_bench::{measure_row, render_table, BenchReport, PaperRow, TrialConfig, WorkloadKind};
 use eram_storage::FaultPlan;
 
 mod common;
@@ -32,6 +32,11 @@ fn main() {
         ("t=5% c=1%", 0.05, 0.01),
     ];
 
+    let mut bench = BenchReport::new("abl_faults");
+    bench.config_kv("quota_secs", quota.as_secs_f64());
+    bench.config_kv("runs", opts.runs as u64);
+    bench.config_kv("d_beta", d_beta);
+
     let mut rows = Vec::new();
     for (i, (label, transient, corrupt)) in sweep.iter().enumerate() {
         let mut cfg = TrialConfig::paper(
@@ -48,14 +53,15 @@ fn main() {
                     .with_corruption(*corrupt),
             );
         }
-        let stats = run_row(
+        let measured = measure_row(
             &cfg,
             opts.runs,
             common::row_seed("abl-faults", i as u64, d_beta),
         );
+        bench.push_measured(*label, &measured);
         rows.push(PaperRow {
             label: (*label).to_string(),
-            stats,
+            stats: measured.stats,
         });
     }
     let title = format!(
@@ -65,4 +71,5 @@ fn main() {
     );
     common::emit(&opts, &title, "faults", &rows);
     println!("{}", render_table(&title, "faults", &rows));
+    common::write_bench(&opts, &bench);
 }

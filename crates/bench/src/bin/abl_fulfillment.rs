@@ -13,11 +13,11 @@
 //! reports points covered (via blocks and estimate quality) and the
 //! usual time-control columns.
 //!
-//! Usage: `abl_fulfillment [--runs N] [--quota SECS] [--jsonl]`
+//! Usage: `abl_fulfillment [--runs N] [--quota SECS] [--jsonl] [--json PATH]`
 
 use std::time::Duration;
 
-use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+use eram_bench::{measure_row, render_table, BenchReport, PaperRow, TrialConfig, WorkloadKind};
 use eram_core::{CostModel, Fulfillment, OneAtATimeInterval, SelectivityDefaults};
 
 mod common;
@@ -27,6 +27,11 @@ fn main() {
     let quota = Duration::from_secs_f64(opts.quota.unwrap_or(2.5));
     let kind = WorkloadKind::Intersect { overlap: 5_000 };
     let d_beta = 12.0;
+
+    let mut bench = BenchReport::new("abl_fulfillment");
+    bench.config_kv("quota_secs", quota.as_secs_f64());
+    bench.config_kv("runs", opts.runs as u64);
+    bench.config_kv("d_beta", d_beta);
 
     let mut rows = Vec::new();
     for (name, fulfillment) in [
@@ -47,10 +52,11 @@ fn main() {
             fault_plan: None,
             workers: 1,
         };
-        let stats = run_row(&cfg, opts.runs, common::row_seed("abl-fulfill", 0, d_beta));
+        let measured = measure_row(&cfg, opts.runs, common::row_seed("abl-fulfill", 0, d_beta));
+        bench.push_measured(name, &measured);
         rows.push(PaperRow {
             label: name.to_string(),
-            stats,
+            stats: measured.stats,
         });
     }
     let title = format!(
@@ -60,4 +66,5 @@ fn main() {
     );
     common::emit(&opts, &title, "plan", &rows);
     println!("{}", render_table(&title, "plan", &rows));
+    common::write_bench(&opts, &bench);
 }

@@ -14,11 +14,11 @@
 //! temporary-file writes and re-reads, so a given quota buys far more
 //! sample blocks — and a correspondingly better estimate.
 //!
-//! Usage: `abl_memory_mode [--runs N] [--quota SECS] [--jsonl]`
+//! Usage: `abl_memory_mode [--runs N] [--quota SECS] [--jsonl] [--json PATH]`
 
 use std::time::Duration;
 
-use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+use eram_bench::{measure_row, render_table, BenchReport, PaperRow, TrialConfig, WorkloadKind};
 use eram_core::{CostModel, Fulfillment, MemoryMode, OneAtATimeInterval, SelectivityDefaults};
 
 mod common;
@@ -27,6 +27,11 @@ fn main() {
     let opts = common::Opts::parse("abl_memory_mode");
     let quota = Duration::from_secs_f64(opts.quota.unwrap_or(2.5));
     let d_beta = 12.0;
+
+    let mut bench = BenchReport::new("abl_memory_mode");
+    bench.config_kv("quota_secs", quota.as_secs_f64());
+    bench.config_kv("runs", opts.runs as u64);
+    bench.config_kv("d_beta", d_beta);
 
     for (wname, kind, defaults) in [
         (
@@ -62,10 +67,11 @@ fn main() {
                 fault_plan: None,
                 workers: 1,
             };
-            let stats = run_row(&cfg, opts.runs, common::row_seed(wname, 1, d_beta));
+            let measured = measure_row(&cfg, opts.runs, common::row_seed(wname, 1, d_beta));
+            bench.push_measured(format!("{wname} {name}"), &measured);
             rows.push(PaperRow {
                 label: name.to_string(),
-                stats,
+                stats: measured.stats,
             });
         }
         let title = format!(
@@ -76,4 +82,5 @@ fn main() {
         common::emit(&opts, &title, "mode", &rows);
         println!("{}", render_table(&title, "mode", &rows));
     }
+    common::write_bench(&opts, &bench);
 }

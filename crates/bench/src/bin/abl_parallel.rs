@@ -11,14 +11,20 @@
 //!
 //! Trials run serially here (unlike `run_row`) so the wall-clock
 //! column isolates intra-stage parallelism instead of mixing it with
-//! inter-trial parallelism.
+//! inter-trial parallelism. The emitted `BENCH_abl_parallel.json`
+//! carries per-row wall stats and the trial-0 phase profile, so the
+//! flight recorder shows *where* the speedup lands (block decode and
+//! run merge shrink; the serial phases do not).
 //!
-//! Usage: `abl_parallel [--runs N] [--quota SECS] [--jsonl]`
+//! Usage: `abl_parallel [--runs N] [--quota SECS] [--jsonl] [--json PATH]`
 
 use std::time::{Duration, Instant};
 
-use eram_bench::harness::run_trial;
-use eram_bench::{render_table, PaperRow, RowStats, TrialConfig, TrialResult, WorkloadKind};
+use eram_bench::harness::run_trial_with;
+use eram_bench::{
+    render_table, BenchReport, MeasuredRow, PaperRow, RowStats, TrialConfig, TrialResult,
+    WorkloadKind,
+};
 use eram_storage::SeedSeq;
 
 mod common;
@@ -30,15 +36,30 @@ fn main() {
     let d_beta = 12.0;
     let seeds = SeedSeq::new(common::row_seed("abl-parallel", output_tuples, d_beta));
 
+    let mut bench = BenchReport::new("abl_parallel");
+    bench.config_kv("quota_secs", quota.as_secs_f64());
+    bench.config_kv("runs", opts.runs as u64);
+    bench.config_kv("d_beta", d_beta);
+    bench.config_kv("output_tuples", output_tuples);
+
     let mut rows = Vec::new();
     let mut walls: Vec<(usize, f64)> = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let mut cfg = TrialConfig::paper(WorkloadKind::Join { output_tuples }, quota, d_beta);
         cfg.workers = workers;
         let started = Instant::now();
-        let trials: Vec<TrialResult> = (0..opts.runs)
-            .map(|i| run_trial(&cfg, seeds.derive(i as u64)))
-            .collect();
+        let mut trials: Vec<TrialResult> = Vec::with_capacity(opts.runs);
+        let mut wall_secs: Vec<f64> = Vec::with_capacity(opts.runs);
+        let mut profile = None;
+        for i in 0..opts.runs {
+            let trial_started = Instant::now();
+            let (trial, prof) = run_trial_with(&cfg, seeds.derive(i as u64), i == 0);
+            wall_secs.push(trial_started.elapsed().as_secs_f64());
+            trials.push(trial);
+            if prof.is_some() {
+                profile = prof;
+            }
+        }
         let wall = started.elapsed().as_secs_f64();
         let stats = RowStats::aggregate(&trials);
         if let Some(first) = rows.first() {
@@ -47,6 +68,14 @@ fn main() {
                 "workers={workers} changed the simulated results — determinism broken"
             );
         }
+        bench.push_measured(
+            format!("workers={workers}"),
+            &MeasuredRow {
+                stats,
+                wall_secs,
+                profile,
+            },
+        );
         rows.push(PaperRow {
             label: format!("{workers}"),
             stats,
@@ -70,4 +99,5 @@ fn main() {
             if *wall > 0.0 { base / wall } else { 1.0 }
         );
     }
+    common::write_bench(&opts, &bench);
 }

@@ -17,16 +17,23 @@
 //! the "very good performance" the paper concedes — while (a) needs
 //! no statistics maintenance and covers every expression.
 //!
-//! Usage: `abl_prestored [--runs N] [--quota SECS] [--jsonl]`
+//! Usage: `abl_prestored [--runs N] [--quota SECS] [--jsonl] [--json PATH]`
 
 use std::time::Duration;
 
-use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+use eram_bench::{measure_row, render_table, BenchReport, PaperRow, TrialConfig, WorkloadKind};
 
 mod common;
 
 fn main() {
     let opts = common::Opts::parse("abl_prestored");
+
+    let mut bench = BenchReport::new("abl_prestored");
+    bench.config_kv("runs", opts.runs as u64);
+    bench.config_kv(
+        "quota_secs",
+        opts.quota.unwrap_or(10.0), // per-workload min(2.5) applies to the join
+    );
 
     for (wname, kind, quota_secs) in [
         (
@@ -49,10 +56,11 @@ fn main() {
         for (label, seed_from_stats) in [("run-time (paper)", false), ("histogram-seeded", true)] {
             let mut cfg = TrialConfig::paper(kind, quota, 12.0);
             cfg.seed_from_stats = seed_from_stats;
-            let stats = run_row(&cfg, opts.runs, common::row_seed(wname, 2, 12.0));
+            let measured = measure_row(&cfg, opts.runs, common::row_seed(wname, 2, 12.0));
+            bench.push_measured(format!("{wname} {label}"), &measured);
             rows.push(PaperRow {
                 label: label.to_string(),
-                stats,
+                stats: measured.stats,
             });
         }
         let title = format!(
@@ -62,4 +70,5 @@ fn main() {
         common::emit(&opts, &title, "source", &rows);
         println!("{}", render_table(&title, "source", &rows));
     }
+    common::write_bench(&opts, &bench);
 }

@@ -8,11 +8,11 @@
 //! paper's columns, so the trade-off (risk control vs. quota
 //! utilization vs. stages) is measurable.
 //!
-//! Usage: `abl_strategies [--runs N] [--quota SECS] [--jsonl]`
+//! Usage: `abl_strategies [--runs N] [--quota SECS] [--jsonl] [--json PATH]`
 
 use std::time::Duration;
 
-use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+use eram_bench::{measure_row, render_table, BenchReport, PaperRow, TrialConfig, WorkloadKind};
 use eram_core::{
     CostModel, Fulfillment, HeuristicStrategy, OneAtATimeInterval, SelectivityDefaults,
     SingleInterval, TimeControlStrategy,
@@ -41,6 +41,10 @@ fn main() {
             opts.quota.unwrap_or(10.0).min(2.5),
         ),
     ];
+
+    let mut bench = BenchReport::new("abl_strategies");
+    bench.config_kv("runs", opts.runs as u64);
+    bench.config_kv("quota_secs", opts.quota.unwrap_or(10.0));
 
     for (wname, kind, quota_secs) in workloads {
         let quota = Duration::from_secs_f64(quota_secs);
@@ -82,14 +86,15 @@ fn main() {
                 fault_plan: None,
                 workers: 1,
             };
-            let stats = run_row(
+            let measured = measure_row(
                 &cfg,
                 opts.runs,
                 common::row_seed("abl-strategy", quota_secs.to_bits(), 0.0),
             );
+            bench.push_measured(format!("{wname} {sname}"), &measured);
             rows.push(PaperRow {
                 label: sname.to_string(),
-                stats,
+                stats: measured.stats,
             });
         }
         let title = format!(
@@ -99,4 +104,5 @@ fn main() {
         common::emit(&opts, &title, "strategy", &rows);
         println!("{}", render_table(&title, "strategy", &rows));
     }
+    common::write_bench(&opts, &bench);
 }

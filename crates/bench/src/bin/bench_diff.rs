@@ -1,0 +1,60 @@
+//! Compares two `BENCH_*.json` sweep reports for regressions.
+//!
+//! ```text
+//! bench-diff BASELINE.json CANDIDATE.json [--wall-tol FRAC] [--ignore-wall]
+//! ```
+//!
+//! Simulated columns must match byte for byte (seeded runs are
+//! deterministic); wall-clock columns tolerate ±20% by default
+//! (`--wall-tol 0.35` loosens, `--ignore-wall` skips them — use the
+//! latter when baseline and candidate ran on different machines).
+//!
+//! Exit codes: `0` match, `1` regression (findings on stderr), `2`
+//! usage or I/O error.
+
+use eram_bench::bench_json::BenchReport;
+use eram_bench::diff::{diff_reports, parse_diff_args};
+
+fn main() {
+    let cli = match parse_diff_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let load = |path: &std::path::Path| match BenchReport::read(path) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("bench-diff: cannot read {}: {err}", path.display());
+            std::process::exit(2);
+        }
+    };
+    let baseline = load(&cli.baseline);
+    let candidate = load(&cli.candidate);
+    let issues = diff_reports(&baseline, &candidate, &cli.opts);
+    if issues.is_empty() {
+        println!(
+            "bench-diff: {} ok — {} rows match ({})",
+            baseline.suite,
+            baseline.rows.len(),
+            if cli.opts.check_wall {
+                format!("wall within ±{:.0}%", cli.opts.wall_tol * 100.0)
+            } else {
+                "wall ignored".to_string()
+            }
+        );
+        return;
+    }
+    eprintln!(
+        "bench-diff: {} — {} finding(s) comparing {} -> {}:",
+        baseline.suite,
+        issues.len(),
+        cli.baseline.display(),
+        cli.candidate.display()
+    );
+    for issue in &issues {
+        eprintln!("  - {issue}");
+    }
+    std::process::exit(1);
+}

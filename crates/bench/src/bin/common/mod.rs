@@ -2,7 +2,9 @@
 
 //! Shared CLI plumbing for the experiment binaries.
 
-use eram_bench::{render_jsonl, PaperRow};
+use std::path::PathBuf;
+
+use eram_bench::{render_jsonl, BenchReport, PaperRow};
 use eram_storage::SeedSeq;
 
 /// Parsed command-line options.
@@ -13,14 +15,17 @@ pub struct Opts {
     pub quota: Option<f64>,
     /// Also emit JSON lines (provenance for EXPERIMENTS.md).
     pub jsonl: bool,
+    /// Override for the machine-readable `BENCH_<suite>.json` path.
+    pub json: Option<PathBuf>,
 }
 
 impl Opts {
-    /// Parses `--runs N`, `--quota SECS`, `--jsonl`.
+    /// Parses `--runs N`, `--quota SECS`, `--jsonl`, `--json PATH`.
     pub fn parse(name: &str) -> Opts {
         let mut runs = 200usize;
         let mut quota = None;
         let mut jsonl = false;
+        let mut json = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -38,6 +43,9 @@ impl Opts {
                     );
                 }
                 "--jsonl" => jsonl = true,
+                "--json" => {
+                    json = Some(PathBuf::from(args.next().unwrap_or_else(|| usage(name))));
+                }
                 "--help" | "-h" => usage(name),
                 other => {
                     eprintln!("unknown argument: {other}");
@@ -45,13 +53,40 @@ impl Opts {
                 }
             }
         }
-        Opts { runs, quota, jsonl }
+        Opts {
+            runs,
+            quota,
+            jsonl,
+            json,
+        }
     }
 }
 
 fn usage(name: &str) -> ! {
-    eprintln!("usage: {name} [--runs N] [--quota SECS] [--jsonl]");
+    eprintln!("usage: {name} [--runs N] [--quota SECS] [--jsonl] [--json PATH]");
     std::process::exit(2)
+}
+
+/// Writes the machine-readable sweep report. Default destination is
+/// `results/BENCH_<suite>.json` when a `results/` directory exists in
+/// the working directory (the repo layout), else
+/// `BENCH_<suite>.json`; `--json PATH` overrides either.
+pub fn write_bench(opts: &Opts, report: &BenchReport) {
+    let path = opts.json.clone().unwrap_or_else(|| {
+        let name = format!("BENCH_{}.json", report.suite);
+        if std::path::Path::new("results").is_dir() {
+            PathBuf::from("results").join(name)
+        } else {
+            PathBuf::from(name)
+        }
+    });
+    match report.write(&path) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(err) => {
+            eprintln!("cannot write {}: {err}", path.display());
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Deterministic per-row master seed from the experiment id and sweep

@@ -7,11 +7,11 @@
 //! and 10 000 output tuples; `d_β ∈ {0, 12, 24, 48, 72}`;
 //! 200 independent runs per row.
 //!
-//! Usage: `fig5_1_select [--runs N] [--quota SECS] [--jsonl]`
+//! Usage: `fig5_1_select [--runs N] [--quota SECS] [--jsonl] [--json PATH]`
 
 use std::time::Duration;
 
-use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+use eram_bench::{measure_row, render_table, BenchReport, PaperRow, TrialConfig, WorkloadKind};
 
 mod common;
 
@@ -20,18 +20,23 @@ fn main() {
     let quota = Duration::from_secs_f64(opts.quota.unwrap_or(10.0));
     let d_betas = [0.0, 12.0, 24.0, 48.0, 72.0];
 
+    let mut bench = BenchReport::new("fig5_1_select");
+    bench.config_kv("quota_secs", quota.as_secs_f64());
+    bench.config_kv("runs", opts.runs as u64);
+
     for output_tuples in [0u64, 5_000, 10_000] {
         let mut rows = Vec::new();
         for d_beta in d_betas {
             let cfg = TrialConfig::paper(WorkloadKind::Select { output_tuples }, quota, d_beta);
-            let stats = run_row(
+            let measured = measure_row(
                 &cfg,
                 opts.runs,
                 common::row_seed("fig5.1", output_tuples, d_beta),
             );
+            bench.push_measured(format!("out={output_tuples} d_beta={d_beta}"), &measured);
             rows.push(PaperRow {
                 label: format!("{d_beta}"),
-                stats,
+                stats: measured.stats,
             });
         }
         let title = format!(
@@ -42,4 +47,5 @@ fn main() {
         common::emit(&opts, &title, "d_beta", &rows);
         println!("{}", render_table(&title, "d_beta", &rows));
     }
+    common::write_bench(&opts, &bench);
 }

@@ -10,11 +10,11 @@
 //! "due to the increase in the overhead and the increase in the time
 //! complexity of Intersection".
 //!
-//! Usage: `fig5_2_intersect [--runs N] [--quota SECS] [--jsonl]`
+//! Usage: `fig5_2_intersect [--runs N] [--quota SECS] [--jsonl] [--json PATH]`
 
 use std::time::Duration;
 
-use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+use eram_bench::{measure_row, render_table, BenchReport, PaperRow, TrialConfig, WorkloadKind};
 
 mod common;
 
@@ -23,13 +23,19 @@ fn main() {
     let quota = Duration::from_secs_f64(opts.quota.unwrap_or(2.5));
     let overlap = 5_000u64;
 
+    let mut bench = BenchReport::new("fig5_2_intersect");
+    bench.config_kv("quota_secs", quota.as_secs_f64());
+    bench.config_kv("runs", opts.runs as u64);
+    bench.config_kv("overlap", overlap);
+
     let mut rows = Vec::new();
     for d_beta in [0.0, 12.0, 24.0, 48.0, 72.0] {
         let cfg = TrialConfig::paper(WorkloadKind::Intersect { overlap }, quota, d_beta);
-        let stats = run_row(&cfg, opts.runs, common::row_seed("fig5.2", overlap, d_beta));
+        let measured = measure_row(&cfg, opts.runs, common::row_seed("fig5.2", overlap, d_beta));
+        bench.push_measured(format!("d_beta={d_beta}"), &measured);
         rows.push(PaperRow {
             label: format!("{d_beta}"),
-            stats,
+            stats: measured.stats,
         });
     }
     let title = format!(
@@ -39,4 +45,5 @@ fn main() {
     );
     common::emit(&opts, &title, "d_beta", &rows);
     println!("{}", render_table(&title, "d_beta", &rows));
+    common::write_bench(&opts, &bench);
 }

@@ -10,11 +10,11 @@
 //! observed early termination at `d_β ∈ {24, 48, 72}` — the leftover
 //! could not fund another full-fulfillment stage.
 //!
-//! Usage: `fig5_3_join [--runs N] [--quota SECS] [--jsonl]`
+//! Usage: `fig5_3_join [--runs N] [--quota SECS] [--jsonl] [--json PATH]`
 
 use std::time::Duration;
 
-use eram_bench::{render_table, run_row, PaperRow, TrialConfig, WorkloadKind};
+use eram_bench::{measure_row, render_table, BenchReport, PaperRow, TrialConfig, WorkloadKind};
 
 mod common;
 
@@ -23,17 +23,23 @@ fn main() {
     let quota = Duration::from_secs_f64(opts.quota.unwrap_or(2.5));
     let output_tuples = 70_000u64;
 
+    let mut bench = BenchReport::new("fig5_3_join");
+    bench.config_kv("quota_secs", quota.as_secs_f64());
+    bench.config_kv("runs", opts.runs as u64);
+    bench.config_kv("output_tuples", output_tuples);
+
     let mut rows = Vec::new();
     for d_beta in [0.0, 12.0, 24.0, 48.0, 72.0] {
         let cfg = TrialConfig::paper(WorkloadKind::Join { output_tuples }, quota, d_beta);
-        let stats = run_row(
+        let measured = measure_row(
             &cfg,
             opts.runs,
             common::row_seed("fig5.3", output_tuples, d_beta),
         );
+        bench.push_measured(format!("d_beta={d_beta}"), &measured);
         rows.push(PaperRow {
             label: format!("{d_beta}"),
-            stats,
+            stats: measured.stats,
         });
     }
     let title = format!(
@@ -43,4 +49,5 @@ fn main() {
     );
     common::emit(&opts, &title, "d_beta", &rows);
     println!("{}", render_table(&title, "d_beta", &rows));
+    common::write_bench(&opts, &bench);
 }

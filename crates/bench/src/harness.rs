@@ -11,13 +11,13 @@
 //! from an [`eram_core::ExecutionReport`]; [`run_row`] aggregates
 //! them over seeded independent runs.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
 use eram_core::{
-    CostModel, ExecutionReport, Fulfillment, MemoryMode, QueryConfig, SelectivityDefaults,
-    StoppingCriterion, TimeControlStrategy,
+    CostModel, ExecutionReport, Fulfillment, MemoryMode, ProfileSnapshot, Profiler, QueryConfig,
+    SelectivityDefaults, StoppingCriterion, TimeControlStrategy,
 };
 use eram_storage::{FaultPlan, SeedSeq};
 
@@ -246,6 +246,19 @@ pub fn stats_seeded_defaults(
 
 /// Runs one seeded trial.
 pub fn run_trial(config: &TrialConfig, seed: u64) -> TrialResult {
+    run_trial_with(config, seed, false).0
+}
+
+/// Runs one seeded trial, optionally with a recording phase profiler
+/// attached. Profiling is pure observation, so the [`TrialResult`] is
+/// byte-identical whether `profile` is on or off; the snapshot is the
+/// extra wall/simulated phase breakdown the flight recorder emits
+/// into `BENCH_*.json`.
+pub fn run_trial_with(
+    config: &TrialConfig,
+    seed: u64,
+    profile: bool,
+) -> (TrialResult, Option<ProfileSnapshot>) {
     let mut workload = Workload::build_on(config.kind, seed, config.cache_blocks);
     let truth = workload.truth;
     let defaults = if config.seed_from_stats {
@@ -260,6 +273,11 @@ pub fn run_trial(config: &TrialConfig, seed: u64) -> TrialResult {
         plan.seed ^= seed;
         workload.db.inject_faults(plan);
     }
+    let profiler = if profile {
+        Profiler::recording(workload.db.disk().clock().clone())
+    } else {
+        Profiler::disabled()
+    };
     let qc = QueryConfig {
         strategy: (config.strategy)(),
         // Soft deadline: let the overrunning stage finish so ovsp is
@@ -272,6 +290,7 @@ pub fn run_trial(config: &TrialConfig, seed: u64) -> TrialResult {
         max_stages: 1_000,
         hybrid_leftover: config.hybrid_leftover,
         workers: config.workers.max(1),
+        profiler: profiler.clone(),
         ..QueryConfig::default()
     };
     let out = workload
@@ -282,7 +301,10 @@ pub fn run_trial(config: &TrialConfig, seed: u64) -> TrialResult {
         .seed(seed ^ 0x5EED)
         .run()
         .expect("experiment query must execute");
-    TrialResult::from_report(&out.report, truth)
+    (
+        TrialResult::from_report(&out.report, truth),
+        out.report.profile,
+    )
 }
 
 /// Runs `runs` independent trials (in parallel) and aggregates them.
@@ -310,6 +332,72 @@ pub fn run_row(config: &TrialConfig, runs: usize, master_seed: u64) -> RowStats 
     });
     let trials: Vec<TrialResult> = results.into_iter().map(|r| r.expect("trial ran")).collect();
     RowStats::aggregate(&trials)
+}
+
+/// One table row measured by the flight recorder: the deterministic
+/// simulated aggregate, the host wall-clock seconds of every trial
+/// (in trial-index order), and the phase profile of the first trial.
+#[derive(Debug, Clone)]
+pub struct MeasuredRow {
+    /// Aggregate over the trials — identical to what [`run_row`]
+    /// returns for the same config and master seed.
+    pub stats: RowStats,
+    /// Wall-clock seconds each trial took, indexed by trial number.
+    /// Host measurements: nondeterministic, threshold-compared only.
+    pub wall_secs: Vec<f64>,
+    /// Phase breakdown of trial 0 (the only profiled trial — one is
+    /// enough for attribution and keeps the overhead off the other
+    /// trials' wall clocks).
+    pub profile: Option<ProfileSnapshot>,
+}
+
+/// Like [`run_row`], but records per-trial wall-clock durations and
+/// profiles trial 0. The aggregated simulated stats are byte-identical
+/// to [`run_row`]'s: profiling and timing are pure observation.
+pub fn measure_row(config: &TrialConfig, runs: usize, master_seed: u64) -> MeasuredRow {
+    let seeds = SeedSeq::new(master_seed);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(runs.max(1));
+    let mut results: Vec<Option<(TrialResult, f64, Option<ProfileSnapshot>)>> = vec![None; runs];
+    let chunks: Vec<(
+        usize,
+        &mut [Option<(TrialResult, f64, Option<ProfileSnapshot>)>],
+    )> = {
+        let chunk = runs.div_ceil(threads).max(1);
+        results.chunks_mut(chunk).enumerate().collect()
+    };
+    std::thread::scope(|scope| {
+        let chunk_len = runs.div_ceil(threads).max(1);
+        for (ci, slot) in chunks {
+            scope.spawn(move || {
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let run_index = ci * chunk_len + j;
+                    let started = Instant::now();
+                    let (trial, profile) =
+                        run_trial_with(config, seeds.derive(run_index as u64), run_index == 0);
+                    *out = Some((trial, started.elapsed().as_secs_f64(), profile));
+                }
+            });
+        }
+    });
+    let mut trials = Vec::with_capacity(runs);
+    let mut wall_secs = Vec::with_capacity(runs);
+    let mut profile = None;
+    for r in results {
+        let (trial, wall, prof) = r.expect("trial ran");
+        trials.push(trial);
+        wall_secs.push(wall);
+        if prof.is_some() {
+            profile = prof;
+        }
+    }
+    MeasuredRow {
+        stats: RowStats::aggregate(&trials),
+        wall_secs,
+        profile,
+    }
 }
 
 #[cfg(test)]
@@ -384,6 +472,41 @@ mod tests {
         assert!((stats.faults - 2.0).abs() < 1e-12);
         assert!((stats.blocks_lost - 1.0).abs() < 1e-12);
         assert!((stats.degraded_pct - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiled_trial_is_byte_identical_to_unprofiled() {
+        let cfg = TrialConfig::paper(
+            WorkloadKind::Select {
+                output_tuples: 5_000,
+            },
+            Duration::from_secs(6),
+            12.0,
+        );
+        let plain = run_trial(&cfg, 17);
+        let (profiled, snapshot) = run_trial_with(&cfg, 17, true);
+        assert_eq!(plain, profiled, "profiling must not perturb the simulation");
+        let snap = snapshot.expect("profiled trial returns a snapshot");
+        assert!(snap.phases.contains_key("planning"));
+        assert!(snap.phases.contains_key("stopping_check"));
+        assert!(snap.total_wall_ns() > 0);
+    }
+
+    #[test]
+    fn measure_row_matches_run_row_and_captures_wall() {
+        let cfg = TrialConfig::paper(
+            WorkloadKind::Select {
+                output_tuples: 5_000,
+            },
+            Duration::from_secs(4),
+            12.0,
+        );
+        let plain = run_row(&cfg, 6, 11);
+        let measured = measure_row(&cfg, 6, 11);
+        assert_eq!(plain, measured.stats);
+        assert_eq!(measured.wall_secs.len(), 6);
+        assert!(measured.wall_secs.iter().all(|w| *w > 0.0));
+        assert!(measured.profile.is_some());
     }
 
     #[test]

@@ -13,9 +13,17 @@
 //! | `fig5_2_intersect`  | Figure 5.2  | intersection, 2.5 s quota |
 //! | `fig5_3_join`       | Figure 5.3  | join with 70 000 output tuples, 2.5 s quota, assumed stage-1 selectivity 0.1 |
 //!
-//! plus four ablations (`abl_strategies`, `abl_adaptive_costs`,
-//! `abl_fulfillment`, `abl_estimator_accuracy`) for the design choices
-//! the paper discusses qualitatively.
+//! plus ablations (`abl_strategies`, `abl_adaptive_costs`,
+//! `abl_fulfillment`, `abl_estimator_accuracy`, `abl_memory_mode`,
+//! `abl_prestored`, `abl_clustering`, `abl_faults`,
+//! `abl_convergence`, `abl_parallel`) for the design choices the
+//! paper discusses qualitatively.
+//!
+//! Every binary also emits a machine-readable `BENCH_<suite>.json`
+//! ([`bench_json::BenchReport`]): exact-compared `simulated` columns,
+//! wall-clock stats, and the phase profile from the flight recorder.
+//! The `bench-diff` binary ([`diff`]) compares two such files and
+//! gates regressions in CI.
 //!
 //! "Each artificial relation instance has 10,000 tuples, with the
 //! tuple size of 200 bytes ... 2,000 disk blocks (1K bytes in each
@@ -28,10 +36,14 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod bench_json;
+pub mod diff;
 pub mod harness;
 pub mod table;
 pub mod workload;
 
-pub use harness::{run_row, RowStats, TrialConfig, TrialResult};
+pub use bench_json::{BenchReport, BenchRow, WallStats, BENCH_SCHEMA_VERSION};
+pub use diff::{diff_reports, DiffOptions};
+pub use harness::{measure_row, run_row, MeasuredRow, RowStats, TrialConfig, TrialResult};
 pub use table::{render_jsonl, render_table, PaperRow};
 pub use workload::{Workload, WorkloadKind};

@@ -20,7 +20,9 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use eram_core::{AggregateFn, Database, MetricsSnapshot, ReportHealth, Tracer};
+use eram_core::{
+    AggregateFn, Database, MetricsSnapshot, ProfileSnapshot, Profiler, ReportHealth, Tracer,
+};
 use eram_relalg::parse_expr;
 use eram_storage::{parse_schema_spec, DeviceProfile, FaultPlan};
 
@@ -76,6 +78,10 @@ pub struct Cli {
     pub trace: Option<PathBuf>,
     /// Collect and render storage/stage-loop metrics.
     pub metrics: bool,
+    /// Profile the run and print the top phases by wall time after
+    /// the health line. Pure observation: the estimate, trace, and
+    /// report are identical with or without it.
+    pub profile: bool,
     /// Worker threads for the pure-CPU stage work (0 means 1 —
     /// `Default` leaves it at 0, so treat it through `max(1)`).
     /// Estimates and traces are identical at any worker count.
@@ -102,7 +108,7 @@ fn err(msg: impl Into<String>) -> CliError {
 pub const USAGE: &str = "usage: eram --load NAME=FILE.csv:COL:TYPE[,COL:TYPE...] \
 [--load ...] [--device sun|modern] [--cache BLOCKS] [--seed N] [--header] \
 [--fault-transient RATE] [--fault-corrupt RATE] [--fault-seed N] \
-[--trace FILE] [--metrics] [--workers N] \
+[--trace FILE] [--metrics] [--profile] [--workers N] \
 [--query EXPR --quota SECS [--agg count|sum:COL|avg:COL]]";
 
 impl Cli {
@@ -183,6 +189,7 @@ impl Cli {
                     ));
                 }
                 "--metrics" => cli.metrics = true,
+                "--profile" => cli.profile = true,
                 "--workers" => {
                     let n: usize = args
                         .next()
@@ -323,10 +330,37 @@ fn render_metrics(m: &MetricsSnapshot) -> String {
     out
 }
 
+/// Renders the top phases of a profile snapshot as a fixed-width
+/// table: wall time (what the process spent), simulated charge (what
+/// the paper's clock billed), calls, and the wall p95 per call.
+fn render_profile(snap: &ProfileSnapshot, top_n: usize) -> String {
+    let mut out = format!(
+        "profile (top {top_n} phases by wall time):\n  {:<20} {:>8} {:>12} {:>12} {:>12}",
+        "phase", "calls", "wall(ms)", "sim(ms)", "p95(us)"
+    );
+    for (name, stats) in snap.top_phases(top_n) {
+        out.push_str(&format!(
+            "\n  {:<20} {:>8} {:>12.3} {:>12.3} {:>12.1}",
+            name,
+            stats.calls,
+            stats.wall_ns as f64 / 1e6,
+            stats.sim_ns as f64 / 1e6,
+            stats.wall_p95_ns as f64 / 1e3,
+        ));
+    }
+    out.push_str(&format!(
+        "\n  total wall {:.3} ms | total simulated charge {:.3} ms",
+        snap.total_wall_ns() as f64 / 1e6,
+        snap.total_sim_ns() as f64 / 1e6,
+    ));
+    out
+}
+
 /// Runs a one-shot aggregate and renders the outcome. With
 /// `--trace FILE` the clock-charged execution trace is written to
 /// `FILE` as JSONL; with `--metrics` the report's counters are
-/// appended to the rendering.
+/// appended to the rendering; with `--profile` the top phases by
+/// wall time follow the health line.
 pub fn run_one_shot(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
     let text = cli.query.as_deref().expect("caller checked");
     let quota = Duration::from_secs_f64(cli.quota_secs.expect("caller checked"));
@@ -336,11 +370,17 @@ pub fn run_one_shot(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
     } else {
         Tracer::disabled()
     };
+    let profiler = if cli.profile {
+        Profiler::recording(db.disk().clock().clone())
+    } else {
+        Profiler::disabled()
+    };
     let out = db
         .aggregate(cli.agg, expr)
         .within(quota)
         .tracer(tracer.clone())
         .metrics(cli.metrics)
+        .profiler(profiler)
         .workers(cli.workers.max(1))
         .run()
         .map_err(|e| err(e.to_string()))?;
@@ -354,6 +394,10 @@ pub fn run_one_shot(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
         out.report.total_elapsed,
         render_health(&out.report.health),
     );
+    if let Some(snap) = &out.report.profile {
+        rendered.push('\n');
+        rendered.push_str(&render_profile(snap, 5));
+    }
     if let Some(path) = &cli.trace {
         std::fs::write(path, tracer.to_jsonl())
             .map_err(|e| err(format!("--trace {}: {e}", path.display())))?;
@@ -570,13 +614,15 @@ mod tests {
 
     #[test]
     fn parses_trace_and_metrics_flags() {
-        let cli = Cli::parse(["--trace", "out.jsonl", "--metrics"]).unwrap();
+        let cli = Cli::parse(["--trace", "out.jsonl", "--metrics", "--profile"]).unwrap();
         assert_eq!(cli.trace, Some(PathBuf::from("out.jsonl")));
         assert!(cli.metrics);
+        assert!(cli.profile);
         assert!(Cli::parse(["--trace"]).is_err()); // missing path
         let cli = Cli::parse(Vec::<String>::new()).unwrap();
         assert_eq!(cli.trace, None);
         assert!(!cli.metrics);
+        assert!(!cli.profile);
     }
 
     #[test]
@@ -604,13 +650,60 @@ mod tests {
         assert!(rendered.contains("core.stages"), "{rendered}");
         let trace = std::fs::read_to_string(&trace_path).unwrap();
         assert!(!trace.is_empty());
-        for line in trace.lines() {
+        // First line is the schema header, every later line a record.
+        let mut lines = trace.lines();
+        let header: serde_json::Value = serde_json::from_str(lines.next().unwrap()).unwrap();
+        assert_eq!(
+            header.get("schema_version").and_then(|v| v.as_u64()),
+            Some(u64::from(eram_core::SCHEMA_VERSION))
+        );
+        for line in lines {
             let v: serde_json::Value = serde_json::from_str(line).unwrap();
             assert!(v.get("t_ns").is_some(), "every record is stamped: {line}");
             assert!(v.get("kind").is_some(), "{line}");
         }
         let _ = std::fs::remove_file(csv);
         let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn one_shot_profile_renders_phase_table_and_keeps_estimate() {
+        let rows: String = (0..512).map(|i| format!("{i},{}\n", i % 100)).collect();
+        let csv = write_csv("profiled", &rows);
+        let base_args = |profile: bool| {
+            let mut args = vec![
+                "--load".to_string(),
+                format!("t={}:k:int,v:int", csv.display()),
+                "--query".to_string(),
+                "select[#1 < 50](t)".to_string(),
+                "--quota".to_string(),
+                "10".to_string(),
+            ];
+            if profile {
+                args.push("--profile".to_string());
+            }
+            args
+        };
+        let cli_plain = Cli::parse(base_args(false)).unwrap();
+        let mut db = build_database(&cli_plain).unwrap();
+        let plain = run_one_shot(&mut db, &cli_plain).unwrap();
+        assert!(!plain.contains("profile ("), "{plain}");
+
+        let cli_prof = Cli::parse(base_args(true)).unwrap();
+        let mut db = build_database(&cli_prof).unwrap();
+        let profiled = run_one_shot(&mut db, &cli_prof).unwrap();
+        assert!(profiled.contains("profile (top 5 phases"), "{profiled}");
+        assert!(profiled.contains("total wall"), "{profiled}");
+        // The phase table is appended after the health line; the
+        // simulated results above it are untouched by profiling.
+        let head = |s: &str| {
+            s.lines()
+                .take_while(|l| !l.starts_with("profile ("))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(head(&plain), head(&profiled));
+        let _ = std::fs::remove_file(csv);
     }
 
     #[test]

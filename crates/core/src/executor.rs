@@ -28,7 +28,7 @@ use serde_json::Value as JsonValue;
 
 use crate::aggregate::{avg_estimate, sum_estimate, AggregateFn, TermValues};
 use crate::costs::{CostCoeff, CostModel};
-use crate::obs::{MetricsRegistry, MetricsSnapshot, Tracer};
+use crate::obs::{MetricsRegistry, MetricsSnapshot, Phase, Profiler, Tracer};
 use crate::ops::{
     Fulfillment, MemoryMode, PhysTree, PlanOptions, StageEnv, StageError, StageHealth,
 };
@@ -128,6 +128,12 @@ pub struct ExecParams<'a> {
     /// (baseline before, deltas after), so it never touches the hot
     /// path.
     pub collect_metrics: bool,
+    /// Phase profiler for the performance flight recorder. Disabled
+    /// by default (one branch per site); when recording, a
+    /// [`ProfileSnapshot`](crate::obs::ProfileSnapshot) lands in
+    /// `ExecutionReport::profile`. Profiling is pure observation:
+    /// seeded results are byte-identical with it on or off.
+    pub profiler: Profiler,
     /// Worker threads for the pure-CPU portions of each stage (block
     /// decode, run merges). Charges, trace events, and deadline
     /// checks stay on the calling thread in canonical order, so a
@@ -155,6 +161,7 @@ impl<'a> ExecParams<'a> {
             retry: RetryPolicy::default(),
             tracer: Tracer::disabled(),
             collect_metrics: false,
+            profiler: Profiler::disabled(),
             workers: 1,
         }
     }
@@ -416,6 +423,7 @@ pub fn execute_aggregate(
     let mut values = vec![TermValues::default(); trees.len()];
 
     let tracer = params.tracer.clone();
+    let profiler = params.profiler.clone();
     let baseline: Option<MetricsBaseline> = params
         .collect_metrics
         .then(|| (disk.stats(), disk.cache_stats(), disk.fault_stats()));
@@ -440,7 +448,10 @@ pub fn execute_aggregate(
     let mut stages: Vec<StageReport> = Vec::new();
     let mut history: Vec<CountEstimate> = Vec::new();
     let mut health = StageHealth::default();
-    let mut hard_estimate = combine(&coefficients, &trees, &values, agg, params.distinct);
+    let mut hard_estimate = {
+        let _phase = profiler.phase(Phase::EstimatorMath);
+        combine(&coefficients, &trees, &values, agg, params.distinct)
+    };
 
     if trees.is_empty() {
         // The rewrite proved COUNT(E) = 0 (e.g. E = A − A).
@@ -450,12 +461,14 @@ pub fn execute_aggregate(
         let metrics = baseline.map(|b| metrics_snapshot(disk, b, &stages, &health, 0));
         drop(root_span);
         let report = ExecutionReport {
+            schema_version: crate::obs::SCHEMA_VERSION,
             quota,
             stages,
             total_elapsed: deadline.spent(),
             final_estimate: zero_estimate(),
             health: ReportHealth::default(),
             metrics,
+            profile: profiler.snapshot(),
         };
         return Ok(ExecOutcome {
             estimate: zero_estimate(),
@@ -480,19 +493,23 @@ pub fn execute_aggregate(
         }
         let stage_no = stages.len() + 1;
         tracer.set_stage(stage_no);
-        tracer.event("revise_selectivities", || {
-            let sels = trees
-                .iter()
-                .map(|tree| {
-                    let mut per_tree = Vec::new();
-                    tree.for_each_tracker(&mut |t| {
-                        per_tree.push(JsonValue::from(t.revised_selectivity()));
-                    });
-                    JsonValue::Array(per_tree)
-                })
-                .collect();
-            vec![("selectivities", JsonValue::Array(sels))]
-        });
+        profiler.set_stage(stage_no);
+        {
+            let _phase = profiler.phase(Phase::SelectivityRevision);
+            tracer.event("revise_selectivities", || {
+                let sels = trees
+                    .iter()
+                    .map(|tree| {
+                        let mut per_tree = Vec::new();
+                        tree.for_each_tracker(&mut |t| {
+                            per_tree.push(JsonValue::from(t.revised_selectivity()));
+                        });
+                        JsonValue::Array(per_tree)
+                    })
+                    .collect();
+                vec![("selectivities", JsonValue::Array(sels))]
+            });
+        }
         let mut stage_fulfillment: Option<Fulfillment> = None;
         let planning_remaining = if in_tail {
             // A stage sized to the whole decay tail would finish at
@@ -503,6 +520,9 @@ pub fn execute_aggregate(
         } else {
             remaining
         };
+        // The guard covers the hybrid re-planning fallback too; on a
+        // `break` out of the match it closes with the loop scope.
+        let planning_phase = profiler.phase(Phase::Planning);
         let plan = match params
             .strategy
             .plan_stage(&trees, &model, planning_remaining, stage_no)
@@ -543,6 +563,7 @@ pub fn execute_aggregate(
                 break;
             }
         };
+        drop(planning_phase);
         tracer.event("plan_stage", || {
             vec![
                 ("fraction", JsonValue::from(plan.fraction)),
@@ -566,7 +587,10 @@ pub fn execute_aggregate(
             // delivering the current one now.
             let zero_at = value_tail.expect("in_tail implies a tail");
             let now = deadline.spent();
-            let current_est = combine(&coefficients, &trees, &values, agg, params.distinct);
+            let current_est = {
+                let _phase = profiler.phase(Phase::EstimatorMath);
+                combine(&coefficients, &trees, &values, agg, params.distinct)
+            };
             let precision_now = 1.0 / (1.0 + current_est.relative_half_width(0.95).min(1e9));
             let utility_now =
                 StoppingCriterion::completion_value(quota, zero_at, now) * precision_now;
@@ -606,6 +630,7 @@ pub fn execute_aggregate(
         env.fulfillment_override = stage_fulfillment;
         env.retry = params.retry;
         env.tracer = tracer.clone();
+        env.profiler = profiler.clone();
         env.workers = params.workers.max(1);
         let mut aborted = false;
         let mut storage_failure: Option<StorageError> = None;
@@ -642,7 +667,10 @@ pub fn execute_aggregate(
         let actual = deadline.spent() - stage_start;
         drop(stage_span);
         let blocks_after: u64 = trees.iter().map(PhysTree::blocks_drawn).sum();
-        let estimate = combine(&coefficients, &trees, &values, agg, params.distinct);
+        let estimate = {
+            let _phase = profiler.phase(Phase::EstimatorMath);
+            combine(&coefficients, &trees, &values, agg, params.distinct)
+        };
         let within = !aborted && deadline.spent() <= quota;
         stages.push(StageReport {
             stage: stage_no,
@@ -697,6 +725,7 @@ pub fn execute_aggregate(
         // recorded before the equivalent breaks run. `expired` and
         // `precision_satisfied` are pure reads, so pre-evaluating
         // them does not change loop behaviour.
+        let stopping_phase = profiler.phase(Phase::StoppingCheck);
         let expired_now = deadline.expired() && value_tail.is_none();
         let precision = params.stopping.precision_satisfied(&history);
         tracer.event("stopping_check", || {
@@ -707,6 +736,7 @@ pub fn execute_aggregate(
                 ("stop", JsonValue::from(aborted || expired_now || precision)),
             ]
         });
+        drop(stopping_phase);
         if aborted {
             stop_reason = "aborted";
             break;
@@ -737,12 +767,14 @@ pub fn execute_aggregate(
     let metrics = baseline.map(|b| metrics_snapshot(disk, b, &stages, &health, blocks_drawn));
     drop(root_span);
     let report = ExecutionReport {
+        schema_version: crate::obs::SCHEMA_VERSION,
         quota,
         stages,
         total_elapsed: deadline.spent(),
         final_estimate: hard_estimate,
         health: health_report,
         metrics,
+        profile: profiler.snapshot(),
     };
     Ok(ExecOutcome {
         estimate: delivered,
@@ -1246,6 +1278,91 @@ mod tests {
         );
         assert_eq!(base.report.total_elapsed, traced.report.total_elapsed);
         assert_eq!(base.report.stages, traced.report.stages);
+    }
+
+    #[test]
+    fn profiling_is_pure_observation_at_any_worker_count() {
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let run_with = |profile: bool, workers: usize| {
+            let (disk, cat) = setup(false);
+            let strategy = OneAtATimeInterval::new(12.0);
+            let mut params = ExecParams::new(&strategy);
+            params.stopping = StoppingCriterion::HardDeadline;
+            params.seed = 99;
+            params.workers = workers;
+            let tracer = Tracer::recording(disk.clock().clone());
+            params.tracer = tracer.clone();
+            if profile {
+                params.profiler = Profiler::recording(disk.clock().clone());
+            }
+            let out = execute_count(&disk, &cat, &expr, Duration::from_secs(5), params).unwrap();
+            (out, tracer.to_jsonl())
+        };
+        let (base, base_trace) = run_with(false, 1);
+        assert!(base.report.profile.is_none());
+        for workers in [1usize, 4] {
+            let (prof, prof_trace) = run_with(true, workers);
+            // Identical simulated results: same estimate bits, same
+            // charged time, same stage reports, byte-identical trace.
+            assert_eq!(
+                base.estimate.estimate.to_bits(),
+                prof.estimate.estimate.to_bits(),
+                "workers={workers}"
+            );
+            assert_eq!(base.report.total_elapsed, prof.report.total_elapsed);
+            assert_eq!(base.report.stages, prof.report.stages);
+            assert_eq!(base_trace, prof_trace, "workers={workers}");
+            // The report differs only in the profile payload: strip
+            // it and the JSON must match byte for byte.
+            let mut a = serde_json::to_value(&base.report).unwrap();
+            let mut b = serde_json::to_value(&prof.report).unwrap();
+            a.as_object_mut().unwrap().remove("profile");
+            b.as_object_mut().unwrap().remove("profile");
+            assert_eq!(a, b, "workers={workers}");
+            assert!(prof.report.profile.is_some());
+        }
+    }
+
+    #[test]
+    fn profile_snapshot_attributes_the_stage_loop() {
+        let (disk, cat) = setup(false);
+        let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let strategy = OneAtATimeInterval::new(12.0);
+        let mut params = ExecParams::new(&strategy);
+        params.stopping = StoppingCriterion::HardDeadline;
+        params.seed = 99;
+        params.profiler = Profiler::recording(disk.clock().clone());
+        let out = execute_count(&disk, &cat, &expr, Duration::from_secs(5), params).unwrap();
+        let snap = out.report.profile.as_ref().unwrap();
+        assert_eq!(snap.schema_version, crate::obs::SCHEMA_VERSION);
+        // Engine-level phases fire once per stage at minimum.
+        for phase in [Phase::Planning, Phase::StoppingCheck, Phase::EstimatorMath] {
+            let stats = snap
+                .phases
+                .get(phase.name())
+                .unwrap_or_else(|| panic!("missing phase {}", phase.name()));
+            assert!(stats.calls > 0, "{} has no calls", phase.name());
+        }
+        // Leaf work lands under the leaf operator, engine work under
+        // the engine pseudo-operator.
+        let leaf = snap.per_operator.get("leaf").expect("leaf operator cell");
+        assert!(leaf.contains_key(Phase::RngDraw.name()));
+        assert!(leaf.contains_key(Phase::BlockDecode.name()));
+        assert!(snap.per_operator.contains_key(crate::obs::ENGINE_OPERATOR));
+        // Per-stage attribution covers every executed stage index.
+        assert!(!snap.per_stage.is_empty());
+        assert!(snap.per_stage.len() <= out.report.stages.len() + 1);
+        // RNG draws charge simulated time (the sampler charges the
+        // clock inside the instrumented region), so sim attribution
+        // is non-zero overall.
+        assert!(snap.total_sim_ns() > 0);
+        assert!(snap.total_wall_ns() > 0);
+        let top = snap.top_phases(3);
+        assert!(!top.is_empty() && top.len() <= 3);
+        // Ranking is by wall time, descending.
+        for pair in top.windows(2) {
+            assert!(pair[0].1.wall_ns >= pair[1].1.wall_ns);
+        }
     }
 
     #[test]

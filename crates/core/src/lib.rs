@@ -81,7 +81,9 @@ pub use executor::{
     execute_aggregate, execute_count, term_estimate, term_estimate_with, EngineError, ExecOutcome,
 };
 pub use obs::{
-    Histogram, MetricsRegistry, MetricsSnapshot, SpanGuard, TraceKind, TraceRecord, Tracer,
+    Histogram, MetricsRegistry, MetricsSnapshot, OperatorGuard, Phase, PhaseGuard, PhaseStats,
+    PhaseTotals, ProfileSnapshot, Profiler, SpanGuard, TraceKind, TraceRecord, Tracer,
+    ENGINE_OPERATOR, SCHEMA_VERSION,
 };
 pub use ops::{Fulfillment, MemoryMode, PlanOptions, StageError, StageHealth};
 pub use parallel::map_ordered;

@@ -15,11 +15,12 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-/// Summary statistics of an observed series: count, sum, min, max.
+/// Summary statistics of an observed series: count, sum, min, max,
+/// plus the retained samples for quantile queries.
 ///
 /// Non-finite observations are ignored (a raw `NaN` would make the
 /// snapshot unserializable as JSON).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Histogram {
     /// Number of finite observations.
     pub count: u64,
@@ -29,6 +30,11 @@ pub struct Histogram {
     pub min: f64,
     /// Largest observation (0 when empty).
     pub max: f64,
+    /// Every finite observation, in arrival order (quantiles sort a
+    /// copy on demand). Omitted from JSON when empty, so snapshots
+    /// from before this field deserialize unchanged.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub samples: Vec<f64>,
 }
 
 impl Histogram {
@@ -46,11 +52,46 @@ impl Histogram {
         }
         self.count += 1;
         self.sum += v;
+        self.samples.push(v);
     }
 
     /// Mean of the observations, or `None` when empty.
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest observation, or `None` when empty (unlike the raw
+    /// `min` field, which is 0 for an empty histogram).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Nearest-rank quantile over the retained samples, or `None`
+    /// when empty (or when the histogram was deserialized from a
+    /// pre-`samples` snapshot) or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Median (nearest-rank), or `None` when empty.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (nearest-rank), or `None` when empty.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
     }
 }
 
@@ -80,9 +121,11 @@ impl MetricsRegistry {
             .observe(v);
     }
 
-    /// Freezes the registry into an immutable snapshot.
+    /// Freezes the registry into an immutable snapshot, stamped with
+    /// the current observability schema version.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
+            schema_version: crate::obs::SCHEMA_VERSION,
             counters: self.counters.clone(),
             histograms: self.histograms.clone(),
         }
@@ -96,6 +139,11 @@ impl MetricsRegistry {
 /// `Option` so reports without metrics serialize exactly as before.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
+    /// Observability schema version (see
+    /// [`SCHEMA_VERSION`](crate::obs::SCHEMA_VERSION)); 0 when the
+    /// snapshot predates versioning.
+    #[serde(default)]
+    pub schema_version: u32,
     /// Monotone counters by name.
     #[serde(default)]
     pub counters: BTreeMap<String, u64>,
@@ -147,8 +195,59 @@ mod tests {
         assert_eq!(h.min, -1.0);
         assert_eq!(h.max, 5.0);
         assert_eq!(h.sum, 6.0);
+        assert_eq!(h.samples, vec![2.0, -1.0, 5.0]);
         assert_eq!(h.mean(), Some(2.0));
         assert_eq!(Histogram::default().mean(), None);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_statistics() {
+        let h = Histogram::default();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn single_value_histogram_pins_every_quantile() {
+        let mut h = Histogram::default();
+        h.observe(7.5);
+        assert_eq!(h.min(), Some(7.5));
+        assert_eq!(h.max(), Some(7.5));
+        assert_eq!(h.p50(), Some(7.5));
+        assert_eq!(h.p95(), Some(7.5));
+        assert_eq!(h.quantile(0.0), Some(7.5));
+        assert_eq!(h.quantile(1.0), Some(7.5));
+    }
+
+    #[test]
+    fn skewed_histogram_quantiles_follow_nearest_rank() {
+        // 99 small observations and one enormous outlier: the median
+        // ignores the outlier, p95 still does, max sees it.
+        let mut h = Histogram::default();
+        for i in 1..=99 {
+            h.observe(i as f64);
+        }
+        h.observe(1e9);
+        assert_eq!(h.count, 100);
+        assert_eq!(h.p50(), Some(50.0));
+        assert_eq!(h.p95(), Some(95.0));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(1e9));
+        // Out-of-range quantiles are rejected rather than clamped.
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        // Arrival order does not matter.
+        let mut rev = Histogram::default();
+        rev.observe(1e9);
+        for i in (1..=99).rev() {
+            rev.observe(i as f64);
+        }
+        assert_eq!(rev.p50(), h.p50());
+        assert_eq!(rev.p95(), h.p95());
     }
 
     #[test]
@@ -158,10 +257,25 @@ mod tests {
         reg.observe("stage.fraction", 0.1);
         reg.observe("stage.fraction", 0.3);
         let snap = reg.snapshot();
+        assert_eq!(snap.schema_version, crate::obs::SCHEMA_VERSION);
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
         assert!(!snap.is_empty());
         assert!(MetricsSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn pre_versioning_snapshot_json_still_deserializes() {
+        // A snapshot serialized before `schema_version` and histogram
+        // `samples` existed: both default cleanly.
+        let old = r#"{"counters":{"core.stages":2},"histograms":{"stage.fraction":{"count":1,"sum":0.25,"min":0.25,"max":0.25}}}"#;
+        let snap: MetricsSnapshot = serde_json::from_str(old).unwrap();
+        assert_eq!(snap.schema_version, 0);
+        let h = snap.histogram("stage.fraction").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.samples.is_empty());
+        assert_eq!(h.p50(), None, "quantiles need retained samples");
+        assert_eq!(h.mean(), Some(0.25));
     }
 }

@@ -16,11 +16,18 @@
 //!   cache hits, faults, checksum verifies) and core (stages, estimate
 //!   trajectory), snapshot-able into
 //!   [`ExecutionReport`](crate::ExecutionReport).
+//! * [`Profiler`] — RAII phase timers over a fixed taxonomy (see
+//!   [`Phase`]) recording both the simulated-clock charge and the
+//!   real wall-clock nanoseconds per phase, aggregated per stage and
+//!   per operator into a [`ProfileSnapshot`] riding
+//!   [`ExecutionReport`](crate::ExecutionReport). Profiling is pure
+//!   observation: seeded results are byte-identical with it on or
+//!   off.
 //!
-//! The layer is zero-cost when disabled: a disabled [`Tracer`] is a
-//! `None` behind a cheap clone, so every emission site is a single
-//! branch (verified by the `obs` criterion micro-bench in
-//! `eram-bench`).
+//! The layer is zero-cost when disabled: a disabled [`Tracer`] or
+//! [`Profiler`] is a `None` behind a cheap clone, so every emission
+//! site is a single branch (verified by the `obs` criterion
+//! micro-bench in `eram-bench`).
 //!
 //! # Span taxonomy
 //!
@@ -40,7 +47,19 @@
 //! The JSONL schema is documented in `DESIGN.md` §"Observability".
 
 mod metrics;
+mod profiler;
 mod tracer;
 
+/// Version stamped on every observability artifact this layer emits:
+/// the JSONL trace header, [`MetricsSnapshot`], [`ProfileSnapshot`],
+/// [`ExecutionReport`](crate::ExecutionReport) JSON, and the bench
+/// suite's `BENCH_*.json` files. Bump it whenever any of those
+/// schemas changes shape.
+pub const SCHEMA_VERSION: u32 = 1;
+
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use profiler::{
+    OperatorGuard, Phase, PhaseGuard, PhaseStats, PhaseTotals, ProfileSnapshot, Profiler,
+    ENGINE_OPERATOR,
+};
 pub use tracer::{SpanGuard, TraceKind, TraceRecord, Tracer};

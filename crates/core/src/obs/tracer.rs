@@ -207,11 +207,18 @@ impl Tracer {
             .map_or_else(Vec::new, |inner| inner.state.lock().records.clone())
     }
 
-    /// Serializes the trace as JSONL: one record per line, each line a
-    /// JSON object, trailing newline. Byte-deterministic for a given
-    /// record sequence (fixed field order, sorted map keys).
+    /// Serializes the trace as JSONL: a schema-version header line
+    /// (`{"schema_version":N}` — not a [`TraceRecord`]; consumers
+    /// parsing records must skip it) followed by one record per line,
+    /// each line a JSON object, trailing newline. Byte-deterministic
+    /// for a given record sequence (fixed field order, sorted map
+    /// keys). A disabled tracer serializes to the empty string, not a
+    /// lone header.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
+        if self.inner.is_none() {
+            return String::new();
+        }
+        let mut out = format!("{{\"schema_version\":{}}}\n", super::SCHEMA_VERSION);
         for record in self.records() {
             out.push_str(&serde_json::to_string(&record).expect("trace records always serialize"));
             out.push('\n');
@@ -330,7 +337,14 @@ mod tests {
         let b = mk();
         assert_eq!(a, b, "same operations must serialize identically");
         assert!(a.ends_with('\n'));
-        for line in a.lines() {
+        let mut lines = a.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(
+            header,
+            format!("{{\"schema_version\":{}}}", crate::obs::SCHEMA_VERSION),
+            "first line is the schema-version header"
+        );
+        for line in lines {
             let rec: TraceRecord = serde_json::from_str(line).unwrap();
             let back = serde_json::to_string(&rec).unwrap();
             assert_eq!(back, line, "round trip must be lossless");

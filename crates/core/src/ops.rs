@@ -37,7 +37,7 @@ use rand::Rng;
 use serde_json::Value as JsonValue;
 
 use crate::costs::CostCoeff;
-use crate::obs::Tracer;
+use crate::obs::{Phase, Profiler, Tracer};
 use crate::parallel::map_ordered;
 use crate::retry::RetryPolicy;
 use crate::seltrack::{SelTracker, SelectivityDefaults};
@@ -182,6 +182,10 @@ pub struct StageEnv<'a> {
     /// Trace sink for block-draw spans and retry/degradation events
     /// (disabled by default — one branch per site).
     pub tracer: Tracer,
+    /// Phase profiler for the performance flight recorder (disabled
+    /// by default — one branch per site). Pure observation: never
+    /// charges the clock, so results are identical with it on or off.
+    pub profiler: Profiler,
     /// Worker threads for the pure-CPU portions of a stage (block
     /// decode, run merges). Charged work — clock, tracer, deadline —
     /// always runs on the calling thread in canonical order, so any
@@ -204,6 +208,7 @@ impl<'a> StageEnv<'a> {
             retry: RetryPolicy::default(),
             health: StageHealth::default(),
             tracer: Tracer::disabled(),
+            profiler: Profiler::disabled(),
             workers: 1,
         }
     }
@@ -373,9 +378,25 @@ impl Node {
         }
     }
 
+    /// The operator label profiled phases are attributed to.
+    pub(crate) fn op_label(&self) -> &'static str {
+        match self {
+            Node::Leaf(_) => "leaf",
+            Node::Select(_) => "select",
+            Node::Project(_) => "project",
+            Node::Binary(n) => match n.kind {
+                BinKind::Join { .. } => "join",
+                BinKind::Intersect => "intersect",
+            },
+        }
+    }
+
     /// Advances the subtree by one stage at `env.fraction`, returning
-    /// the new-output delta.
+    /// the new-output delta. Phases timed inside are attributed to
+    /// this node's operator label (innermost node wins, so a join's
+    /// leaf children charge their decode to `leaf`, not `join`).
     pub(crate) fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, StageError> {
+        let _op = env.profiler.operator(self.op_label());
         match self {
             Node::Leaf(n) => n.advance(env),
             Node::Select(n) => n.advance(env),
@@ -423,7 +444,12 @@ fn read_block_resilient_raw(
     let mut attempt: u32 = 0;
     loop {
         attempt += 1;
-        match file.read_block_raw(index) {
+        let fetched = {
+            // The block-fetch path through the buffer cache / device.
+            let _phase = env.profiler.phase(Phase::Cache);
+            file.read_block_raw(index)
+        };
+        match fetched {
             Ok(block) => return Ok(Some(block)),
             Err(e) if e.is_transient() => {
                 env.health.faults_seen += 1;
@@ -445,7 +471,10 @@ fn read_block_resilient_raw(
                         ("backoff_ns", JsonValue::from(backoff.as_nanos() as u64)),
                     ]
                 });
-                env.disk.clock().charge(backoff);
+                {
+                    let _phase = env.profiler.phase(Phase::RetryBackoff);
+                    env.disk.clock().charge(backoff);
+                }
                 if env.expired() {
                     return Err(StageError::Deadline);
                 }
@@ -474,7 +503,10 @@ impl LeafNode {
             .min(self.sampler.remaining());
         let start = env.now();
         let _draw_span = env.tracer.span("block_draw");
-        let indices: Vec<u64> = self.sampler.draw(want).to_vec();
+        let indices: Vec<u64> = {
+            let _phase = env.profiler.phase(Phase::RngDraw);
+            self.sampler.draw(want).to_vec()
+        };
         // Fetch phase, serial: every charge, retry, deadline check,
         // and trace event happens on this thread in draw order, so
         // the simulated clock advances identically at any worker
@@ -503,8 +535,11 @@ impl LeafNode {
             }
         }
         // Decode phase, parallel: pure CPU — touches neither clock
-        // nor tracer — fanned out and recombined in draw order.
+        // nor tracer — fanned out and recombined in draw order. The
+        // phase guard wraps the whole fan-out on this thread, so
+        // worker-pool time is attributed to `block_decode`.
         let decoded = {
+            let _phase = env.profiler.phase(Phase::BlockDecode);
             let file = &self.file;
             map_ordered(env.workers, fetched, |_, (idx, block)| {
                 file.decode_block(idx, &block)
@@ -542,6 +577,7 @@ impl LeafNode {
     ) -> Result<Delta, StageError> {
         self.sampler.unconsume(undrawn);
         let decoded = {
+            let _phase = env.profiler.phase(Phase::BlockDecode);
             let file = &self.file;
             map_ordered(env.workers, fetched, |_, (idx, block)| {
                 file.decode_block(idx, &block)
@@ -836,7 +872,10 @@ impl BinaryNode {
         }
         // Merge phase, parallel: each pair's sorted merge is pure CPU
         // over the staged runs; results concatenate in pair order.
+        // The phase guard wraps the whole fan-out on this thread, so
+        // worker-pool time is attributed to `run_merge`.
         let merged = {
+            let _phase = env.profiler.phase(Phase::RunMerge);
             let kind = &self.kind;
             map_ordered(env.workers, staged, |_, (lt, rt)| {
                 merge_sorted(kind, &lt, &rt)

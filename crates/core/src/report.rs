@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use eram_sampling::CountEstimate;
 
-use crate::obs::MetricsSnapshot;
+use crate::obs::{MetricsSnapshot, ProfileSnapshot};
 
 /// What one stage of the loop did.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -66,6 +66,11 @@ pub struct ReportHealth {
 /// A complete account of one time-constrained query execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionReport {
+    /// Observability schema version (see
+    /// [`SCHEMA_VERSION`](crate::obs::SCHEMA_VERSION)); 0 when the
+    /// report was serialized before versioning.
+    #[serde(default)]
+    pub schema_version: u32,
     /// The time quota `T`.
     pub quota: Duration,
     /// Per-stage details, in execution order (including an
@@ -86,6 +91,12 @@ pub struct ExecutionReport {
     /// metrics-free reports keep their pre-existing JSON shape.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<MetricsSnapshot>,
+    /// Per-phase timing breakdown, when a recording
+    /// [`Profiler`](crate::obs::Profiler) was attached. The `sim_ns`
+    /// columns are seed-deterministic; the `wall_*` columns are host
+    /// measurements. `None` serializes to nothing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub profile: Option<ProfileSnapshot>,
 }
 
 impl ExecutionReport {
@@ -173,12 +184,14 @@ mod tests {
     #[test]
     fn clean_run_accounting() {
         let r = ExecutionReport {
+            schema_version: 0,
             quota: Duration::from_secs(10),
             stages: vec![stage(1, 4.0, 30, true), stage(2, 5.0, 40, true)],
             total_elapsed: Duration::from_secs_f64(9.0),
             final_estimate: est(42.0),
             health: ReportHealth::default(),
             metrics: None,
+            profile: None,
         };
         assert_eq!(r.completed_stages(), 2);
         assert!(!r.overspent());
@@ -191,12 +204,14 @@ mod tests {
     #[test]
     fn overspent_run_accounting() {
         let r = ExecutionReport {
+            schema_version: 0,
             quota: Duration::from_secs(10),
             stages: vec![stage(1, 6.0, 30, true), stage(2, 5.0, 40, false)],
             total_elapsed: Duration::from_secs(11),
             final_estimate: est(42.0),
             health: ReportHealth::default(),
             metrics: None,
+            profile: None,
         };
         assert_eq!(r.completed_stages(), 1);
         assert!(r.overspent());
@@ -210,20 +225,93 @@ mod tests {
     #[test]
     fn zero_quota_is_degenerate() {
         let r = ExecutionReport {
+            schema_version: 0,
             quota: Duration::ZERO,
             stages: vec![],
             total_elapsed: Duration::ZERO,
             final_estimate: est(0.0),
             health: ReportHealth::default(),
             metrics: None,
+            profile: None,
+        };
+        assert_eq!(r.utilization(), 0.0, "0/0 must not be NaN");
+        assert_eq!(r.completed_stages(), 0);
+        assert_eq!(r.useful_time(), Duration::ZERO);
+        assert_eq!(r.wasted(), Duration::ZERO);
+        assert_eq!(r.overspend(), Duration::ZERO);
+        assert!(!r.overspent());
+        assert_eq!(r.blocks_evaluated(), 0);
+    }
+
+    #[test]
+    fn refused_job_report_shape() {
+        // A scheduler-refused job is granted a zero quota and never
+        // enters the stage loop; every derived accessor must stay
+        // finite and zero rather than dividing by the empty quota.
+        let r = ExecutionReport {
+            schema_version: 0,
+            quota: Duration::ZERO,
+            stages: vec![],
+            total_elapsed: Duration::from_millis(3), // admission overhead
+            final_estimate: est(0.0),
+            health: ReportHealth::default(),
+            metrics: None,
+            profile: None,
         };
         assert_eq!(r.utilization(), 0.0);
+        assert!(r.utilization().is_finite());
+        assert_eq!(r.useful_time(), Duration::ZERO);
+        assert_eq!(r.wasted(), Duration::ZERO, "no quota to waste");
+        // Any elapsed time beyond the (zero) quota counts as overspend.
+        assert_eq!(r.overspend(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn zero_completed_stages_waste_the_whole_quota() {
+        // One stage started and was aborted at the deadline: nothing
+        // banked, the entire quota wasted, overspend measured past it.
+        let r = ExecutionReport {
+            schema_version: 0,
+            quota: Duration::from_secs(10),
+            stages: vec![stage(1, 12.0, 80, false)],
+            total_elapsed: Duration::from_secs(12),
+            final_estimate: est(0.0),
+            health: ReportHealth::default(),
+            metrics: None,
+            profile: None,
+        };
         assert_eq!(r.completed_stages(), 0);
+        assert!(r.overspent());
+        assert_eq!(r.useful_time(), Duration::ZERO);
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.wasted(), Duration::from_secs(10));
+        assert_eq!(r.overspend(), Duration::from_secs(2));
+        assert_eq!(r.blocks_evaluated(), 0, "aborted stages bank nothing");
+    }
+
+    #[test]
+    fn utilization_saturates_at_one() {
+        // Rounding can make useful time exceed the quota by a hair;
+        // the ratio is clamped so the paper's column stays in [0, 1].
+        let r = ExecutionReport {
+            schema_version: 0,
+            quota: Duration::from_secs(10),
+            stages: vec![stage(1, 10.5, 30, true)],
+            total_elapsed: Duration::from_secs_f64(10.5),
+            final_estimate: est(42.0),
+            health: ReportHealth::default(),
+            metrics: None,
+            profile: None,
+        };
+        assert_eq!(r.utilization(), 1.0);
+        assert_eq!(r.wasted(), Duration::ZERO);
+        assert_eq!(r.overspend(), Duration::from_secs_f64(0.5));
     }
 
     #[test]
     fn health_defaults_when_absent_from_json() {
         let r = ExecutionReport {
+            schema_version: 0,
             quota: Duration::from_secs(2),
             stages: vec![],
             total_elapsed: Duration::from_secs(1),
@@ -235,6 +323,7 @@ mod tests {
                 degraded: true,
             },
             metrics: None,
+            profile: None,
         };
         let mut json: serde_json::Value = serde_json::to_value(&r).unwrap();
         // Simulate a report written before the health field existed.
@@ -246,12 +335,14 @@ mod tests {
     #[test]
     fn report_serializes() {
         let r = ExecutionReport {
+            schema_version: 0,
             quota: Duration::from_secs(2),
             stages: vec![stage(1, 1.0, 5, true)],
             total_elapsed: Duration::from_secs(1),
             final_estimate: est(1.0),
             health: ReportHealth::default(),
             metrics: None,
+            profile: None,
         };
         let json = serde_json::to_string(&r).unwrap();
         // `None` metrics stay out of the wire format entirely.
@@ -276,17 +367,42 @@ mod tests {
     }
 
     #[test]
+    fn schema_version_defaults_for_old_reports_and_profile_rides() {
+        let mut json = serde_json::to_value(ExecutionReport {
+            schema_version: crate::obs::SCHEMA_VERSION,
+            quota: Duration::from_secs(2),
+            stages: vec![],
+            total_elapsed: Duration::from_secs(1),
+            final_estimate: est(1.0),
+            health: ReportHealth::default(),
+            metrics: None,
+            profile: Some(ProfileSnapshot::default()),
+        })
+        .unwrap();
+        assert_eq!(json["schema_version"], crate::obs::SCHEMA_VERSION);
+        assert!(json.get("profile").is_some());
+        // A report written before versioning existed.
+        json.as_object_mut().unwrap().remove("schema_version");
+        json.as_object_mut().unwrap().remove("profile");
+        let back: ExecutionReport = serde_json::from_value(json).unwrap();
+        assert_eq!(back.schema_version, 0);
+        assert!(back.profile.is_none());
+    }
+
+    #[test]
     fn metrics_snapshot_rides_the_report_round_trip() {
         let mut reg = crate::obs::MetricsRegistry::new();
         reg.add("core.stages", 2);
         reg.observe("stage.fraction", 0.25);
         let r = ExecutionReport {
+            schema_version: 0,
             quota: Duration::from_secs(2),
             stages: vec![],
             total_elapsed: Duration::from_secs(1),
             final_estimate: est(1.0),
             health: ReportHealth::default(),
             metrics: Some(reg.snapshot()),
+            profile: None,
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: ExecutionReport = serde_json::from_str(&json).unwrap();

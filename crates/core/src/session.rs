@@ -17,7 +17,7 @@ use eram_storage::{
 use crate::aggregate::AggregateFn;
 use crate::costs::CostModel;
 use crate::executor::{execute_aggregate, EngineError, ExecOutcome, ExecParams};
-use crate::obs::Tracer;
+use crate::obs::{Profiler, Tracer};
 use crate::ops::{Fulfillment, MemoryMode};
 use crate::retry::RetryPolicy;
 use crate::seltrack::SelectivityDefaults;
@@ -61,6 +61,10 @@ pub struct QueryConfig {
     /// Collect a [`crate::MetricsSnapshot`] into the report's
     /// `metrics` field (off by default).
     pub collect_metrics: bool,
+    /// Phase profiler for the performance flight recorder. Disabled
+    /// by default; attach a recording profiler to get a
+    /// [`crate::ProfileSnapshot`] in the report's `profile` field.
+    pub profiler: Profiler,
     /// Worker threads for the pure-CPU portions of each stage (block
     /// decode, run merges). Results are byte-identical at any worker
     /// count; `1` (the default) runs everything inline.
@@ -83,6 +87,7 @@ impl Default for QueryConfig {
             retry: RetryPolicy::default(),
             tracer: Tracer::disabled(),
             collect_metrics: false,
+            profiler: Profiler::disabled(),
             workers: 1,
         }
     }
@@ -401,6 +406,17 @@ impl CountQuery<'_> {
         self
     }
 
+    /// Attaches a phase profiler. Use [`Profiler::recording`] with
+    /// the database's clock (e.g. `db.disk().clock().clone()`) so the
+    /// simulated column reads charged time; the report's `profile`
+    /// field then carries a [`crate::ProfileSnapshot`]. Profiling is
+    /// pure observation — seeded results are byte-identical with it
+    /// on or off.
+    pub fn profiler(mut self, profiler: Profiler) -> Self {
+        self.config.profiler = profiler;
+        self
+    }
+
     /// Sets the worker-thread count for the pure-CPU portions of each
     /// stage. Estimates, reports, and traces are byte-identical at
     /// any worker count; values above 1 only change wall-clock time.
@@ -433,6 +449,7 @@ impl CountQuery<'_> {
             retry: self.config.retry,
             tracer: self.config.tracer,
             collect_metrics: self.config.collect_metrics,
+            profiler: self.config.profiler,
             workers: self.config.workers,
         };
         execute_aggregate(

@@ -26,7 +26,8 @@ use std::time::Duration;
 use proptest::prelude::*;
 
 use eram_core::{
-    Database, MetricsSnapshot, ReportHealth, StoppingCriterion, TraceKind, TraceRecord, Tracer,
+    Database, MetricsSnapshot, Profiler, ReportHealth, StoppingCriterion, TraceKind, TraceRecord,
+    Tracer, SCHEMA_VERSION,
 };
 use eram_relalg::{CmpOp, Expr, Predicate};
 use eram_storage::{ColumnType, FaultPlan, Schema, Tuple, Value};
@@ -70,8 +71,64 @@ fn identical_seeds_yield_byte_identical_jsonl() {
     let (b, _) = fig51_trace();
     assert!(!a.is_empty());
     assert_eq!(a, b, "same seed + SimClock must replay byte-identically");
+    // The first line is the versioned schema header, not a record.
+    assert_eq!(
+        a.lines().next().unwrap(),
+        format!("{{\"schema_version\":{SCHEMA_VERSION}}}")
+    );
     if let Some(path) = std::env::var_os("ERAM_TRACE_OUT") {
         std::fs::write(&path, &a).expect("ERAM_TRACE_OUT must be writable");
+    }
+}
+
+/// The profiler is pure observation: attaching it must not perturb
+/// the charged clock, the RNG, the trace, or the report — at any
+/// worker count. This is the end-to-end (Database-level) counterpart
+/// of the executor's unit test.
+#[test]
+fn profiling_never_perturbs_trace_or_report() {
+    let run = |profile: bool, workers: usize| {
+        let mut db = fig51_db(42);
+        let tracer = Tracer::recording(db.disk().clock().clone());
+        let profiler = if profile {
+            Profiler::recording(db.disk().clock().clone())
+        } else {
+            Profiler::disabled()
+        };
+        let out = db
+            .count(fig51_expr())
+            .within(Duration::from_secs(10))
+            .seed(7)
+            .tracer(tracer.clone())
+            .profiler(profiler)
+            .workers(workers)
+            .run()
+            .unwrap();
+        (out, tracer.to_jsonl())
+    };
+    let (base, base_trace) = run(false, 1);
+    assert!(base.report.profile.is_none());
+    for workers in [1usize, 4] {
+        let (prof, prof_trace) = run(true, workers);
+        assert_eq!(prof_trace, base_trace, "workers={workers}");
+        assert_eq!(
+            prof.estimate.estimate.to_bits(),
+            base.estimate.estimate.to_bits()
+        );
+        let snap = prof.report.profile.as_ref().expect("profiler attached");
+        assert_eq!(snap.schema_version, SCHEMA_VERSION);
+        assert!(snap.total_wall_ns() > 0);
+        // Everything except the profile field is byte-identical.
+        let strip = |r: &eram_core::ExecutionReport| {
+            let mut v = serde_json::to_value(r).unwrap();
+            v.as_object_mut().unwrap().remove("profile");
+            v
+        };
+        assert_eq!(
+            strip(&prof.report),
+            strip(&base.report),
+            "workers={workers}"
+        );
     }
 }
 
@@ -272,7 +329,11 @@ fn metrics_snapshot_counters_survive_the_report_round_trip() {
     assert!(json.contains("metrics"));
     let back: eram_core::ExecutionReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back.metrics, out.report.metrics);
+    // Both the report and its embedded snapshot carry the schema tag.
+    assert_eq!(out.report.schema_version, SCHEMA_VERSION);
+    assert_eq!(back.schema_version, SCHEMA_VERSION);
     let m: &MetricsSnapshot = back.metrics.as_ref().unwrap();
+    assert_eq!(m.schema_version, SCHEMA_VERSION);
     assert!(!m.is_empty());
     assert!(m.counter("storage.block_reads") > 0);
 }
@@ -385,10 +446,17 @@ proptest! {
             .map(|r| r.dur_ns.unwrap())
             .sum();
         prop_assert_eq!(stage_dur, out.report.total_elapsed.as_nanos() as u64);
-        // The trace round-trips through JSONL without loss.
+        // The trace round-trips through JSONL without loss (first
+        // line is the schema header, not a record).
         let jsonl = tracer.to_jsonl();
-        let back: Vec<TraceRecord> = jsonl
-            .lines()
+        let mut lines = jsonl.lines();
+        let header: serde_json::Value =
+            serde_json::from_str(lines.next().unwrap()).unwrap();
+        prop_assert_eq!(
+            header.get("schema_version").and_then(|v| v.as_u64()),
+            Some(u64::from(SCHEMA_VERSION))
+        );
+        let back: Vec<TraceRecord> = lines
             .map(|l| serde_json::from_str(l).unwrap())
             .collect();
         prop_assert_eq!(back, records);
