@@ -1,0 +1,131 @@
+//! Criterion microbenches for the binary-operator merge/sort kernels:
+//! the keyed (Schwartzian) hot path against the original
+//! extract-per-comparison reference, on the duplicate-heavy
+//! multi-column keys where the reference's per-probe key allocation
+//! hurts most. `merge_reference` *is* the pre-overhaul algorithm, so
+//! the `reference` vs `keyed` pairs below measure the overhaul
+//! directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use eram_core::{merge_keyed, merge_reference, sort_run, KeySpec, MergeKind};
+use eram_storage::{Tuple, Value};
+
+const RUN: usize = 4_096;
+
+fn tuple(a: i64, b: i64, c: i64) -> Tuple {
+    Tuple::new(vec![Value::Int(a), Value::Int(b), Value::Int(c)])
+}
+
+/// Duplicate-heavy two-column join keys: `(i % 50, i % 8)` cycles
+/// through 200 distinct keys over 4096 tuples, so every equal-key
+/// group is ~20 tuples wide on each side — the reference re-extracts
+/// both keys for every probed tuple of every group scan.
+fn join_runs() -> (Vec<Tuple>, Vec<Tuple>, KeySpec, KeySpec) {
+    let lt: Vec<Tuple> = (0..RUN as i64).map(|i| tuple(i % 50, i % 8, i)).collect();
+    let rt: Vec<Tuple> = (0..RUN as i64).map(|i| tuple(i % 50, i % 8, -i)).collect();
+    (
+        lt,
+        rt,
+        KeySpec::Columns(vec![0, 1]),
+        KeySpec::Columns(vec![0, 1]),
+    )
+}
+
+fn bench_join_merge(c: &mut Criterion) {
+    let (mut lt, mut rt, lspec, rspec) = join_runs();
+    let lk = sort_run(&mut lt, &lspec);
+    let rk = sort_run(&mut rt, &rspec);
+    let mut g = c.benchmark_group("merge_join_dup_heavy");
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            black_box(
+                merge_reference(
+                    MergeKind::Join,
+                    &lspec,
+                    &rspec,
+                    black_box(&lt),
+                    black_box(&rt),
+                )
+                .len(),
+            )
+        })
+    });
+    g.bench_function("keyed", |b| {
+        b.iter(|| {
+            black_box(merge_keyed(MergeKind::Join, black_box(&lt), &lk, black_box(&rt), &rk).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_intersect_merge(c: &mut Criterion) {
+    // Distinct whole-tuple keys with a 50% overlap. The reference
+    // clones every probed tuple (the whole tuple is the key); the
+    // keyed path compares in place.
+    let mut lt: Vec<Tuple> = (0..RUN as i64).map(|i| tuple(i, 0, 0)).collect();
+    let mut rt: Vec<Tuple> = ((RUN / 2) as i64..(3 * RUN / 2) as i64)
+        .map(|i| tuple(i, 0, 0))
+        .collect();
+    let lk = sort_run(&mut lt, &KeySpec::Whole);
+    let rk = sort_run(&mut rt, &KeySpec::Whole);
+    let mut g = c.benchmark_group("merge_intersect");
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            black_box(
+                merge_reference(
+                    MergeKind::Intersect,
+                    &KeySpec::Whole,
+                    &KeySpec::Whole,
+                    black_box(&lt),
+                    black_box(&rt),
+                )
+                .len(),
+            )
+        })
+    });
+    g.bench_function("keyed", |b| {
+        b.iter(|| {
+            black_box(
+                merge_keyed(
+                    MergeKind::Intersect,
+                    black_box(&lt),
+                    &lk,
+                    black_box(&rt),
+                    &rk,
+                )
+                .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let (lt, _, lspec, _) = join_runs();
+    let mut g = c.benchmark_group("sort_run_dup_heavy");
+    g.bench_function("sort_by_key_extracting", |b| {
+        b.iter(|| {
+            let mut tuples = lt.clone();
+            tuples.sort_by_key(|t| lspec.extract(t));
+            black_box(tuples.len())
+        })
+    });
+    g.bench_function("key_cached", |b| {
+        b.iter(|| {
+            let mut tuples = lt.clone();
+            let keys = sort_run(&mut tuples, &lspec);
+            black_box((tuples.len(), keys))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().measurement_time(Duration::from_secs(5));
+    targets = bench_join_merge, bench_intersect_merge, bench_sort
+}
+criterion_main!(kernels);

@@ -86,6 +86,11 @@ pub struct Cli {
     /// `Default` leaves it at 0, so treat it through `max(1)`).
     /// Estimates and traces are identical at any worker count.
     pub workers: usize,
+    /// Tuple bound for each binary operator's decoded-run cache
+    /// (`Some(0)` disables it; `None` keeps the engine default).
+    /// Wall-clock only: estimates and traces are identical at any
+    /// setting.
+    pub run_cache_tuples: Option<usize>,
 }
 
 /// A CLI-level error with a user-facing message.
@@ -108,7 +113,7 @@ fn err(msg: impl Into<String>) -> CliError {
 pub const USAGE: &str = "usage: eram --load NAME=FILE.csv:COL:TYPE[,COL:TYPE...] \
 [--load ...] [--device sun|modern] [--cache BLOCKS] [--seed N] [--header] \
 [--fault-transient RATE] [--fault-corrupt RATE] [--fault-seed N] \
-[--trace FILE] [--metrics] [--profile] [--workers N] \
+[--trace FILE] [--metrics] [--profile] [--workers N] [--run-cache-tuples N] \
 [--query EXPR --quota SECS [--agg count|sum:COL|avg:COL]]";
 
 impl Cli {
@@ -199,6 +204,13 @@ impl Cli {
                         return Err(err("--workers must be at least 1"));
                     }
                     cli.workers = n;
+                }
+                "--run-cache-tuples" => {
+                    let n: usize = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("--run-cache-tuples needs a tuple count (0 = off)"))?;
+                    cli.run_cache_tuples = Some(n);
                 }
                 "--help" | "-h" => return Err(err(USAGE)),
                 other => return Err(err(format!("unknown argument {other:?}\n{USAGE}"))),
@@ -375,15 +387,17 @@ pub fn run_one_shot(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
     } else {
         Profiler::disabled()
     };
-    let out = db
+    let mut query = db
         .aggregate(cli.agg, expr)
         .within(quota)
         .tracer(tracer.clone())
         .metrics(cli.metrics)
         .profiler(profiler)
-        .workers(cli.workers.max(1))
-        .run()
-        .map_err(|e| err(e.to_string()))?;
+        .workers(cli.workers.max(1));
+    if let Some(tuples) = cli.run_cache_tuples {
+        query = query.run_cache(tuples);
+    }
+    let out = query.run().map_err(|e| err(e.to_string()))?;
     let (lo, hi) = out.estimate.ci(0.95);
     let mut rendered = format!(
         "estimate {:.2}\n95% CI [{lo:.2}, {hi:.2}]\nstages {} | blocks {} | utilization {:.1}% | elapsed {:?}\n{}",
@@ -533,6 +547,8 @@ mod tests {
             "sum:1",
             "--workers",
             "4",
+            "--run-cache-tuples",
+            "4096",
         ])
         .unwrap();
         assert_eq!(cli.loads.len(), 1);
@@ -545,6 +561,7 @@ mod tests {
         assert_eq!(cli.quota_secs, Some(2.5));
         assert_eq!(cli.agg, AggregateFn::Sum { column: 1 });
         assert_eq!(cli.workers, 4);
+        assert_eq!(cli.run_cache_tuples, Some(4096));
     }
 
     #[test]
@@ -561,6 +578,18 @@ mod tests {
         assert!(Cli::parse(["--workers"]).is_err()); // missing count
         assert!(Cli::parse(["--workers", "0"]).is_err());
         assert!(Cli::parse(["--workers", "two"]).is_err());
+        assert!(Cli::parse(["--run-cache-tuples"]).is_err()); // missing count
+        assert!(Cli::parse(["--run-cache-tuples", "many"]).is_err());
+    }
+
+    #[test]
+    fn run_cache_zero_is_off_and_default_is_engine_choice() {
+        assert_eq!(
+            Cli::parse(Vec::<String>::new()).unwrap().run_cache_tuples,
+            None
+        );
+        let cli = Cli::parse(["--run-cache-tuples", "0"]).unwrap();
+        assert_eq!(cli.run_cache_tuples, Some(0));
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::costs::{CostCoeff, CostModel};
 use crate::obs::{MetricsRegistry, MetricsSnapshot, Phase, Profiler, Tracer};
 use crate::ops::{
     Fulfillment, MemoryMode, PhysTree, PlanOptions, StageEnv, StageError, StageHealth,
+    DEFAULT_RUN_CACHE_TUPLES,
 };
 use crate::predict::{solve_fraction_with, SelPolicy};
 use crate::report::{ExecutionReport, ReportHealth, StageReport};
@@ -140,6 +141,12 @@ pub struct ExecParams<'a> {
     /// seeded run is byte-identical at any worker count; `1` (the
     /// default) runs everything inline.
     pub workers: usize,
+    /// Bound (in tuples) on each binary node's decoded-run cache;
+    /// `0` disables it. Old runs are still charged their block reads
+    /// from file metadata and only skip the re-decode, so the cache
+    /// is a wall-clock optimization: seeded results are
+    /// byte-identical with it on or off.
+    pub run_cache_tuples: usize,
 }
 
 impl<'a> ExecParams<'a> {
@@ -163,6 +170,7 @@ impl<'a> ExecParams<'a> {
             collect_metrics: false,
             profiler: Profiler::disabled(),
             workers: 1,
+            run_cache_tuples: DEFAULT_RUN_CACHE_TUPLES,
         }
     }
 }
@@ -410,6 +418,7 @@ pub fn execute_aggregate(
             PlanOptions {
                 fulfillment: params.fulfillment,
                 memory: params.memory,
+                run_cache_tuples: params.run_cache_tuples,
             },
             &mut rng,
         )?);

@@ -1,0 +1,340 @@
+//! Allocation-free merge/sort kernels for the binary-operator hot
+//! path.
+//!
+//! Under full fulfillment every stage merges its new sorted runs
+//! against *all* prior runs of the other side (Figure 4.5's pair
+//! grid), so the per-tuple cost of key extraction and group scanning
+//! dominates the engine's wall-clock time — exactly the `run_merge`
+//! phase the flight recorder attributes. The kernels here apply a
+//! Schwartzian transform: join/intersect keys are extracted **once
+//! per tuple** when a run is sorted ([`sort_run`]) and stored
+//! alongside the run as a [`KeyColumn`]; [`merge_keyed`] then
+//! compares precomputed keys by index, so neither the merge head nor
+//! the group-end scans ever allocate a key.
+//!
+//! [`merge_reference`] keeps the original extract-per-comparison
+//! algorithm as the Criterion baseline (`benches/kernels.rs`) and as
+//! the property-test oracle: both merges must agree tuple for tuple
+//! on any pair of key-sorted runs.
+//!
+//! Everything here is pure CPU — no clock, no tracer, no deadline —
+//! which is what lets the executor fan pair merges across worker
+//! threads without moving a single simulated tick.
+
+use std::sync::Arc;
+
+use eram_storage::{Tuple, Value};
+
+/// How merge keys are derived from a run's tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeySpec {
+    /// The key is a projection of the given columns (one side of a
+    /// join's `on` pairs).
+    Columns(Vec<usize>),
+    /// The whole tuple is its own key (intersection, distinct sort).
+    Whole,
+}
+
+impl KeySpec {
+    /// Extracts one tuple's key. Allocates — used when building key
+    /// columns and by [`merge_reference`], never in the keyed inner
+    /// loops.
+    pub fn extract(&self, t: &Tuple) -> Tuple {
+        match self {
+            KeySpec::Columns(cols) => t.project(cols),
+            KeySpec::Whole => t.clone(),
+        }
+    }
+
+    /// Builds the key column for tuples that are already in key
+    /// order. Used for sub-two-tuple runs and for degraded reads,
+    /// where a run's surviving subsequence no longer aligns with the
+    /// column computed at ingest.
+    pub fn column_for(&self, tuples: &[Tuple]) -> KeyColumn {
+        match self {
+            KeySpec::Whole => KeyColumn::Whole,
+            KeySpec::Columns(cols) => {
+                KeyColumn::Extracted(tuples.iter().map(|t| t.project(cols)).collect())
+            }
+        }
+    }
+}
+
+/// A run's precomputed merge keys, aligned index-for-index with its
+/// tuples. Cloning is cheap (at most an `Arc` bump), so every staged
+/// pair merge shares one column per run.
+#[derive(Debug, Clone)]
+pub enum KeyColumn {
+    /// The tuples are their own keys: compare in place, zero extra
+    /// memory (intersection runs).
+    Whole,
+    /// One extracted key per tuple (join runs).
+    Extracted(Arc<[Tuple]>),
+}
+
+impl KeyColumn {
+    /// The key of tuple `i`, as a borrowed value slice.
+    #[inline]
+    pub fn key_at<'a>(&'a self, tuples: &'a [Tuple], i: usize) -> &'a [Value] {
+        match self {
+            KeyColumn::Whole => tuples[i].values(),
+            KeyColumn::Extracted(keys) => keys[i].values(),
+        }
+    }
+}
+
+/// Which binary operator a merge implements. Only emit semantics:
+/// the keys are already materialized in the [`KeyColumn`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeKind {
+    /// Equal-key groups emit the concatenated cross product.
+    Join,
+    /// Equal-key groups emit the left tuple once per pair (inputs
+    /// are sets, so groups are singletons).
+    Intersect,
+}
+
+/// Sorts a run in place by its merge key and returns the key column,
+/// extracting each key exactly once (Schwartzian transform).
+///
+/// The sort is stable in the original order of equal-key tuples —
+/// exactly the order `sort_by_key` with an extracting closure
+/// produces, without re-extracting the key at every comparison.
+pub fn sort_run(tuples: &mut Vec<Tuple>, spec: &KeySpec) -> KeyColumn {
+    match spec {
+        KeySpec::Whole => {
+            // The whole tuple is the key: equal keys are identical
+            // tuples, so a plain stable sort is key order.
+            tuples.sort();
+            KeyColumn::Whole
+        }
+        KeySpec::Columns(cols) => {
+            let mut pairs: Vec<(Tuple, Tuple)> = std::mem::take(tuples)
+                .into_iter()
+                .map(|t| (t.project(cols), t))
+                .collect();
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut keys = Vec::with_capacity(pairs.len());
+            tuples.reserve(pairs.len());
+            for (k, t) in pairs {
+                keys.push(k);
+                tuples.push(t);
+            }
+            KeyColumn::Extracted(keys.into())
+        }
+    }
+}
+
+/// End (exclusive) of the equal-key group starting at `i`.
+#[inline]
+fn group_end(tuples: &[Tuple], keys: &KeyColumn, i: usize) -> usize {
+    let k = keys.key_at(tuples, i);
+    (i + 1..tuples.len())
+        .find(|&x| keys.key_at(tuples, x) != k)
+        .unwrap_or(tuples.len())
+}
+
+/// Merges two key-sorted runs using their precomputed key columns,
+/// returning the matches in left-major group order.
+///
+/// The inner loop is allocation-free: the merge head and both
+/// group-end scans compare borrowed key slices by index, and the
+/// output is reserved from each group product before emitting. Pure
+/// CPU — touches neither the clock, the tracer, nor the deadline —
+/// so pair merges may run on worker threads; the caller charges
+/// comparisons and records cost observations serially beforehand.
+pub fn merge_keyed(
+    kind: MergeKind,
+    lt: &[Tuple],
+    lk: &KeyColumn,
+    rt: &[Tuple],
+    rk: &KeyColumn,
+) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lt.len() && j < rt.len() {
+        match lk.key_at(lt, i).cmp(rk.key_at(rt, j)) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let i_end = group_end(lt, lk, i);
+                let j_end = group_end(rt, rk, j);
+                emit(kind, &lt[i..i_end], &rt[j..j_end], &mut out);
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+/// Output tuples for one equal-key group pair, pre-sized from the
+/// group product.
+fn emit(kind: MergeKind, left: &[Tuple], right: &[Tuple], out: &mut Vec<Tuple>) {
+    out.reserve(left.len() * right.len());
+    match kind {
+        MergeKind::Join => {
+            for l in left {
+                for r in right {
+                    out.push(l.concat(r));
+                }
+            }
+        }
+        MergeKind::Intersect => {
+            for l in left {
+                for _ in right {
+                    out.push(l.clone());
+                }
+            }
+        }
+    }
+}
+
+/// The original merge algorithm: extracts (allocates) both keys at
+/// every comparison step, including once per probed tuple in the
+/// group-end scans — quadratic key extractions on wide equal-key
+/// groups. Kept as the Criterion baseline and as the property-test
+/// oracle for [`merge_keyed`].
+pub fn merge_reference(
+    kind: MergeKind,
+    lspec: &KeySpec,
+    rspec: &KeySpec,
+    lt: &[Tuple],
+    rt: &[Tuple],
+) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lt.len() && j < rt.len() {
+        let lkey = lspec.extract(&lt[i]);
+        let rkey = rspec.extract(&rt[j]);
+        match lkey.cmp(&rkey) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let i_end = (i..lt.len())
+                    .find(|&x| lspec.extract(&lt[x]) != lkey)
+                    .unwrap_or(lt.len());
+                let j_end = (j..rt.len())
+                    .find(|&x| rspec.extract(&rt[x]) != rkey)
+                    .unwrap_or(rt.len());
+                match kind {
+                    MergeKind::Join => {
+                        for l in &lt[i..i_end] {
+                            for r in &rt[j..j_end] {
+                                out.push(l.concat(r));
+                            }
+                        }
+                    }
+                    MergeKind::Intersect => {
+                        for l in &lt[i..i_end] {
+                            for _ in j..j_end {
+                                out.push(l.clone());
+                            }
+                        }
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    #[test]
+    fn sort_run_matches_sort_by_key_and_aligns_keys() {
+        let spec = KeySpec::Columns(vec![1, 0]);
+        let mut tuples: Vec<Tuple> = (0..40).map(|i| t(&[i % 3, i % 5, i])).collect();
+        let mut reference = tuples.clone();
+        reference.sort_by_key(|x| spec.extract(x));
+
+        let keys = sort_run(&mut tuples, &spec);
+        assert_eq!(tuples, reference, "stable key order preserved");
+        for (i, tuple) in tuples.iter().enumerate() {
+            assert_eq!(
+                keys.key_at(&tuples, i),
+                spec.extract(tuple).values(),
+                "key column misaligned at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn whole_spec_sorts_in_place_with_zero_extra_memory() {
+        let mut tuples: Vec<Tuple> = (0..20).rev().map(|i| t(&[i, i % 4])).collect();
+        let mut reference = tuples.clone();
+        reference.sort_by_key(|x| x.values().to_vec());
+        let keys = sort_run(&mut tuples, &KeySpec::Whole);
+        assert_eq!(tuples, reference);
+        assert!(matches!(keys, KeyColumn::Whole));
+        assert_eq!(keys.key_at(&tuples, 3), tuples[3].values());
+    }
+
+    #[test]
+    fn keyed_join_matches_reference_on_duplicate_heavy_groups() {
+        let lspec = KeySpec::Columns(vec![0]);
+        let rspec = KeySpec::Columns(vec![0]);
+        let mut lt: Vec<Tuple> = (0..30).map(|i| t(&[i % 4, i])).collect();
+        let mut rt: Vec<Tuple> = (0..24).map(|i| t(&[i % 4, -i])).collect();
+        let lk = sort_run(&mut lt, &lspec);
+        let rk = sort_run(&mut rt, &rspec);
+        let keyed = merge_keyed(MergeKind::Join, &lt, &lk, &rt, &rk);
+        let reference = merge_reference(MergeKind::Join, &lspec, &rspec, &lt, &rt);
+        assert_eq!(keyed.len(), 4 * 8 * 6); // 4 keys, 8×6 per group
+        assert_eq!(keyed, reference);
+    }
+
+    #[test]
+    fn keyed_intersect_matches_reference() {
+        let mut lt: Vec<Tuple> = (0..15).map(|i| t(&[i, 0])).collect();
+        let mut rt: Vec<Tuple> = (10..25).map(|i| t(&[i, 0])).collect();
+        let lk = sort_run(&mut lt, &KeySpec::Whole);
+        let rk = sort_run(&mut rt, &KeySpec::Whole);
+        let keyed = merge_keyed(MergeKind::Intersect, &lt, &lk, &rt, &rk);
+        let reference = merge_reference(
+            MergeKind::Intersect,
+            &KeySpec::Whole,
+            &KeySpec::Whole,
+            &lt,
+            &rt,
+        );
+        assert_eq!(keyed.len(), 5);
+        assert_eq!(keyed, reference);
+    }
+
+    #[test]
+    fn empty_runs_merge_to_empty() {
+        let lk = KeyColumn::Whole;
+        assert!(merge_keyed(MergeKind::Join, &[], &lk, &[], &KeyColumn::Whole).is_empty());
+        let mut rt = vec![t(&[1, 2])];
+        let rk = sort_run(&mut rt, &KeySpec::Columns(vec![0]));
+        assert!(merge_keyed(MergeKind::Join, &[], &lk, &rt, &rk).is_empty());
+    }
+
+    #[test]
+    fn column_for_rebuilds_keys_for_a_subsequence() {
+        let spec = KeySpec::Columns(vec![1]);
+        let mut tuples: Vec<Tuple> = (0..12).map(|i| t(&[i, i % 3])).collect();
+        let _ = sort_run(&mut tuples, &spec);
+        // A degraded read drops a slice of the run; the rebuilt
+        // column must align with the surviving subsequence.
+        let survived: Vec<Tuple> = tuples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .map(|(_, x)| x.clone())
+            .collect();
+        let keys = spec.column_for(&survived);
+        for (i, tuple) in survived.iter().enumerate() {
+            assert_eq!(keys.key_at(&survived, i), spec.extract(tuple).values());
+        }
+    }
+}

@@ -63,6 +63,7 @@
 pub mod aggregate;
 pub mod costs;
 pub mod executor;
+pub mod kernel;
 pub mod obs;
 pub mod ops;
 pub mod parallel;
@@ -80,12 +81,15 @@ pub use costs::{CostCoeff, CostModel};
 pub use executor::{
     execute_aggregate, execute_count, term_estimate, term_estimate_with, EngineError, ExecOutcome,
 };
+pub use kernel::{merge_keyed, merge_reference, sort_run, KeyColumn, KeySpec, MergeKind};
 pub use obs::{
     Histogram, MetricsRegistry, MetricsSnapshot, OperatorGuard, Phase, PhaseGuard, PhaseStats,
     PhaseTotals, ProfileSnapshot, Profiler, SpanGuard, TraceKind, TraceRecord, Tracer,
     ENGINE_OPERATOR, SCHEMA_VERSION,
 };
-pub use ops::{Fulfillment, MemoryMode, PlanOptions, StageError, StageHealth};
+pub use ops::{
+    Fulfillment, MemoryMode, PlanOptions, StageError, StageHealth, DEFAULT_RUN_CACHE_TUPLES,
+};
 pub use parallel::map_ordered;
 pub use report::{ExecutionReport, ReportHealth, StageReport};
 pub use retry::RetryPolicy;

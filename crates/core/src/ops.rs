@@ -31,12 +31,15 @@ use std::time::Duration;
 
 use eram_relalg::{Catalog, Expr, ExprError, OpKind, Predicate};
 use eram_sampling::BlockSampler;
-use eram_storage::{Block, Deadline, DeviceOp, Disk, HeapFile, Schema, StorageError, Tuple, Value};
+use eram_storage::{
+    Block, Deadline, DeviceOp, Disk, HeapFile, RunCache, Schema, StorageError, Tuple,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde_json::Value as JsonValue;
 
 use crate::costs::CostCoeff;
+use crate::kernel::{merge_keyed, sort_run, KeyColumn, KeySpec, MergeKind};
 use crate::obs::{Phase, Profiler, Tracer};
 use crate::parallel::map_ordered;
 use crate::retry::RetryPolicy;
@@ -73,13 +76,34 @@ pub enum MemoryMode {
     MainMemory,
 }
 
+/// Default [`PlanOptions::run_cache_tuples`] bound: one million tuples
+/// (~200 MB of decoded 200-byte paper tuples) shared per binary node.
+pub const DEFAULT_RUN_CACHE_TUPLES: usize = 1 << 20;
+
 /// How a term is compiled: fulfillment plan + memory mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlanOptions {
     /// Which sample pairs binary operators evaluate.
     pub fulfillment: Fulfillment,
     /// Where intermediate results live.
     pub memory: MemoryMode,
+    /// Bound (in tuples) on each binary node's decoded-run cache; `0`
+    /// disables it. Full fulfillment re-reads every old run once per
+    /// new stage; the cache serves those re-reads from memory while
+    /// still charging the exact block reads the uncached path would,
+    /// so it is a wall-clock-only optimization — simulated results
+    /// are byte-identical either way.
+    pub run_cache_tuples: usize,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            fulfillment: Fulfillment::default(),
+            memory: MemoryMode::default(),
+            run_cache_tuples: DEFAULT_RUN_CACHE_TUPLES,
+        }
+    }
 }
 
 impl From<Fulfillment> for PlanOptions {
@@ -246,14 +270,19 @@ pub(crate) enum RunData {
     /// On disk, re-read (charged) at every merge — the prototype's
     /// disk-resident design.
     File(HeapFile),
-    /// Held in memory — the main-memory variant.
-    Mem(Vec<Tuple>),
+    /// Held in memory — the main-memory variant. Shared immutably so
+    /// repeated merges against the run never copy it.
+    Mem(Arc<[Tuple]>),
 }
 
 /// One sorted run of a binary operator's input (a stage's worth).
 pub(crate) struct Run {
     data: RunData,
     tuples: u64,
+    /// Merge keys extracted once at ingest, aligned index-for-index
+    /// with the run's tuples (Schwartzian transform): merges compare
+    /// precomputed keys instead of re-projecting per comparison.
+    keys: KeyColumn,
     /// Leaf points the run's delta covered (for coverage accounting).
     leaf_points: f64,
 }
@@ -309,6 +338,10 @@ pub(crate) struct BinaryNode {
     pub(crate) out_blocking: f64,
     pub(crate) left_runs: Vec<Run>,
     pub(crate) right_runs: Vec<Run>,
+    /// Bounded cache of decoded old runs (both sides share it). Runs
+    /// are charged from file metadata and served from memory, so the
+    /// cache changes wall-clock time only — never simulated results.
+    pub(crate) run_cache: RunCache,
     pub(crate) cum_out: f64,
     pub(crate) cum_leaf_points: f64,
 }
@@ -406,7 +439,9 @@ impl Node {
     }
 }
 
-/// Reads one block through the stage's retry policy.
+/// Reads one raw block through the stage's retry policy, leaving the
+/// (pure) decode to the caller — deferred to worker threads, or, for
+/// cached runs, skipped entirely.
 ///
 /// * Transient faults are retried up to `retry.max_attempts` total
 ///   attempts, with the backoff *charged to the clock* — recovery
@@ -417,23 +452,6 @@ impl Node {
 ///   dropped: `Ok(None)`, one cluster lost, query continues.
 /// * Any other storage error (unknown file, schema mismatch) is not a
 ///   degradable fault and fails the stage.
-fn read_block_resilient(
-    env: &mut StageEnv<'_>,
-    file: &HeapFile,
-    index: u64,
-) -> Result<Option<Vec<Tuple>>, StageError> {
-    match read_block_resilient_raw(env, file, index)? {
-        Some(block) => Ok(Some(
-            file.decode_block(index, &block)
-                .map_err(StageError::Storage)?,
-        )),
-        None => Ok(None),
-    }
-}
-
-/// The fetch half of [`read_block_resilient`]: same retry-or-drop
-/// policy, but returns the raw block without decoding it, so callers
-/// can defer the (pure) decode to worker threads.
 fn read_block_resilient_raw(
     env: &mut StageEnv<'_>,
     file: &HeapFile,
@@ -668,23 +686,26 @@ impl SelectNode {
     }
 }
 
-/// Sorts tuples by a key, charging `n·log₂n` comparisons (in chunks,
-/// honouring the hard deadline).
+/// Sorts tuples by a key spec, charging `n·log₂n` comparisons (in
+/// chunks, honouring the hard deadline), and returns the run's key
+/// column. Keys are extracted once here (Schwartzian transform) and
+/// reused by every later merge instead of being re-projected per
+/// comparison.
 fn charged_sort(
     env: &mut StageEnv<'_>,
-    tuples: &mut [Tuple],
-    key: &dyn Fn(&Tuple) -> Vec<Value>,
-) -> Result<(), StageError> {
+    tuples: &mut Vec<Tuple>,
+    spec: &KeySpec,
+) -> Result<KeyColumn, StageError> {
     let n = tuples.len();
     if n < 2 {
-        return Ok(());
+        return Ok(spec.column_for(tuples));
     }
     let units = n as f64 * (n as f64).log2();
     let start = env.now();
     charge_chunked(env, DeviceOp::Compare, units.ceil() as u64, 128)?;
-    tuples.sort_by_key(|t| key(t));
+    let keys = sort_run(tuples, spec);
     env.observe(CostCoeff::SortUnit, units, env.now() - start);
-    Ok(())
+    Ok(keys)
 }
 
 impl ProjectNode {
@@ -706,7 +727,7 @@ impl ProjectNode {
             env.observe(CostCoeff::ScanTuple, n_in as f64, env.now() - start);
             p
         };
-        charged_sort(env, &mut projected, &|t| t.values().to_vec())?;
+        charged_sort(env, &mut projected, &KeySpec::Whole)?;
 
         // Step 3: merge against the cumulative distinct file,
         // updating occupancies and collecting the new groups.
@@ -752,40 +773,27 @@ impl BinKind {
         }
     }
 
-    fn left_key(&self, t: &Tuple) -> Vec<Value> {
+    /// Key spec for left-side runs (join columns, or the whole tuple
+    /// for set intersection).
+    fn left_spec(&self) -> KeySpec {
         match self {
-            BinKind::Join { on } => on.iter().map(|&(l, _)| t.value(l).clone()).collect(),
-            BinKind::Intersect => t.values().to_vec(),
+            BinKind::Join { on } => KeySpec::Columns(on.iter().map(|&(l, _)| l).collect()),
+            BinKind::Intersect => KeySpec::Whole,
         }
     }
 
-    fn right_key(&self, t: &Tuple) -> Vec<Value> {
+    /// Key spec for right-side runs.
+    fn right_spec(&self) -> KeySpec {
         match self {
-            BinKind::Join { on } => on.iter().map(|&(_, r)| t.value(r).clone()).collect(),
-            BinKind::Intersect => t.values().to_vec(),
+            BinKind::Join { on } => KeySpec::Columns(on.iter().map(|&(_, r)| r).collect()),
+            BinKind::Intersect => KeySpec::Whole,
         }
     }
 
-    /// Output tuples for an equal-key group pair.
-    fn emit(&self, left: &[Tuple], right: &[Tuple], out: &mut Vec<Tuple>) {
+    fn merge_kind(&self) -> MergeKind {
         match self {
-            BinKind::Join { .. } => {
-                for l in left {
-                    for r in right {
-                        out.push(l.concat(r));
-                    }
-                }
-            }
-            BinKind::Intersect => {
-                // Distinct inputs: each equal pair contributes the
-                // common tuple once per (l, r) pair; inputs are sets,
-                // so groups are singletons.
-                for l in left {
-                    for _ in right {
-                        out.push(l.clone());
-                    }
-                }
-            }
+            BinKind::Join { .. } => MergeKind::Join,
+            BinKind::Intersect => MergeKind::Intersect,
         }
     }
 }
@@ -825,7 +833,6 @@ impl BinaryNode {
 
         // Step 3: merge the new runs against the other side per the
         // fulfillment plan (Figure 4.5's pair grid).
-        let mut out: Vec<Tuple> = Vec::new();
         let mut pair_points = 0.0;
         let mut leaf_points = 0.0;
 
@@ -850,37 +857,44 @@ impl BinaryNode {
         // Charged phase, serial: per-pair run reads, comparison
         // charges, and cost observations in the canonical pair order
         // — the simulated clock and the trace advance exactly as a
-        // single-threaded run's would.
-        let mut staged: Vec<(Vec<Tuple>, Vec<Tuple>)> = Vec::with_capacity(pairs.len());
+        // single-threaded run's would. Old runs are served through the
+        // node's decoded-run cache: every block read is still charged
+        // (and every fault draw consumed) exactly as the uncached path
+        // would; only the re-decode is skipped.
+        let (left_spec, right_spec) = (self.kind.left_spec(), self.kind.right_spec());
+        let mut staged: Vec<(Arc<[Tuple]>, KeyColumn, Arc<[Tuple]>, KeyColumn)> =
+            Vec::with_capacity(pairs.len());
         for &(li, ri) in &pairs {
             if env.expired() {
                 return Err(StageError::Deadline);
             }
-            let (lrun, rrun) = (&self.left_runs[li], &self.right_runs[ri]);
             let start = env.now();
-            let lt = read_run(env, &lrun.data)?;
-            let rt = read_run(env, &rrun.data)?;
+            let (lt, lk) = read_run(env, &self.left_runs[li], &left_spec, &mut self.run_cache)?;
+            let (rt, rk) = read_run(env, &self.right_runs[ri], &right_spec, &mut self.run_cache)?;
             charge_chunked(env, DeviceOp::Compare, (lt.len() + rt.len()) as u64, 128)?;
             env.observe(
                 CostCoeff::MergeTuple,
                 (lt.len() + rt.len()) as f64,
                 env.now() - start,
             );
+            let (lrun, rrun) = (&self.left_runs[li], &self.right_runs[ri]);
             pair_points += lrun.tuples as f64 * rrun.tuples as f64;
             leaf_points += lrun.leaf_points * rrun.leaf_points;
-            staged.push((lt, rt));
+            staged.push((lt, lk, rt, rk));
         }
-        // Merge phase, parallel: each pair's sorted merge is pure CPU
-        // over the staged runs; results concatenate in pair order.
-        // The phase guard wraps the whole fan-out on this thread, so
-        // worker-pool time is attributed to `run_merge`.
+        // Merge phase, parallel: each pair's keyed merge is pure CPU
+        // over the staged runs and their precomputed key columns;
+        // results concatenate in pair order. The phase guard wraps the
+        // whole fan-out on this thread, so worker-pool time is
+        // attributed to `run_merge`.
         let merged = {
             let _phase = env.profiler.phase(Phase::RunMerge);
-            let kind = &self.kind;
-            map_ordered(env.workers, staged, |_, (lt, rt)| {
-                merge_sorted(kind, &lt, &rt)
+            let mk = self.kind.merge_kind();
+            map_ordered(env.workers, staged, move |_, (lt, lk, rt, rk)| {
+                merge_keyed(mk, &lt, &lk, &rt, &rk)
             })
         };
+        let mut out: Vec<Tuple> = Vec::with_capacity(merged.iter().map(Vec::len).sum());
         for m in merged {
             out.extend(m);
         }
@@ -908,14 +922,12 @@ impl BinaryNode {
         left: bool,
     ) -> Result<(), StageError> {
         let mut tuples = delta.tuples;
-        let kind = &self.kind;
-        if left {
-            let key = |t: &Tuple| kind.left_key(t);
-            charged_sort(env, &mut tuples, &key)?;
+        let spec = if left {
+            self.kind.left_spec()
         } else {
-            let key = |t: &Tuple| kind.right_key(t);
-            charged_sort(env, &mut tuples, &key)?;
-        }
+            self.kind.right_spec()
+        };
+        let keys = charged_sort(env, &mut tuples, &spec)?;
         let n = tuples.len();
         let data = match self.memory {
             MemoryMode::DiskResident => {
@@ -926,18 +938,23 @@ impl BinaryNode {
                 };
                 let start = env.now();
                 let mut file = HeapFile::create(env.disk.clone(), schema, true);
-                for t in &tuples {
-                    file.append(t.clone()).map_err(StageError::Storage)?;
-                }
+                file.append_all(tuples.iter().cloned())
+                    .map_err(StageError::Storage)?;
                 file.flush().map_err(StageError::Storage)?;
                 env.observe(CostCoeff::WriteTuple, n as f64, env.now() - start);
+                // Seed the decoded-run cache with the sorted tuples
+                // just written: the fixed-width encoding round-trips
+                // bit-faithfully, so they equal what re-decoding the
+                // file would produce.
+                self.run_cache.put(file.file_id(), tuples.into());
                 RunData::File(file)
             }
-            MemoryMode::MainMemory => RunData::Mem(tuples),
+            MemoryMode::MainMemory => RunData::Mem(tuples.into()),
         };
         let run = Run {
             data,
             tuples: n as u64,
+            keys,
             leaf_points: delta.leaf_points,
         };
         if left {
@@ -949,60 +966,73 @@ impl BinaryNode {
     }
 }
 
-/// Merges two sorted runs, returning the matches. Pure CPU: touches
-/// neither the clock, the tracer, nor the deadline, so worker threads
-/// may run pair merges concurrently — the caller charges comparisons
-/// and records the `MergeTuple` observation serially beforehand.
-fn merge_sorted(kind: &BinKind, lt: &[Tuple], rt: &[Tuple]) -> Vec<Tuple> {
-    let mut out = Vec::new();
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < lt.len() && j < rt.len() {
-        let lk = kind.left_key(&lt[i]);
-        let rk = kind.right_key(&rt[j]);
-        match lk.cmp(&rk) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                let i_end = (i..lt.len())
-                    .find(|&x| kind.left_key(&lt[x]) != lk)
-                    .unwrap_or(lt.len());
-                let j_end = (j..rt.len())
-                    .find(|&x| kind.right_key(&rt[x]) != rk)
-                    .unwrap_or(rt.len());
-                kind.emit(&lt[i..i_end], &rt[j..j_end], &mut out);
-                i = i_end;
-                j = j_end;
-            }
-        }
-    }
-    out
-}
-
 /// Reads a whole sorted run, honouring the deadline at block
-/// granularity. Disk-resident runs charge block reads; in-memory
+/// granularity, and returns it as a shared slice plus its aligned
+/// merge-key column. Disk-resident runs charge block reads; in-memory
 /// runs are free — that asymmetry *is* the main-memory variant's
 /// advantage. Run blocks go through the same retry-or-drop policy as
 /// sample blocks: a lost run block under-merges its tuples, which is
 /// degradation, not failure.
-fn read_run(env: &mut StageEnv<'_>, data: &RunData) -> Result<Vec<Tuple>, StageError> {
-    match data {
+///
+/// The decoded-run cache sits *behind* the charged fetch loop, never
+/// in front of it: every block read is charged (and every fault-plan
+/// draw consumed) exactly as the uncached path would, and only then
+/// is the decoded run served from memory — "charge from metadata,
+/// serve from memory". A degraded read (lost blocks) yields a
+/// subsequence of the run, so the ingest-time key column no longer
+/// aligns; such reads rebuild keys from the surviving tuples and
+/// bypass the cache entirely.
+fn read_run(
+    env: &mut StageEnv<'_>,
+    run: &Run,
+    spec: &KeySpec,
+    cache: &mut RunCache,
+) -> Result<(Arc<[Tuple]>, KeyColumn), StageError> {
+    match &run.data {
         RunData::File(file) => {
-            let mut out = Vec::with_capacity(file.num_tuples() as usize);
+            let mut fetched: Vec<(u64, Arc<Block>)> =
+                Vec::with_capacity(file.num_blocks() as usize);
+            let mut complete = true;
             for b in 0..file.num_blocks() {
                 if env.expired() {
                     return Err(StageError::Deadline);
                 }
-                if let Some(tuples) = read_block_resilient(env, file, b)? {
-                    out.extend(tuples);
+                match read_block_resilient_raw(env, file, b)? {
+                    Some(block) => fetched.push((b, block)),
+                    None => complete = false,
                 }
             }
-            Ok(out)
+            if complete {
+                if let Some(tuples) = cache.get(file.file_id()) {
+                    return Ok((tuples, run.keys.clone()));
+                }
+            }
+            // Decode phase, parallel: pure CPU over the fetched raw
+            // blocks, recombined in block order.
+            let decoded = {
+                let _phase = env.profiler.phase(Phase::BlockDecode);
+                map_ordered(env.workers, fetched, |_, (idx, block)| {
+                    file.decode_block(idx, &block)
+                })
+            };
+            let mut out: Vec<Tuple> = Vec::with_capacity(file.num_tuples() as usize);
+            for d in decoded {
+                out.extend(d.map_err(StageError::Storage)?);
+            }
+            if complete {
+                let shared: Arc<[Tuple]> = out.into();
+                cache.put(file.file_id(), shared.clone());
+                Ok((shared, run.keys.clone()))
+            } else {
+                let keys = spec.column_for(&out);
+                Ok((out.into(), keys))
+            }
         }
         RunData::Mem(tuples) => {
             if env.expired() {
                 return Err(StageError::Deadline);
             }
-            Ok(tuples.clone())
+            Ok((tuples.clone(), run.keys.clone()))
         }
     }
 }
@@ -1227,6 +1257,7 @@ impl PhysTree {
             out_blocking: blocking,
             left_runs: Vec::new(),
             right_runs: Vec::new(),
+            run_cache: RunCache::new(options.run_cache_tuples),
             cum_out: 0.0,
             cum_leaf_points: 0.0,
         }))
@@ -1309,7 +1340,7 @@ impl PhysTree {
 mod tests {
     use super::*;
     use eram_relalg::CmpOp;
-    use eram_storage::{ColumnType, DeviceProfile, SimClock};
+    use eram_storage::{ColumnType, DeviceProfile, SimClock, Value};
     use rand::SeedableRng;
 
     fn setup(rows: &[(&str, Vec<(i64, i64)>)]) -> (Arc<Disk>, Catalog) {
@@ -1644,6 +1675,7 @@ mod tests {
                 PlanOptions {
                     fulfillment: Fulfillment::Full,
                     memory,
+                    ..PlanOptions::default()
                 },
                 &mut StdRng::seed_from_u64(77),
             )
@@ -1674,6 +1706,74 @@ mod tests {
             mem_cost < disk_cost / 2,
             "main memory {mem_cost:?} vs disk {disk_cost:?}"
         );
+    }
+
+    #[test]
+    fn run_cache_does_not_change_results_or_charges() {
+        // The decoded-run cache must be invisible to the simulation:
+        // identical outputs, coverage, and simulated clock with the
+        // cache on or off — it only skips wall-clock re-decode work.
+        let a: Vec<(i64, i64)> = (0..60).map(|i| (i % 6, i)).collect();
+        let b: Vec<(i64, i64)> = (0..40).map(|i| (i % 6, -i)).collect();
+        let run = |cache_tuples: usize| {
+            let (disk, cat) = setup(&[("a", a.clone()), ("b", b.clone())]);
+            let expr = Expr::relation("a").join(Expr::relation("b"), vec![(0, 0)]);
+            let mut tree = PhysTree::build(
+                &expr,
+                &cat,
+                &disk,
+                &SelectivityDefaults::default(),
+                PlanOptions {
+                    fulfillment: Fulfillment::Full,
+                    run_cache_tuples: cache_tuples,
+                    ..PlanOptions::default()
+                },
+                &mut StdRng::seed_from_u64(31),
+            )
+            .unwrap();
+            let mut outputs = Vec::new();
+            for _ in 0..3 {
+                let mut e = env(&disk, 0.4);
+                outputs.push(tree.advance(&mut e).unwrap().tuples);
+            }
+            (outputs, tree.points_covered(), disk.clock().elapsed())
+        };
+        assert_eq!(run(DEFAULT_RUN_CACHE_TUPLES), run(0));
+    }
+
+    #[test]
+    fn degraded_run_reads_bypass_the_cache() {
+        // Corrupt run blocks drop tuples from the merge; the cached
+        // full copy must NOT paper over the loss. Degraded reads
+        // rebuild keys from the survivors and skip the cache, so the
+        // cached and uncached plans stay identical even under faults.
+        let a: Vec<(i64, i64)> = (0..60).map(|i| (i % 6, i)).collect();
+        let b: Vec<(i64, i64)> = (0..40).map(|i| (i % 6, -i)).collect();
+        let run = |cache_tuples: usize| {
+            let (disk, cat) = setup(&[("a", a.clone()), ("b", b.clone())]);
+            disk.set_fault_plan(eram_storage::FaultPlan::new(41).with_corruption(0.3));
+            let expr = Expr::relation("a").join(Expr::relation("b"), vec![(0, 0)]);
+            let mut tree = PhysTree::build(
+                &expr,
+                &cat,
+                &disk,
+                &SelectivityDefaults::default(),
+                PlanOptions {
+                    fulfillment: Fulfillment::Full,
+                    run_cache_tuples: cache_tuples,
+                    ..PlanOptions::default()
+                },
+                &mut StdRng::seed_from_u64(37),
+            )
+            .unwrap();
+            let mut outputs = Vec::new();
+            for _ in 0..3 {
+                let mut e = env(&disk, 0.4);
+                outputs.push(tree.advance(&mut e).unwrap().tuples);
+            }
+            (outputs, tree.points_covered(), disk.clock().elapsed())
+        };
+        assert_eq!(run(DEFAULT_RUN_CACHE_TUPLES), run(0));
     }
 
     #[test]

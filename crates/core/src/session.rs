@@ -18,7 +18,7 @@ use crate::aggregate::AggregateFn;
 use crate::costs::CostModel;
 use crate::executor::{execute_aggregate, EngineError, ExecOutcome, ExecParams};
 use crate::obs::{Profiler, Tracer};
-use crate::ops::{Fulfillment, MemoryMode};
+use crate::ops::{Fulfillment, MemoryMode, DEFAULT_RUN_CACHE_TUPLES};
 use crate::retry::RetryPolicy;
 use crate::seltrack::SelectivityDefaults;
 use crate::stopping::StoppingCriterion;
@@ -69,6 +69,10 @@ pub struct QueryConfig {
     /// decode, run merges). Results are byte-identical at any worker
     /// count; `1` (the default) runs everything inline.
     pub workers: usize,
+    /// Bound (in tuples) on each binary node's decoded-run cache;
+    /// `0` disables it. Wall-clock only: cached runs still charge
+    /// their block reads, so results are byte-identical either way.
+    pub run_cache_tuples: usize,
 }
 
 impl Default for QueryConfig {
@@ -89,6 +93,7 @@ impl Default for QueryConfig {
             collect_metrics: false,
             profiler: Profiler::disabled(),
             workers: 1,
+            run_cache_tuples: DEFAULT_RUN_CACHE_TUPLES,
         }
     }
 }
@@ -426,6 +431,15 @@ impl CountQuery<'_> {
         self
     }
 
+    /// Bounds the decoded-run cache of each binary operator, in
+    /// tuples; `0` disables it. The cache only skips re-decoding old
+    /// runs — every block read is still charged — so estimates,
+    /// reports, and traces are byte-identical at any setting.
+    pub fn run_cache(mut self, tuples: usize) -> Self {
+        self.config.run_cache_tuples = tuples;
+        self
+    }
+
     /// Replaces the whole config in one call.
     pub fn config(mut self, config: QueryConfig) -> Self {
         self.config = config;
@@ -451,6 +465,7 @@ impl CountQuery<'_> {
             collect_metrics: self.config.collect_metrics,
             profiler: self.config.profiler,
             workers: self.config.workers,
+            run_cache_tuples: self.config.run_cache_tuples,
         };
         execute_aggregate(
             &self.db.disk,

@@ -32,6 +32,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::block::Block;
+use crate::disk::FileId;
+use crate::tuple::Tuple;
 
 /// Key of a cached block.
 type Key = (u64, u64); // (file, index)
@@ -241,6 +243,123 @@ impl BlockCache {
     }
 }
 
+/// A bounded LRU cache of **decoded, immutable runs**, keyed by the
+/// run file's [`FileId`].
+///
+/// This is a wall-clock-only structure for the full-fulfillment pair
+/// grid, which re-reads every previous stage's runs at every stage.
+/// The executor still performs every *charged* block fetch a run
+/// read implies — the simulated clock, the fault-injection RNG
+/// stream, the device counters, and the [`BlockCache`] state are all
+/// untouched — and only skips the per-tuple decode when the run is
+/// held here ("charge from metadata, serve from memory"). Entries
+/// are shared out as `Arc<[Tuple]>` clones and never mutated.
+///
+/// The bound is **total tuples held**, not entry count, because run
+/// sizes vary by orders of magnitude across stages; a capacity of 0
+/// disables the cache entirely, and a single run larger than the
+/// capacity is served without being cached. The cache is owned by
+/// one operator and accessed serially from the charged staging loop,
+/// so it needs no interior locking; hit/miss counters are plain
+/// fields.
+#[derive(Debug)]
+pub struct RunCache {
+    capacity_tuples: usize,
+    held_tuples: usize,
+    entries: HashMap<FileId, Arc<[Tuple]>>,
+    /// Least- to most-recently used. Entries are few (one per stage
+    /// per side), so the O(n) touch on hit is noise.
+    recency: VecDeque<FileId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RunCache {
+    /// A cache bounded to `capacity_tuples` decoded tuples in total
+    /// (0 disables caching: every `put` is a no-op).
+    pub fn new(capacity_tuples: usize) -> Self {
+        RunCache {
+            capacity_tuples,
+            held_tuples: 0,
+            entries: HashMap::new(),
+            recency: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured bound, in tuples.
+    pub fn capacity_tuples(&self) -> usize {
+        self.capacity_tuples
+    }
+
+    /// Decoded tuples currently held.
+    pub fn held_tuples(&self) -> usize {
+        self.held_tuples
+    }
+
+    /// Number of cached runs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no runs are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups that were served from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to a decode.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The cached run for `file`, touching its recency.
+    pub fn get(&mut self, file: FileId) -> Option<Arc<[Tuple]>> {
+        match self.entries.get(&file) {
+            Some(run) => {
+                self.hits += 1;
+                if let Some(pos) = self.recency.iter().position(|&f| f == file) {
+                    self.recency.remove(pos);
+                }
+                self.recency.push_back(file);
+                Some(run.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches a run, evicting least-recently-used runs until it
+    /// fits. Runs are immutable, so a re-`put` of a cached file is a
+    /// no-op; a run larger than the whole capacity is not cached.
+    pub fn put(&mut self, file: FileId, run: Arc<[Tuple]>) {
+        if self.capacity_tuples == 0
+            || run.len() > self.capacity_tuples
+            || self.entries.contains_key(&file)
+        {
+            return;
+        }
+        while self.held_tuples + run.len() > self.capacity_tuples {
+            let Some(victim) = self.recency.pop_front() else {
+                break;
+            };
+            if let Some(evicted) = self.entries.remove(&victim) {
+                self.held_tuples -= evicted.len();
+            }
+        }
+        self.held_tuples += run.len();
+        self.recency.push_back(file);
+        self.entries.insert(file, run);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,5 +497,72 @@ mod tests {
     #[should_panic(expected = "shards")]
     fn more_shards_than_capacity_rejected() {
         let _ = BlockCache::with_shards(4, 5);
+    }
+}
+
+#[cfg(test)]
+mod run_cache_tests {
+    use super::*;
+    use crate::tuple::Value;
+
+    fn run(n: usize, tag: i64) -> Arc<[Tuple]> {
+        (0..n)
+            .map(|i| Tuple::new(vec![Value::Int(tag), Value::Int(i as i64)]))
+            .collect()
+    }
+
+    #[test]
+    fn hit_after_put_and_counters() {
+        let mut c = RunCache::new(100);
+        assert!(c.get(FileId(1)).is_none());
+        c.put(FileId(1), run(10, 1));
+        let got = c.get(FileId(1)).expect("cached");
+        assert_eq!(got.len(), 10);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(c.held_tuples(), 10);
+    }
+
+    #[test]
+    fn tuple_bound_evicts_least_recently_used() {
+        let mut c = RunCache::new(25);
+        c.put(FileId(1), run(10, 1));
+        c.put(FileId(2), run(10, 2));
+        // Touch 1 so 2 becomes the eviction victim.
+        assert!(c.get(FileId(1)).is_some());
+        c.put(FileId(3), run(10, 3));
+        assert!(c.get(FileId(2)).is_none(), "LRU run must be evicted");
+        assert!(c.get(FileId(1)).is_some());
+        assert!(c.get(FileId(3)).is_some());
+        assert_eq!(c.held_tuples(), 20);
+        assert!(c.held_tuples() <= c.capacity_tuples());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = RunCache::new(0);
+        c.put(FileId(1), run(5, 1));
+        c.put(FileId(2), run(0, 2)); // even empty runs stay out
+        assert!(c.is_empty());
+        assert!(c.get(FileId(1)).is_none());
+    }
+
+    #[test]
+    fn oversize_run_is_served_but_not_cached() {
+        let mut c = RunCache::new(8);
+        c.put(FileId(1), run(9, 1));
+        assert!(c.is_empty());
+        // Smaller runs still cache normally afterwards.
+        c.put(FileId(2), run(8, 2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn re_put_of_immutable_run_is_a_noop() {
+        let mut c = RunCache::new(100);
+        c.put(FileId(1), run(10, 1));
+        c.put(FileId(1), run(10, 7));
+        assert_eq!(c.held_tuples(), 10, "no double-counting");
+        let got = c.get(FileId(1)).unwrap();
+        assert_eq!(got[0].values()[0], Value::Int(1), "first write wins");
     }
 }

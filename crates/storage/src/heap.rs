@@ -137,8 +137,8 @@ impl HeapFile {
         let mut block = Block::zeroed(self.disk.block_size());
         let rec = self.schema.record_size();
         for (i, t) in self.pending.iter().enumerate() {
-            let bytes = self.schema.encode(t)?;
-            block.bytes_mut()[i * rec..(i + 1) * rec].copy_from_slice(&bytes);
+            self.schema
+                .encode_into(t, &mut block.bytes_mut()[i * rec..(i + 1) * rec])?;
         }
         if self.charged_writes {
             self.disk.append_block(self.file, block)?;

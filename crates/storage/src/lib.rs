@@ -52,7 +52,7 @@ pub mod schema;
 pub mod tuple;
 
 pub use block::{Block, BlockId, BLOCK_SIZE};
-pub use cache::BlockCache;
+pub use cache::{BlockCache, RunCache};
 pub use clock::{Clock, Deadline, SimClock, WallClock};
 pub use cost::{DeviceOp, DeviceProfile};
 pub use csv::{parse_schema_spec, read_csv};

@@ -229,24 +229,52 @@ impl Schema {
 
     /// Encodes `t` into its fixed-width record form.
     pub fn encode(&self, t: &Tuple) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; self.record_size];
+        self.encode_into(t, &mut out)?;
+        Ok(out)
+    }
+
+    /// Encodes `t` directly into a caller-provided record slice of
+    /// exactly [`Schema::record_size`] bytes — the allocation-free
+    /// form of [`Schema::encode`] used when packing whole blocks
+    /// (padding bytes are zeroed, so the output is byte-identical).
+    pub fn encode_into(&self, t: &Tuple, out: &mut [u8]) -> Result<()> {
         self.check_tuple(t)?;
-        let mut out = Vec::with_capacity(self.record_size);
+        if out.len() != self.record_size {
+            return Err(StorageError::SchemaMismatch(format!(
+                "record buffer of {} bytes, schema expects {}",
+                out.len(),
+                self.record_size
+            )));
+        }
+        let mut off = 0usize;
         for (col, v) in self.columns.iter().zip(t.values()) {
             match (col.ty, v) {
-                (ColumnType::Int, Value::Int(x)) => out.extend_from_slice(&x.to_le_bytes()),
-                (ColumnType::Float, Value::Float(x)) => out.extend_from_slice(&x.to_le_bytes()),
-                (ColumnType::Bool, Value::Bool(b)) => out.push(u8::from(*b)),
+                (ColumnType::Int, Value::Int(x)) => {
+                    out[off..off + 8].copy_from_slice(&x.to_le_bytes());
+                    off += 8;
+                }
+                (ColumnType::Float, Value::Float(x)) => {
+                    out[off..off + 8].copy_from_slice(&x.to_le_bytes());
+                    off += 8;
+                }
+                (ColumnType::Bool, Value::Bool(b)) => {
+                    out[off] = u8::from(*b);
+                    off += 1;
+                }
                 (ColumnType::Str { width }, Value::Str(s)) => {
                     let len = u16::try_from(s.len()).expect("checked above");
-                    out.extend_from_slice(&len.to_le_bytes());
-                    out.extend_from_slice(s.as_bytes());
-                    out.resize(out.len() + usize::from(width) - s.len(), 0);
+                    out[off..off + 2].copy_from_slice(&len.to_le_bytes());
+                    off += 2;
+                    out[off..off + s.len()].copy_from_slice(s.as_bytes());
+                    out[off + s.len()..off + usize::from(width)].fill(0);
+                    off += usize::from(width);
                 }
                 _ => unreachable!("check_tuple verified types"),
             }
         }
-        out.resize(self.record_size, 0);
-        Ok(out)
+        out[off..].fill(0);
+        Ok(())
     }
 
     /// Decodes a fixed-width record produced by [`Schema::encode`].
@@ -337,6 +365,25 @@ mod tests {
         let bytes = s.encode(&t).unwrap();
         assert_eq!(bytes.len(), 64);
         assert_eq!(s.decode(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn encode_into_is_byte_identical_to_encode() {
+        let s = sample_schema().padded_to(64);
+        let t = Tuple::new(vec![
+            Value::Int(-42),
+            Value::Float(3.25),
+            Value::Bool(true),
+            Value::Str("hello".into()),
+        ]);
+        let alloc = s.encode(&t).unwrap();
+        // A dirty buffer: every non-payload byte must be re-zeroed.
+        let mut buf = vec![0xAAu8; s.record_size()];
+        s.encode_into(&t, &mut buf).unwrap();
+        assert_eq!(buf, alloc);
+        // Wrong-size buffers are rejected, not silently truncated.
+        let mut short = vec![0u8; s.record_size() - 1];
+        assert!(s.encode_into(&t, &mut short).is_err());
     }
 
     #[test]

@@ -132,12 +132,12 @@ proptest! {
         let (disk, cat) = setup(&rows_a, &rows_b);
         let on_disk = drain(
             &expr, &disk, &cat,
-            PlanOptions { fulfillment: Fulfillment::Full, memory: MemoryMode::DiskResident },
+            PlanOptions { fulfillment: Fulfillment::Full, memory: MemoryMode::DiskResident, ..PlanOptions::default() },
             seed, &[f],
         );
         let in_mem = drain(
             &expr, &disk, &cat,
-            PlanOptions { fulfillment: Fulfillment::Full, memory: MemoryMode::MainMemory },
+            PlanOptions { fulfillment: Fulfillment::Full, memory: MemoryMode::MainMemory, ..PlanOptions::default() },
             seed, &[f],
         );
         prop_assert_eq!(on_disk.ones_found(), in_mem.ones_found());
@@ -158,7 +158,7 @@ proptest! {
         let full = drain(&expr, &disk, &cat, Fulfillment::Full.into(), seed, &[0.4]);
         let partial = drain(
             &expr, &disk, &cat,
-            PlanOptions { fulfillment: Fulfillment::Partial, memory: MemoryMode::DiskResident },
+            PlanOptions { fulfillment: Fulfillment::Partial, memory: MemoryMode::DiskResident, ..PlanOptions::default() },
             seed, &[0.4],
         );
         prop_assert!(partial.points_covered() <= full.points_covered());
@@ -167,7 +167,7 @@ proptest! {
         // One full-relation stage: partial == census too.
         let partial_one = drain(
             &expr, &disk, &cat,
-            PlanOptions { fulfillment: Fulfillment::Partial, memory: MemoryMode::DiskResident },
+            PlanOptions { fulfillment: Fulfillment::Partial, memory: MemoryMode::DiskResident, ..PlanOptions::default() },
             seed, &[1.0],
         );
         prop_assert_eq!(partial_one.ones_found(), truth);

@@ -1,0 +1,104 @@
+//! Decoded-run-cache equivalence, locked down end to end.
+//!
+//! The binary-operator run cache serves old runs from memory while
+//! still charging every simulated block read from file metadata
+//! ("charge from metadata, serve from memory"). The observable
+//! contract is therefore the same as the worker pool's: a seeded
+//! `SimClock` run must produce a **byte-identical**
+//! [`eram_core::ExecutionReport`] (as JSON) and a byte-identical
+//! JSONL trace with the cache at any size — including off — at any
+//! worker count, and under injected storage faults.
+
+use std::time::Duration;
+
+use eram_bench::{Workload, WorkloadKind};
+use eram_core::Tracer;
+use eram_storage::FaultPlan;
+
+/// Runs one seeded workload query and returns the serialized report
+/// plus the JSONL trace. `cache_tuples` of `None` keeps the engine's
+/// default run-cache bound.
+fn run_workload(
+    kind: WorkloadKind,
+    workers: usize,
+    seed: u64,
+    quota: Duration,
+    cache_tuples: Option<usize>,
+    faults: Option<FaultPlan>,
+) -> (String, String) {
+    let mut w = Workload::build_on(kind, seed, 0);
+    if let Some(plan) = faults {
+        w.db.disk().set_fault_plan(plan);
+    }
+    let tracer = Tracer::recording(w.db.disk().clock().clone());
+    let mut query =
+        w.db.count(w.expr.clone())
+            .within(quota)
+            .workers(workers)
+            .seed(seed ^ 0x5EED)
+            .tracer(tracer.clone());
+    if let Some(tuples) = cache_tuples {
+        query = query.run_cache(tuples);
+    }
+    let out = query.run().expect("workload query must execute");
+    (
+        serde_json::to_string(&out.report).expect("report serializes"),
+        tracer.to_jsonl(),
+    )
+}
+
+#[test]
+fn join_reports_are_byte_identical_with_cache_on_and_off() {
+    let kind = WorkloadKind::Join {
+        output_tuples: 70_000,
+    };
+    let quota = Duration::from_secs_f64(2.5);
+    for workers in [1, 4] {
+        let (report_on, trace_on) = run_workload(kind, workers, 42, quota, None, None);
+        let (report_off, trace_off) = run_workload(kind, workers, 42, quota, Some(0), None);
+        assert!(!trace_on.is_empty());
+        assert_eq!(
+            report_on, report_off,
+            "ExecutionReport diverged with the run cache off at workers={workers}"
+        );
+        assert_eq!(
+            trace_on, trace_off,
+            "trace diverged with the run cache off at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn tiny_cache_bounds_are_also_invisible() {
+    // A cache far too small to hold every run forces constant
+    // eviction and re-decode; the simulated results must not notice.
+    let kind = WorkloadKind::Join {
+        output_tuples: 70_000,
+    };
+    let quota = Duration::from_secs_f64(2.5);
+    let (report_default, trace_default) = run_workload(kind, 1, 17, quota, None, None);
+    let (report_tiny, trace_tiny) = run_workload(kind, 1, 17, quota, Some(64), None);
+    assert_eq!(report_default, report_tiny);
+    assert_eq!(trace_default, trace_tiny);
+}
+
+#[test]
+fn faulted_runs_stay_identical_with_and_without_the_cache() {
+    // Corrupt and transient faults make run re-reads lossy; degraded
+    // reads must bypass the cache, so cached and uncached executions
+    // still agree charge for charge and tuple for tuple.
+    let kind = WorkloadKind::Join {
+        output_tuples: 70_000,
+    };
+    let quota = Duration::from_secs_f64(2.5);
+    let plan = || FaultPlan::new(9).with_corruption(0.05).with_transient(0.05);
+    for workers in [1, 4] {
+        let (report_on, trace_on) = run_workload(kind, workers, 23, quota, None, Some(plan()));
+        let (report_off, trace_off) = run_workload(kind, workers, 23, quota, Some(0), Some(plan()));
+        assert_eq!(
+            report_on, report_off,
+            "faulted run diverged with the run cache off at workers={workers}"
+        );
+        assert_eq!(trace_on, trace_off);
+    }
+}
