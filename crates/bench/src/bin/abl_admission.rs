@@ -1,0 +1,194 @@
+//! Ablation — admission control and overload shedding under offered
+//! load and fault storms.
+//!
+//! Sweeps the [`QueryServer`](eram_core::QueryServer) over a grid of
+//! offered load (how many tenants contend for the same horizon) and
+//! device weather (clean, transient faults, latency-spike storms),
+//! and reports where each offered job landed: admitted-and-met,
+//! refused at admission, shed mid-batch, or failed. The table shows
+//! the robustness contract the serving layer adds on top of the
+//! paper's fixed-time engine: as load and faults climb, the
+//! refused/shed columns grow while **deadlines missed stays zero**.
+//!
+//! Usage: `abl_admission [--runs N] [--quota SECS] [--jsonl] [--json PATH]`
+//! (`--quota` overrides the per-batch deadline horizon; `--runs`
+//! repeats each cell with distinct seeds and sums the buckets.)
+
+use std::time::Duration;
+
+use eram_core::{Database, QueryServer, ServerJob, ServerOutcome};
+use eram_relalg::{CmpOp, Expr, Predicate};
+use eram_storage::{ColumnType, FaultPlan, Schema, Tuple, Value};
+
+mod common;
+
+/// One sweep cell: tenants contending for one deadline horizon under
+/// one kind of device weather.
+struct Cell {
+    label: &'static str,
+    tenants: usize,
+    transient: f64,
+    spike_rate: f64,
+}
+
+fn build_db(seed: u64) -> Database {
+    let mut db = Database::sim_default(seed);
+    let schema = Schema::new(vec![("k", ColumnType::Int), ("g", ColumnType::Int)]).padded_to(200);
+    db.load_relation(
+        "t",
+        schema,
+        (0..10_000).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 10)])),
+    )
+    .expect("workload relation loads");
+    db
+}
+
+/// The offered batch: `tenants` jobs with staggered deadlines inside
+/// `horizon`, descending value so shedding has a meaningful ordering.
+fn offered_jobs(tenants: usize, horizon: Duration) -> Vec<ServerJob> {
+    (0..tenants)
+        .map(|i| {
+            let frac = (i + 1) as f64 / tenants as f64;
+            let expr = Expr::relation("t").select(Predicate::col_cmp(1, CmpOp::Lt, 3 + i as i64));
+            ServerJob::count(
+                format!("tenant-{i}"),
+                expr,
+                Duration::from_secs_f64(horizon.as_secs_f64() * frac),
+            )
+            .with_desired_quota(Duration::from_secs_f64(2.0))
+            .with_value(1.0 / (1.0 + i as f64))
+        })
+        .collect()
+}
+
+fn run_cell(cell: &Cell, horizon: Duration, seed: u64) -> ServerOutcome {
+    let mut db = build_db(seed);
+    if cell.transient > 0.0 || cell.spike_rate > 0.0 {
+        db.inject_faults(
+            FaultPlan::new(seed ^ 0xAD01_5510)
+                .with_transient(cell.transient)
+                .with_spikes(cell.spike_rate, Duration::from_millis(500)),
+        );
+    }
+    QueryServer::new().run(&mut db, offered_jobs(cell.tenants, horizon))
+}
+
+fn main() {
+    let opts = common::Opts::parse("abl_admission");
+    let horizon = Duration::from_secs_f64(opts.quota.unwrap_or(12.0));
+    // Cap the per-cell repeat count: each run is a whole multi-job
+    // batch, not one trial, so the paper's 200-run default would
+    // dominate the suite's wall time for no extra signal.
+    let runs = opts.runs.clamp(1, 20);
+
+    let sweep = [
+        Cell {
+            label: "n=2 clean",
+            tenants: 2,
+            transient: 0.0,
+            spike_rate: 0.0,
+        },
+        Cell {
+            label: "n=4 clean",
+            tenants: 4,
+            transient: 0.0,
+            spike_rate: 0.0,
+        },
+        Cell {
+            label: "n=8 clean",
+            tenants: 8,
+            transient: 0.0,
+            spike_rate: 0.0,
+        },
+        Cell {
+            label: "n=16 clean",
+            tenants: 16,
+            transient: 0.0,
+            spike_rate: 0.0,
+        },
+        Cell {
+            label: "n=4 t=10%",
+            tenants: 4,
+            transient: 0.10,
+            spike_rate: 0.0,
+        },
+        Cell {
+            label: "n=8 t=10%",
+            tenants: 8,
+            transient: 0.10,
+            spike_rate: 0.0,
+        },
+        Cell {
+            label: "n=8 spikes=30%",
+            tenants: 8,
+            transient: 0.0,
+            spike_rate: 0.30,
+        },
+        Cell {
+            label: "n=16 t=5% spikes=30%",
+            tenants: 16,
+            transient: 0.05,
+            spike_rate: 0.30,
+        },
+    ];
+
+    let mut bench = eram_bench::BenchReport::new("abl_admission");
+    bench.config_kv("horizon_secs", horizon.as_secs_f64());
+    bench.config_kv("runs", runs as u64);
+
+    println!(
+        "Ablation — admission & shedding, horizon {:.1} s, {} runs/cell",
+        horizon.as_secs_f64(),
+        runs
+    );
+    println!(
+        "{:<22} {:>8} {:>9} {:>8} {:>6} {:>7} {:>5} {:>7}",
+        "cell", "offered", "admitted", "refused", "shed", "failed", "met", "missed"
+    );
+    for (i, cell) in sweep.iter().enumerate() {
+        let mut sums = [0u64; 7]; // offered admitted refused shed failed met missed
+        let mut walls = Vec::with_capacity(runs);
+        for run in 0..runs {
+            let seed = common::row_seed("abl-admission", (i * 1000 + run) as u64, 0.0);
+            let t0 = std::time::Instant::now();
+            let outcome = run_cell(cell, horizon, seed);
+            walls.push(t0.elapsed().as_secs_f64());
+            let s = outcome.stats;
+            for (slot, v) in sums.iter_mut().zip([
+                s.offered,
+                s.admitted,
+                s.refused,
+                s.shed,
+                s.failed,
+                s.deadlines_met,
+                s.deadlines_missed,
+            ]) {
+                *slot += v;
+            }
+        }
+        assert_eq!(
+            sums[6], 0,
+            "{}: an admitted job missed its deadline",
+            cell.label
+        );
+        println!(
+            "{:<22} {:>8} {:>9} {:>8} {:>6} {:>7} {:>5} {:>7}",
+            cell.label, sums[0], sums[1], sums[2], sums[3], sums[4], sums[5], sums[6]
+        );
+        bench.push_value(
+            cell.label,
+            serde_json::json!({
+                "offered": sums[0],
+                "admitted": sums[1],
+                "refused": sums[2],
+                "shed": sums[3],
+                "failed": sums[4],
+                "deadlines_met": sums[5],
+                "deadlines_missed": sums[6],
+            }),
+            &walls,
+            None,
+        );
+    }
+    common::write_bench(&opts, &bench);
+}

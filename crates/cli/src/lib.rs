@@ -9,10 +9,13 @@
 //!      [--quota SECS --query 'select[#1 < 5](orders)' [--agg count|sum:N|avg:N]]
 //! ```
 //!
-//! With `--query` the command runs once and exits; without it an
-//! interactive shell starts (`count <expr> within <secs>`,
-//! `sum <col> <expr> within <secs>`, `avg <col> <expr> within <secs>`,
-//! `exact <expr>`, `relations`, `help`, `quit`).
+//! With `--query` the command runs once and exits; with `--serve` a
+//! JSON batch of deadline-bound jobs is served through the
+//! admission-controlled [`QueryServer`] (see `README.md` §"Serving
+//! under load"); without either an interactive shell starts
+//! (`count <expr> within <secs>`, `sum <col> <expr> within <secs>`,
+//! `avg <col> <expr> within <secs>`, `exact <expr>`, `relations`,
+//! `help`, `quit`).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -21,10 +24,12 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use eram_core::{
-    AggregateFn, Database, MetricsSnapshot, ProfileSnapshot, Profiler, ReportHealth, Tracer,
+    AggregateFn, Database, MetricsSnapshot, ProfileSnapshot, Profiler, QueryServer, ReportHealth,
+    ServerJob, ServerOutcome, Tracer,
 };
 use eram_relalg::parse_expr;
 use eram_storage::{parse_schema_spec, DeviceProfile, FaultPlan};
+use serde::Deserialize;
 
 /// Which simulated device profile to run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -73,6 +78,17 @@ pub struct Cli {
     /// Probability a block site reads back corrupt (checksum
     /// mismatch).
     pub fault_corrupt: f64,
+    /// Probability a charged block read suffers an extra latency
+    /// spike.
+    pub fault_spike: f64,
+    /// Duration of one latency spike, in milliseconds (default
+    /// 1000 when `--fault-spike` is set without `--fault-spike-ms`).
+    pub fault_spike_ms: u64,
+    /// Serve a JSON batch of deadline-bound jobs from this file
+    /// through the admission-controlled query server.
+    pub serve: Option<PathBuf>,
+    /// Write the full `ServerOutcome` JSON here after `--serve`.
+    pub jobs_out: Option<PathBuf>,
     /// Write a clock-charged execution trace (JSONL) to this path
     /// after a one-shot query.
     pub trace: Option<PathBuf>,
@@ -112,9 +128,11 @@ fn err(msg: impl Into<String>) -> CliError {
 /// Usage text.
 pub const USAGE: &str = "usage: eram --load NAME=FILE.csv:COL:TYPE[,COL:TYPE...] \
 [--load ...] [--device sun|modern] [--cache BLOCKS] [--seed N] [--header] \
-[--fault-transient RATE] [--fault-corrupt RATE] [--fault-seed N] \
+[--fault-transient RATE] [--fault-corrupt RATE] [--fault-spike RATE] \
+[--fault-spike-ms MS] [--fault-seed N] \
 [--trace FILE] [--metrics] [--profile] [--workers N] [--run-cache-tuples N] \
-[--query EXPR --quota SECS [--agg count|sum:COL|avg:COL]]";
+[--query EXPR --quota SECS [--agg count|sum:COL|avg:COL]] \
+[--serve JOBS.json [--jobs-out FILE]]";
 
 impl Cli {
     /// Parses arguments (without the program name).
@@ -188,6 +206,25 @@ impl Cli {
                 "--fault-corrupt" => {
                     cli.fault_corrupt = parse_rate(args.next(), "--fault-corrupt")?;
                 }
+                "--fault-spike" => {
+                    cli.fault_spike = parse_rate(args.next(), "--fault-spike")?;
+                }
+                "--fault-spike-ms" => {
+                    cli.fault_spike_ms = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("--fault-spike-ms needs milliseconds"))?;
+                }
+                "--serve" => {
+                    cli.serve = Some(PathBuf::from(
+                        args.next().ok_or_else(|| err("--serve needs a path"))?,
+                    ));
+                }
+                "--jobs-out" => {
+                    cli.jobs_out = Some(PathBuf::from(
+                        args.next().ok_or_else(|| err("--jobs-out needs a path"))?,
+                    ));
+                }
                 "--trace" => {
                     cli.trace = Some(PathBuf::from(
                         args.next().ok_or_else(|| err("--trace needs a path"))?,
@@ -219,20 +256,33 @@ impl Cli {
         if cli.query.is_some() && cli.quota_secs.is_none() {
             return Err(err("--query requires --quota"));
         }
+        if cli.query.is_some() && cli.serve.is_some() {
+            return Err(err("--query and --serve are mutually exclusive"));
+        }
+        if cli.jobs_out.is_some() && cli.serve.is_none() {
+            return Err(err("--jobs-out requires --serve"));
+        }
         Ok(cli)
     }
 
     /// The fault plan the flags describe, or `None` when every rate
     /// is zero (clean device).
     pub fn fault_plan(&self) -> Option<FaultPlan> {
-        if self.fault_transient == 0.0 && self.fault_corrupt == 0.0 {
+        if self.fault_transient == 0.0 && self.fault_corrupt == 0.0 && self.fault_spike == 0.0 {
             return None;
         }
-        Some(
-            FaultPlan::new(self.fault_seed)
-                .with_transient(self.fault_transient)
-                .with_corruption(self.fault_corrupt),
-        )
+        let mut plan = FaultPlan::new(self.fault_seed)
+            .with_transient(self.fault_transient)
+            .with_corruption(self.fault_corrupt);
+        if self.fault_spike > 0.0 {
+            let spike_ms = if self.fault_spike_ms == 0 {
+                1000
+            } else {
+                self.fault_spike_ms
+            };
+            plan = plan.with_spikes(self.fault_spike, Duration::from_millis(spike_ms));
+        }
+        Some(plan)
     }
 }
 
@@ -305,9 +355,10 @@ pub fn build_database(cli: &Cli) -> Result<Database, CliError> {
     if let Some(plan) = cli.fault_plan() {
         db.inject_faults(plan);
         eprintln!(
-            "fault injection armed: transient {:.1}%, corrupt {:.1}% (seed {})",
+            "fault injection armed: transient {:.1}%, corrupt {:.1}%, spike {:.1}% (seed {})",
             100.0 * plan.transient_rate,
             100.0 * plan.corrupt_rate,
+            100.0 * plan.spike_rate,
             plan.seed,
         );
     }
@@ -424,6 +475,167 @@ pub fn run_one_shot(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
     if let Some(metrics) = &out.report.metrics {
         rendered.push('\n');
         rendered.push_str(&render_metrics(metrics));
+    }
+    Ok(rendered)
+}
+
+/// One job in a `--serve` batch file: a JSON array of these.
+///
+/// ```json
+/// [
+///   {"name": "dash", "expr": "select[#1 < 50](orders)", "deadline_secs": 5.0},
+///   {"name": "audit", "expr": "orders", "deadline_secs": 20.0,
+///    "min_quota_secs": 2.0, "desired_secs": 8.0, "value": 0.5, "agg": "sum:1"}
+/// ]
+/// ```
+#[derive(Debug, Clone, Deserialize)]
+pub struct JobSpec {
+    /// Label for reporting.
+    pub name: String,
+    /// The expression, in the `eram` parser syntax.
+    pub expr: String,
+    /// Absolute deadline in seconds, from batch start.
+    pub deadline_secs: f64,
+    /// Minimum useful quota in seconds (default: the engine's
+    /// documented 100 ms).
+    #[serde(default)]
+    pub min_quota_secs: Option<f64>,
+    /// Desired quota cap in seconds (default: the full deadline).
+    #[serde(default)]
+    pub desired_secs: Option<f64>,
+    /// Relative worth under overload shedding (default 1.0).
+    #[serde(default)]
+    pub value: Option<f64>,
+    /// Aggregate: `count` | `sum:COL` | `avg:COL` (default `count`).
+    #[serde(default)]
+    pub agg: Option<String>,
+}
+
+impl JobSpec {
+    /// Lowers the spec into a [`ServerJob`].
+    pub fn into_job(self) -> Result<ServerJob, CliError> {
+        let expr = parse_expr(&self.expr).map_err(|e| err(format!("job {}: {e}", self.name)))?;
+        let agg = match &self.agg {
+            None => AggregateFn::Count,
+            Some(text) => parse_agg(text)?,
+        };
+        for (field, v) in [
+            ("deadline_secs", Some(self.deadline_secs)),
+            ("min_quota_secs", self.min_quota_secs),
+            ("desired_secs", self.desired_secs),
+        ] {
+            if let Some(v) = v {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(err(format!(
+                        "job {}: {field} must be a non-negative number of seconds",
+                        self.name
+                    )));
+                }
+            }
+        }
+        let mut job = ServerJob::new(
+            self.name,
+            agg,
+            expr,
+            Duration::from_secs_f64(self.deadline_secs),
+        );
+        if let Some(secs) = self.min_quota_secs {
+            job = job.with_min_quota(Duration::from_secs_f64(secs));
+        }
+        if let Some(secs) = self.desired_secs {
+            job = job.with_desired_quota(Duration::from_secs_f64(secs));
+        }
+        if let Some(value) = self.value {
+            job = job.with_value(value);
+        }
+        Ok(job)
+    }
+}
+
+/// Renders a served batch as a fixed-width table plus the stats line.
+fn render_server(outcome: &ServerOutcome) -> String {
+    let mut out = format!(
+        "{:<12} {:>10} {:>10} {:>10} {:>12}  {}",
+        "job", "deadline", "granted", "finished", "estimate", "state"
+    );
+    for job in &outcome.jobs {
+        let estimate = job
+            .estimate
+            .map(|e| format!("{:.2}", e.estimate))
+            .unwrap_or_else(|| "-".into());
+        let state = match &job.state {
+            eram_core::JobState::Done => {
+                if job.met() {
+                    "done (met)".to_string()
+                } else {
+                    "done (LATE)".to_string()
+                }
+            }
+            eram_core::JobState::Refused { reason } => format!("refused: {reason}"),
+            eram_core::JobState::Failed { error } => format!("failed: {error}"),
+        };
+        out.push_str(&format!(
+            "\n{:<12} {:>10.2} {:>10.2} {:>10.2} {:>12}  {state}",
+            job.name,
+            job.deadline.as_secs_f64(),
+            job.granted_quota.as_secs_f64(),
+            job.finished_at.as_secs_f64(),
+            estimate,
+        ));
+    }
+    let s = &outcome.stats;
+    out.push_str(&format!(
+        "\noffered {} | admitted {} | refused {} | shed {} | failed {} | met {}/{} completed",
+        s.offered, s.admitted, s.refused, s.shed, s.failed, s.deadlines_met, s.completed,
+    ));
+    out
+}
+
+/// Serves the `--serve` batch through the admission-controlled
+/// [`QueryServer`] and renders a per-job table. With `--jobs-out
+/// FILE` the full [`ServerOutcome`] JSON is written to `FILE`; with
+/// `--trace FILE` the interleaved server + engine trace is written as
+/// JSONL.
+pub fn run_serve(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
+    let path = cli.serve.as_ref().expect("caller checked");
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("--serve {}: {e}", path.display())))?;
+    let specs: Vec<JobSpec> =
+        serde_json::from_str(&text).map_err(|e| err(format!("--serve {}: {e}", path.display())))?;
+    let jobs: Vec<ServerJob> = specs
+        .into_iter()
+        .map(JobSpec::into_job)
+        .collect::<Result<_, _>>()?;
+    let tracer = if cli.trace.is_some() {
+        Tracer::recording(db.disk().clock().clone())
+    } else {
+        Tracer::disabled()
+    };
+    let outcome = QueryServer::new()
+        .workers(cli.workers.max(1))
+        .metrics(cli.metrics)
+        .tracer(tracer.clone())
+        .run(db, jobs);
+    let mut rendered = render_server(&outcome);
+    if let Some(path) = &cli.jobs_out {
+        std::fs::write(path, outcome.to_json())
+            .map_err(|e| err(format!("--jobs-out {}: {e}", path.display())))?;
+        rendered.push_str(&format!("\noutcome: {}", path.display()));
+    }
+    if let Some(path) = &cli.trace {
+        std::fs::write(path, tracer.to_jsonl())
+            .map_err(|e| err(format!("--trace {}: {e}", path.display())))?;
+        rendered.push_str(&format!(
+            "\ntrace: {} records → {}",
+            tracer.record_count(),
+            path.display()
+        ));
+    }
+    if cli.metrics {
+        if let Some(metrics) = &outcome.metrics {
+            rendered.push('\n');
+            rendered.push_str(&render_metrics(metrics));
+        }
     }
     Ok(rendered)
 }
@@ -616,6 +828,107 @@ mod tests {
         assert!(Cli::parse(["--fault-transient", "1.5"]).is_err());
         assert!(Cli::parse(["--fault-corrupt", "-0.1"]).is_err());
         assert!(Cli::parse(["--fault-transient", "nan"]).is_err());
+    }
+
+    #[test]
+    fn parses_spike_and_serve_flags() {
+        let cli = Cli::parse([
+            "--fault-spike",
+            "0.2",
+            "--fault-spike-ms",
+            "500",
+            "--serve",
+            "jobs.json",
+            "--jobs-out",
+            "out.json",
+        ])
+        .unwrap();
+        assert_eq!(cli.fault_spike, 0.2);
+        assert_eq!(cli.fault_spike_ms, 500);
+        assert_eq!(cli.serve, Some(PathBuf::from("jobs.json")));
+        assert_eq!(cli.jobs_out, Some(PathBuf::from("out.json")));
+        let plan = cli.fault_plan().expect("spike rate is nonzero");
+        assert_eq!(plan.spike_rate, 0.2);
+        assert_eq!(plan.spike, Duration::from_millis(500));
+        // Spike alone arms a plan; the default spike is one second.
+        let plan = Cli::parse(["--fault-spike", "0.1"])
+            .unwrap()
+            .fault_plan()
+            .unwrap();
+        assert_eq!(plan.spike, Duration::from_millis(1000));
+        // Bad combinations are rejected at parse time.
+        assert!(Cli::parse(["--fault-spike", "2.0"]).is_err());
+        assert!(Cli::parse(["--jobs-out", "x.json"]).is_err()); // no --serve
+        assert!(Cli::parse(["--query", "r", "--quota", "1", "--serve", "jobs.json"]).is_err());
+    }
+
+    #[test]
+    fn serve_runs_a_batch_and_writes_the_outcome() {
+        let rows: String = (0..512).map(|i| format!("{i},{}\n", i % 100)).collect();
+        let csv = write_csv("served", &rows);
+        let jobs_path =
+            std::env::temp_dir().join(format!("eram-cli-jobs-{}.json", std::process::id()));
+        let out_path =
+            std::env::temp_dir().join(format!("eram-cli-out-{}.json", std::process::id()));
+        std::fs::write(
+            &jobs_path,
+            r#"[
+                {"name": "dash", "expr": "select[#1 < 50](t)", "deadline_secs": 8.0},
+                {"name": "tiny", "expr": "t", "deadline_secs": 0.05},
+                {"name": "audit", "expr": "t", "deadline_secs": 25.0,
+                 "desired_secs": 5.0, "value": 0.5, "agg": "sum:1"}
+            ]"#,
+        )
+        .unwrap();
+        let cli = Cli::parse([
+            "--load".to_string(),
+            format!("t={}:k:int,v:int", csv.display()),
+            "--serve".to_string(),
+            jobs_path.display().to_string(),
+            "--jobs-out".to_string(),
+            out_path.display().to_string(),
+        ])
+        .unwrap();
+        let mut db = build_database(&cli).unwrap();
+        let rendered = run_serve(&mut db, &cli).unwrap();
+        assert!(rendered.contains("done (met)"), "{rendered}");
+        assert!(rendered.contains("refused: infeasible"), "{rendered}");
+        assert!(rendered.contains("offered 3 | admitted 2"), "{rendered}");
+        let outcome: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(outcome["stats"]["offered"], 3);
+        assert_eq!(outcome["stats"]["refused"], 1);
+        assert_eq!(outcome["jobs"].as_array().unwrap().len(), 3);
+        let _ = std::fs::remove_file(csv);
+        let _ = std::fs::remove_file(jobs_path);
+        let _ = std::fs::remove_file(out_path);
+    }
+
+    #[test]
+    fn job_spec_validation_rejects_bad_fields() {
+        let spec: JobSpec = serde_json::from_str(
+            r#"{"name": "x", "expr": "not a query ((", "deadline_secs": 1.0}"#,
+        )
+        .unwrap();
+        assert!(spec.into_job().is_err());
+        let spec: JobSpec =
+            serde_json::from_str(r#"{"name": "x", "expr": "t", "deadline_secs": -1.0}"#).unwrap();
+        assert!(spec.into_job().is_err());
+        let spec: JobSpec = serde_json::from_str(
+            r#"{"name": "x", "expr": "t", "deadline_secs": 1.0, "agg": "median:1"}"#,
+        )
+        .unwrap();
+        assert!(spec.into_job().is_err());
+        let spec: JobSpec = serde_json::from_str(
+            r#"{"name": "x", "expr": "t", "deadline_secs": 5.0,
+                "min_quota_secs": 0.5, "desired_secs": 2.0, "value": 3.0, "agg": "avg:1"}"#,
+        )
+        .unwrap();
+        let job = spec.into_job().unwrap();
+        assert_eq!(job.min_quota, Duration::from_secs_f64(0.5));
+        assert_eq!(job.desired_quota, Duration::from_secs(2));
+        assert_eq!(job.value, 3.0);
+        assert_eq!(job.agg, AggregateFn::Avg { column: 1 });
     }
 
     #[test]

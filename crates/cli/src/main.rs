@@ -3,7 +3,7 @@
 
 use std::io::{BufRead, Write};
 
-use eram_cli::{build_database, dispatch, run_one_shot, Cli};
+use eram_cli::{build_database, dispatch, run_one_shot, run_serve, Cli};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +24,17 @@ fn main() {
 
     if cli.query.is_some() {
         match run_one_shot(&mut db, &cli) {
+            Ok(rendered) => println!("{rendered}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if cli.serve.is_some() {
+        match run_serve(&mut db, &cli) {
             Ok(rendered) => println!("{rendered}"),
             Err(e) => {
                 eprintln!("{e}");

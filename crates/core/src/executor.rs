@@ -771,6 +771,7 @@ pub fn execute_aggregate(
         retries: health.retries,
         blocks_lost: health.blocks_lost,
         degraded: health.blocks_lost > 0,
+        refusal: None,
     };
     let blocks_drawn: u64 = trees.iter().map(PhysTree::blocks_drawn).sum();
     let metrics = baseline.map(|b| metrics_snapshot(disk, b, &stages, &health, blocks_drawn));

@@ -72,6 +72,7 @@ pub mod report;
 pub mod retry;
 pub mod scheduler;
 pub mod seltrack;
+pub mod server;
 pub mod session;
 pub mod stopping;
 pub mod strategy;
@@ -91,9 +92,12 @@ pub use ops::{
     Fulfillment, MemoryMode, PlanOptions, StageError, StageHealth, DEFAULT_RUN_CACHE_TUPLES,
 };
 pub use parallel::map_ordered;
-pub use report::{ExecutionReport, ReportHealth, StageReport};
+pub use report::{ExecutionReport, RefusalReason, ReportHealth, StageReport};
 pub use retry::RetryPolicy;
-pub use scheduler::{EdfScheduler, JobOutcome, JobStatus, QueryJob};
+pub use scheduler::{EdfScheduler, JobOutcome, JobStatus, QueryJob, DEFAULT_MIN_QUOTA};
+pub use server::{
+    JobReport, JobState, QueryServer, ServerConfig, ServerJob, ServerOutcome, ServerStats,
+};
 pub use session::{CountQuery, Database, QueryConfig, TimedCount};
 pub use stopping::StoppingCriterion;
 pub use strategy::{

@@ -52,9 +52,15 @@ mod tracer;
 
 /// Version stamped on every observability artifact this layer emits:
 /// the JSONL trace header, [`MetricsSnapshot`], [`ProfileSnapshot`],
-/// [`ExecutionReport`](crate::ExecutionReport) JSON, and the bench
-/// suite's `BENCH_*.json` files. Bump it whenever any of those
-/// schemas changes shape.
+/// [`ExecutionReport`](crate::ExecutionReport) JSON, the server's
+/// [`ServerOutcome`](crate::server::ServerOutcome) JSON, and the
+/// bench suite's `BENCH_*.json` files. Bump it whenever any of those
+/// schemas changes shape. Additive extensions — new event names, new
+/// optional fields with serde defaults — do not bump it: the serving
+/// layer's `server.*` trace events, `server.*` metrics counters, and
+/// the optional `refusal` field on
+/// [`ReportHealth`](crate::ReportHealth) all ride schema v1, which
+/// existing readers tolerate by construction.
 pub const SCHEMA_VERSION: u32 = 1;
 
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};

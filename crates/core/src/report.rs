@@ -35,6 +35,47 @@ pub struct StageReport {
     pub estimate: CountEstimate,
 }
 
+/// Why an admission-controlled job was denied an answer.
+///
+/// The server (see [`crate::server`]) never lets a job silently blow
+/// its deadline: a job that gets no estimate carries exactly one of
+/// these so the caller can tell "your request was impossible" from
+/// "the system was busy" from "a fault storm forced triage".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RefusalReason {
+    /// The job could not meet its minimum quota even on an idle
+    /// server: its own deadline (times the scheduling margin) or the
+    /// QCOST floor of its expression is already past the minimum.
+    /// Resubmitting under load changes nothing.
+    Infeasible,
+    /// The job is feasible in isolation but the admitted load leaves
+    /// it less than its minimum quota. Resubmitting later may
+    /// succeed.
+    Overloaded,
+    /// The job was admitted but evicted mid-batch when observed costs
+    /// inflated past the admission-time predictions (fault storms,
+    /// overruns) and keeping it would have cascaded deadline misses.
+    Shed,
+}
+
+impl RefusalReason {
+    /// Stable lowercase label (matches the serde wire form).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RefusalReason::Infeasible => "infeasible",
+            RefusalReason::Overloaded => "overloaded",
+            RefusalReason::Shed => "shed",
+        }
+    }
+}
+
+impl std::fmt::Display for RefusalReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Fault-tolerance accounting for one execution: what went wrong at
 /// the storage layer and how the engine absorbed it.
 ///
@@ -61,6 +102,23 @@ pub struct ReportHealth {
     /// reduced sample.
     #[serde(default)]
     pub degraded: bool,
+    /// Set when admission control denied the job an answer (refused
+    /// at admission or shed mid-batch); `None` for every executed
+    /// query. `skip_serializing_if` keeps pre-existing report JSON
+    /// byte-identical for executed queries.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub refusal: Option<RefusalReason>,
+}
+
+impl ReportHealth {
+    /// The health object of a job that was never run: clean counters
+    /// plus the structured reason it got no answer.
+    pub fn refused(reason: RefusalReason) -> Self {
+        ReportHealth {
+            refusal: Some(reason),
+            ..ReportHealth::default()
+        }
+    }
 }
 
 /// A complete account of one time-constrained query execution.
@@ -321,6 +379,7 @@ mod tests {
                 retries: 2,
                 blocks_lost: 1,
                 degraded: true,
+                refusal: None,
             },
             metrics: None,
             profile: None,
@@ -349,6 +408,22 @@ mod tests {
         assert!(!json.contains("metrics"));
         let back: ExecutionReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn refusal_rides_health_and_stays_off_the_wire_when_none() {
+        // Executed queries keep their pre-refusal JSON shape…
+        let clean = ReportHealth::default();
+        let json = serde_json::to_string(&clean).unwrap();
+        assert!(!json.contains("refusal"), "{json}");
+        // …while a denied job carries the structured reason.
+        let refused = ReportHealth::refused(RefusalReason::Overloaded);
+        let json = serde_json::to_string(&refused).unwrap();
+        assert!(json.contains(r#""refusal":"overloaded""#), "{json}");
+        let back: ReportHealth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, refused);
+        assert_eq!(RefusalReason::Shed.to_string(), "shed");
+        assert_eq!(RefusalReason::Infeasible.as_str(), "infeasible");
     }
 
     #[test]

@@ -164,6 +164,13 @@ impl Database {
         self.default_cost_model = model;
     }
 
+    /// The initial cost model handed to new queries — the same
+    /// coefficients [`crate::server::QueryServer`] uses for
+    /// QCOST-predictive admission unless its config overrides them.
+    pub fn default_cost_model(&self) -> &CostModel {
+        &self.default_cost_model
+    }
+
     /// A simulated database whose blocks live in real files under
     /// `dir` (for data sets larger than RAM). The directory must
     /// exist.

@@ -40,6 +40,8 @@ run abl_clustering --runs "$RUNS"
 run abl_faults --runs "$RUNS"
 run abl_convergence
 run abl_parallel --runs 50
+# Whole-batch cells: the binary clamps runs to 20 internally.
+run abl_admission --runs 10
 
 # Fast CI baselines: MUST use the same flags as the bench-regression
 # job in .github/workflows/ci.yml (bench-diff compares the config
@@ -51,5 +53,7 @@ cargo run --release -p eram-bench --bin abl_faults -- \
     --runs 20 --json results/ci/BENCH_abl_faults.json > /dev/null
 cargo run --release -p eram-bench --bin abl_parallel -- \
     --runs 5 --json results/ci/BENCH_abl_parallel.json > /dev/null
+cargo run --release -p eram-bench --bin abl_admission -- \
+    --runs 5 --json results/ci/BENCH_abl_admission.json > /dev/null
 
 echo "done — review git diff under results/ and commit" >&2

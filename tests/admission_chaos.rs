@@ -1,0 +1,332 @@
+//! Chaos testing for the multi-tenant query server: under fault
+//! storms and overload, every offered job must end in exactly one of
+//! three states — **answered by its deadline**, **refused with a
+//! structured [`RefusalReason`]**, or **shed with a structured
+//! reason** — never a silent deadline blowout. On top of that, a
+//! seeded multi-job run must replay **byte-identically** (outcome
+//! JSON and trace JSONL both) at any worker count and across
+//! repeated runs.
+//!
+//! 1. **Storm sweeps** — transient/corruption/spike storms at swept
+//!    rates; the acceptance invariant holds in every cell.
+//! 2. **Refusal taxonomy** — impossible deadlines are `Infeasible`,
+//!    load-squeezed jobs are `Overloaded`, mid-batch evictions are
+//!    `Shed`, and each reason rides both `JobState` and
+//!    `ReportHealth`.
+//! 3. **Fault isolation** — a job over a corrupt region degrades
+//!    alone; a broken expression fails alone at admission.
+//! 4. **CI matrix hook** — one storm batch at `ERAM_WORKERS`
+//!    (default 4) against the serial reference.
+//! 5. **Property** — arbitrary seeds, storms, and worker counts
+//!    replay identically (proptest).
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use eram_core::{Database, JobState, QueryServer, RefusalReason, ServerJob, ServerOutcome, Tracer};
+use eram_relalg::{CmpOp, Expr, Predicate};
+use eram_storage::{ColumnType, FaultPlan, Schema, Tuple, Value};
+
+fn build_db(seed: u64) -> Database {
+    let mut db = Database::sim_default(seed);
+    let schema = Schema::new(vec![("k", ColumnType::Int), ("g", ColumnType::Int)]).padded_to(200);
+    db.load_relation(
+        "t",
+        schema,
+        (0..10_000).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 10)])),
+    )
+    .unwrap();
+    db
+}
+
+fn sel(k: i64) -> Expr {
+    Expr::relation("t").select(Predicate::col_cmp(1, CmpOp::Lt, k))
+}
+
+/// A mixed-deadline, mixed-value batch that exercises admission,
+/// execution, and (under storms) shedding.
+fn storm_batch() -> Vec<ServerJob> {
+    vec![
+        ServerJob::count("fast", sel(3), Duration::from_secs(4)),
+        ServerJob::count("mid", sel(5), Duration::from_secs(10)).with_value(2.0),
+        ServerJob::count("slow", sel(7), Duration::from_secs(18)).with_value(0.5),
+        ServerJob::count("tail", sel(9), Duration::from_secs(26))
+            .with_desired_quota(Duration::from_secs(4)),
+    ]
+}
+
+/// The acceptance invariant, checked in every chaos cell.
+fn assert_no_silent_blowouts(outcome: &ServerOutcome, cell: &str) {
+    for job in &outcome.jobs {
+        match &job.state {
+            JobState::Done => assert!(
+                job.met(),
+                "[{cell}] {} finished {:?} past deadline {:?}",
+                job.name,
+                job.finished_at,
+                job.deadline
+            ),
+            JobState::Refused { reason } => {
+                assert_eq!(
+                    job.health.refusal,
+                    Some(*reason),
+                    "[{cell}] {}: reason must ride ReportHealth too",
+                    job.name
+                );
+                assert_eq!(job.granted_quota, Duration::ZERO);
+                assert!(job.estimate.is_none());
+            }
+            JobState::Failed { error } => {
+                assert!(!error.is_empty(), "[{cell}] {}: empty error", job.name)
+            }
+        }
+    }
+    let s = &outcome.stats;
+    assert_eq!(s.deadlines_missed, 0, "[{cell}] silent deadline blowout");
+    assert_eq!(s.offered, outcome.jobs.len() as u64);
+    assert_eq!(
+        s.offered,
+        s.admitted + s.refused + s.failed_at_admission(outcome)
+    );
+    assert_eq!(s.admitted, s.completed + s.shed + s.failed_mid_run(outcome));
+}
+
+/// Split helpers: stats only track total failures, so recover the
+/// admission/mid-run split from the reports (admission failures never
+/// got a quota and never started).
+trait FailureSplit {
+    fn failed_at_admission(&self, outcome: &ServerOutcome) -> u64;
+    fn failed_mid_run(&self, outcome: &ServerOutcome) -> u64;
+}
+
+impl FailureSplit for eram_core::ServerStats {
+    fn failed_at_admission(&self, outcome: &ServerOutcome) -> u64 {
+        outcome
+            .jobs
+            .iter()
+            .filter(|j| {
+                matches!(j.state, JobState::Failed { .. }) && j.granted_quota == Duration::ZERO
+            })
+            .count() as u64
+    }
+    fn failed_mid_run(&self, outcome: &ServerOutcome) -> u64 {
+        outcome
+            .jobs
+            .iter()
+            .filter(|j| {
+                matches!(j.state, JobState::Failed { .. }) && j.granted_quota > Duration::ZERO
+            })
+            .count() as u64
+    }
+}
+
+#[test]
+fn storm_sweep_never_misses_an_admitted_deadline() {
+    // (label, transient, corrupt, spike rate)
+    let sweep = [
+        ("clean", 0.0, 0.0, 0.0),
+        ("t=5%", 0.05, 0.0, 0.0),
+        ("t=15%", 0.15, 0.0, 0.0),
+        ("c=5%", 0.0, 0.05, 0.0),
+        ("t=10% c=5%", 0.10, 0.05, 0.0),
+        ("spikes=50%", 0.0, 0.0, 0.50),
+        ("t=10% c=5% spikes=30%", 0.10, 0.05, 0.30),
+    ];
+    for (i, (label, transient, corrupt, spikes)) in sweep.iter().enumerate() {
+        let mut db = build_db(100 + i as u64);
+        if *transient > 0.0 || *corrupt > 0.0 || *spikes > 0.0 {
+            db.inject_faults(
+                FaultPlan::new(31 + i as u64)
+                    .with_transient(*transient)
+                    .with_corruption(*corrupt)
+                    .with_spikes(*spikes, Duration::from_millis(500)),
+            );
+        }
+        let outcome = QueryServer::new().run(&mut db, storm_batch());
+        assert_no_silent_blowouts(&outcome, label);
+        // The batch is sized so the clean cell admits everything.
+        if *transient == 0.0 && *corrupt == 0.0 && *spikes == 0.0 {
+            assert_eq!(outcome.stats.admitted, 4, "[{label}]");
+            assert_eq!(outcome.stats.deadlines_met, 4, "[{label}]");
+        }
+    }
+}
+
+#[test]
+fn refusal_taxonomy_is_structured_and_complete() {
+    let mut db = build_db(7);
+    let jobs = vec![
+        // Cannot fit even alone: 50 ms deadline vs the 100 ms
+        // documented minimum.
+        ServerJob::count("impossible", sel(5), Duration::from_millis(50)),
+        // Fits alone, but the two greedy admitted jobs squeeze it out.
+        ServerJob::count("greedy-1", sel(5), Duration::from_secs(6))
+            .with_min_quota(Duration::from_secs(3)),
+        ServerJob::count("greedy-2", sel(5), Duration::from_secs(7))
+            .with_min_quota(Duration::from_secs(3)),
+        ServerJob::count("squeezed", sel(5), Duration::from_secs(8))
+            .with_min_quota(Duration::from_secs(3)),
+    ];
+    let outcome = QueryServer::new().run(&mut db, jobs);
+    let by_name = |name: &str| outcome.jobs.iter().find(|j| j.name == name).unwrap();
+    assert_eq!(
+        by_name("impossible").state,
+        JobState::Refused {
+            reason: RefusalReason::Infeasible
+        }
+    );
+    assert_eq!(
+        by_name("squeezed").state,
+        JobState::Refused {
+            reason: RefusalReason::Overloaded
+        }
+    );
+    // The reasons survive a JSON round trip (the wire format a client
+    // would branch on).
+    let json = outcome.to_json();
+    assert!(json.contains("\"infeasible\""), "{json}");
+    assert!(json.contains("\"overloaded\""), "{json}");
+    let back: ServerOutcome = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, outcome);
+    assert_no_silent_blowouts(&outcome, "taxonomy");
+}
+
+#[test]
+fn spike_storm_sheds_with_structured_reason() {
+    let mut db = build_db(23);
+    // Every read is spiked by a full second once jobs run: the two
+    // half-second-quota jobs overshoot ~2.5x, the refit learns it,
+    // and the replan sheds the low-value tail job whose 1.2 s
+    // minimum no longer fits its deflated grant.
+    db.inject_faults(FaultPlan::new(9).with_spikes(1.0, Duration::from_secs(1)));
+    let jobs = vec![
+        ServerJob::count("a", sel(5), Duration::from_secs(2))
+            .with_desired_quota(Duration::from_millis(500))
+            .with_min_quota(Duration::from_millis(100)),
+        ServerJob::count("b", sel(5), Duration::from_secs(4))
+            .with_desired_quota(Duration::from_millis(500))
+            .with_min_quota(Duration::from_millis(100)),
+        ServerJob::count("cheap", sel(5), Duration::from_secs_f64(4.4))
+            .with_min_quota(Duration::from_millis(1200))
+            .with_value(0.1),
+    ];
+    let outcome = QueryServer::new().run(&mut db, jobs);
+    assert_eq!(
+        outcome.stats.admitted, 3,
+        "the storm is invisible at admission"
+    );
+    let cheap = outcome.jobs.iter().find(|j| j.name == "cheap").unwrap();
+    assert!(
+        cheap.state.is_shed(),
+        "expected shed, got {:?}",
+        cheap.state
+    );
+    assert_eq!(cheap.health.refusal, Some(RefusalReason::Shed));
+    assert_no_silent_blowouts(&outcome, "spike-shed");
+}
+
+#[test]
+fn corrupt_blocks_degrade_one_tenant_not_the_batch() {
+    let mut db = build_db(13);
+    db.inject_faults(FaultPlan::new(5).with_corruption(0.06));
+    let outcome = QueryServer::new().run(&mut db, storm_batch());
+    assert_no_silent_blowouts(&outcome, "corruption");
+    for job in &outcome.jobs {
+        assert!(job.state.is_done(), "{}: {:?}", job.name, job.state);
+        // Degradation is per-job accounting: exactly the jobs that
+        // lost blocks are flagged, and none of them lost the batch.
+        assert_eq!(
+            job.health.degraded,
+            job.health.blocks_lost > 0,
+            "{}",
+            job.name
+        );
+    }
+    let report = outcome
+        .jobs
+        .iter()
+        .map(|j| &j.health)
+        .fold((0, 0), |(f, l), h| (f + h.faults_seen, l + h.blocks_lost));
+    assert!(report.0 > 0, "the storm must have been observed somewhere");
+}
+
+#[test]
+fn broken_expression_fails_alone_without_burning_quota() {
+    let mut db = build_db(37);
+    let mut jobs = storm_batch();
+    jobs.push(ServerJob::count(
+        "broken",
+        Expr::relation("no_such_relation"),
+        Duration::from_secs(9),
+    ));
+    let outcome = QueryServer::new().run(&mut db, jobs);
+    let broken = outcome.jobs.iter().find(|j| j.name == "broken").unwrap();
+    assert!(matches!(broken.state, JobState::Failed { .. }));
+    assert_eq!(broken.granted_quota, Duration::ZERO, "caught at admission");
+    assert_eq!(outcome.stats.failed, 1);
+    assert_eq!(
+        outcome.stats.deadlines_met, 4,
+        "the other four still answer"
+    );
+    assert_no_silent_blowouts(&outcome, "broken-expr");
+}
+
+/// Runs one storm batch at the given worker count and returns the
+/// replay artifacts (outcome JSON + trace JSONL).
+fn run_storm(seed: u64, transient: f64, spikes: f64, workers: usize) -> (String, String) {
+    let mut db = build_db(seed);
+    if transient > 0.0 || spikes > 0.0 {
+        db.inject_faults(
+            FaultPlan::new(seed ^ 0xC4A0)
+                .with_transient(transient)
+                .with_spikes(spikes, Duration::from_millis(400)),
+        );
+    }
+    let tracer = Tracer::recording(db.disk().clock().clone());
+    let outcome = QueryServer::new()
+        .workers(workers)
+        .metrics(true)
+        .tracer(tracer.clone())
+        .run(&mut db, storm_batch());
+    (outcome.to_json(), tracer.to_jsonl())
+}
+
+#[test]
+fn ci_selected_worker_count_matches_the_serial_reference() {
+    let workers: usize = std::env::var("ERAM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let (json_1, trace_1) = run_storm(51, 0.08, 0.2, 1);
+    let (json_w, trace_w) = run_storm(51, 0.08, 0.2, workers);
+    assert_eq!(json_1, json_w, "workers={workers} (from ERAM_WORKERS)");
+    assert_eq!(trace_1, trace_w, "workers={workers} (from ERAM_WORKERS)");
+    assert!(!trace_1.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any seeded storm batch replays byte-identically: across worker
+    /// counts and across repeated runs.
+    #[test]
+    fn any_storm_batch_replays_byte_identically(
+        seed in any::<u64>(),
+        transient in 0.0f64..0.15,
+        spikes in 0.0f64..0.4,
+        workers in 2usize..=8,
+    ) {
+        let (json_1, trace_1) = run_storm(seed, transient, spikes, 1);
+        let (json_w, trace_w) = run_storm(seed, transient, spikes, workers);
+        prop_assert_eq!(&json_1, &json_w, "workers={}", workers);
+        prop_assert_eq!(&trace_1, &trace_w, "workers={}", workers);
+        // Repetition at the same worker count is also identical.
+        let (json_r, trace_r) = run_storm(seed, transient, spikes, 1);
+        prop_assert_eq!(&json_1, &json_r);
+        prop_assert_eq!(&trace_1, &trace_r);
+        // And the invariant holds for whatever the storm produced.
+        let outcome: ServerOutcome = serde_json::from_str(&json_1).unwrap();
+        assert_no_silent_blowouts(&outcome, "proptest");
+    }
+}

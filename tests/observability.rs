@@ -297,6 +297,7 @@ fn report_health_serde_round_trips_with_partial_defaults() {
         retries: 2,
         blocks_lost: 1,
         degraded: true,
+        refusal: None,
     };
     let json = serde_json::to_string(&h).unwrap();
     let back: ReportHealth = serde_json::from_str(&json).unwrap();
