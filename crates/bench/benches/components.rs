@@ -123,9 +123,9 @@ fn bench_expr_parser(c: &mut Criterion) {
 
 fn bench_block_cache(c: &mut Criterion) {
     c.bench_function("block_cache_hit", |b| {
-        let mut cache = BlockCache::new(1_024);
+        let cache = BlockCache::new(1_024);
         for i in 0..1_024u64 {
-            cache.put(0, i, Block::zeroed(1_024));
+            cache.put(0, i, Block::zeroed(1_024).into());
         }
         let mut i = 0u64;
         b.iter(|| {

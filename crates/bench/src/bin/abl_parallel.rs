@@ -42,7 +42,7 @@ fn main() {
     bench.config_kv("d_beta", d_beta);
     bench.config_kv("output_tuples", output_tuples);
 
-    let mut rows = Vec::new();
+    let mut rows: Vec<PaperRow> = Vec::new();
     let mut walls: Vec<(usize, f64)> = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let mut cfg = TrialConfig::paper(WorkloadKind::Join { output_tuples }, quota, d_beta);

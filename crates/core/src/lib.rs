@@ -77,7 +77,7 @@ pub mod session;
 pub mod stopping;
 pub mod strategy;
 
-pub use aggregate::AggregateFn;
+pub use aggregate::{AggregateFn, GroupSnapshot, GroupState, GroupedAccumulator, TermValues};
 pub use costs::{CostCoeff, CostModel};
 pub use executor::{
     execute_aggregate, execute_count, term_estimate, term_estimate_with, EngineError, ExecOutcome,
@@ -92,7 +92,7 @@ pub use ops::{
     Fulfillment, MemoryMode, PlanOptions, StageError, StageHealth, DEFAULT_RUN_CACHE_TUPLES,
 };
 pub use parallel::map_ordered;
-pub use report::{ExecutionReport, RefusalReason, ReportHealth, StageReport};
+pub use report::{ExecutionReport, GroupReport, RefusalReason, ReportHealth, StageReport};
 pub use retry::RetryPolicy;
 pub use scheduler::{EdfScheduler, JobOutcome, JobStatus, QueryJob, DEFAULT_MIN_QUOTA};
 pub use server::{

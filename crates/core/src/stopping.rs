@@ -38,6 +38,21 @@ pub enum StoppingCriterion {
         /// Confidence level of the interval, e.g. `0.95`.
         confidence: f64,
     },
+    /// Per-group precision for GROUP BY queries: a group whose CI
+    /// half-width falls below `target` × estimate *freezes* (stops
+    /// drawing, keeping its snapshot), and the loop stops early only
+    /// once every group is frozen. Groups with fewer than
+    /// `min_tuples` observations never freeze — they fall back to
+    /// exact evaluation at the census. Ignored by non-grouped
+    /// aggregates.
+    GroupErrorBound {
+        /// Relative half-width target per group, e.g. `0.1` for ±10 %.
+        target: f64,
+        /// Confidence level of the per-group intervals, e.g. `0.95`.
+        confidence: f64,
+        /// Minimum absorbed tuples before a group may freeze.
+        min_tuples: u64,
+    },
     /// Stop when the estimate changed by less than `epsilon`
     /// (relative) for `stages` consecutive stages.
     NoImprovement {
@@ -84,6 +99,27 @@ impl StoppingCriterion {
         }
     }
 
+    /// The per-group precision bound `(target, confidence,
+    /// min_tuples)`, if any member declares one. The executor
+    /// evaluates it against the [`GroupedAccumulator`] — unlike the
+    /// scalar criteria it cannot be judged from the composite
+    /// estimate history alone.
+    ///
+    /// [`GroupedAccumulator`]: crate::aggregate::GroupedAccumulator
+    pub fn group_error_bound(&self) -> Option<(f64, f64, u64)> {
+        match self {
+            StoppingCriterion::GroupErrorBound {
+                target,
+                confidence,
+                min_tuples,
+            } => Some((*target, *confidence, *min_tuples)),
+            StoppingCriterion::Combined(members) => {
+                members.iter().find_map(Self::group_error_bound)
+            }
+            _ => None,
+        }
+    }
+
     /// The value of an answer delivered at `t` under a linear decay
     /// from full value at `quota` to zero at `zero_value_at`.
     pub fn completion_value(quota: Duration, zero_value_at: Duration, t: Duration) -> f64 {
@@ -106,6 +142,9 @@ impl StoppingCriterion {
             StoppingCriterion::HardDeadline
             | StoppingCriterion::SoftDeadline
             | StoppingCriterion::ValueFunction { .. } => false,
+            // Judged by the executor against per-group state, not the
+            // composite estimate history.
+            StoppingCriterion::GroupErrorBound { .. } => false,
             StoppingCriterion::ErrorBound { target, confidence } => history
                 .last()
                 .is_some_and(|e| e.relative_half_width(*confidence) <= *target),
@@ -245,6 +284,25 @@ mod tests {
         ]);
         assert_eq!(combined.value_function(), Some(Duration::from_secs(20)));
         assert_eq!(StoppingCriterion::HardDeadline.value_function(), None);
+    }
+
+    #[test]
+    fn group_error_bound_discovery() {
+        let g = StoppingCriterion::GroupErrorBound {
+            target: 0.1,
+            confidence: 0.95,
+            min_tuples: 8,
+        };
+        assert_eq!(g.group_error_bound(), Some((0.1, 0.95, 8)));
+        assert!(!g.is_hard());
+        // Never satisfied from the composite history — the executor
+        // judges it from per-group state.
+        assert!(!g.precision_satisfied(&[est(1000.0, 1.0)]));
+        let combined =
+            StoppingCriterion::Combined(vec![StoppingCriterion::HardDeadline, g.clone()]);
+        assert!(combined.is_hard());
+        assert_eq!(combined.group_error_bound(), Some((0.1, 0.95, 8)));
+        assert_eq!(StoppingCriterion::HardDeadline.group_error_bound(), None);
     }
 
     #[test]

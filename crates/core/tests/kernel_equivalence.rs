@@ -80,9 +80,10 @@ proptest! {
         let keys = sort_run(&mut sorted, &spec);
         prop_assert_eq!(&sorted, &reference, "stable key order must be preserved");
         for (i, t) in sorted.iter().enumerate() {
+            let expected = spec.extract(t);
             prop_assert_eq!(
                 keys.key_at(&sorted, i),
-                spec.extract(t).values(),
+                expected.values(),
                 "key column misaligned at {}", i
             );
         }

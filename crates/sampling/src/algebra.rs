@@ -1,0 +1,463 @@
+//! The estimator algebra: unbiased aggregate estimators as
+//! composable values.
+//!
+//! [HoOT 88] builds each of its COUNT estimators from the same three
+//! ingredients — a point estimate, a second moment (variance), and a
+//! normal-theory confidence interval — and composes them through
+//! sampling operators (SRS of points, cluster sampling of space
+//! blocks, Goodman's correction for projections) and the linear
+//! inclusion–exclusion rewrite. This module names that structure: an
+//! [`AggregateEstimator`] carries `(estimate, second moment, CI)` and
+//! every concrete estimator in the workspace is one of its instances:
+//!
+//! * [`SrsCount`] — `û(E) = N·(y/m)`, SRS of points;
+//! * [`ClusterCount`] — `Ŷᵦ(E) = B·(Σyᵢ/b)`, cluster sampling of
+//!   space blocks;
+//! * [`DistinctCount`] — Goodman/Chao1/jackknife over sampled group
+//!   occupancies (projection roots);
+//! * [`SrsSum`] — `SUM(col) ≈ N·z̄` over per-point contributions;
+//! * [`RatioAvg`] — `AVG(col)` as the sample mean of qualifying
+//!   tuples (a ratio estimator — only valid on a trivial rewrite);
+//! * [`Linear`] — `Σᵢ cᵢ·fᵢ(Eᵢ)`, the inclusion–exclusion
+//!   composition with `Var = Σᵢ cᵢ²·Varᵢ` under the paper's
+//!   independent-terms simplification.
+//!
+//! Snapshots are materialized as [`CountEstimate`] — the currency the
+//! engine's stopping criteria, reports, and traces already speak.
+//! Every instance reproduces the exact f64 arithmetic of the code it
+//! re-expresses, so seeded runs are byte-identical across the
+//! refactor.
+
+use crate::distinct::DistinctEstimator;
+use crate::estimator::CountEstimate;
+use crate::srs::srs_proportion_variance;
+use crate::stats::RunningMoments;
+
+/// An unbiased aggregate estimator: a value that can, at any point of
+/// a sampling plan, produce its current estimate, variance (second
+/// central moment), and confidence interval.
+///
+/// Implementations are cheap views over accumulated sampling state —
+/// constructing one allocates nothing and [`snapshot`](Self::snapshot)
+/// is pure, so estimators compose freely (see [`Linear`]).
+pub trait AggregateEstimator {
+    /// Materializes the current state as a [`CountEstimate`]
+    /// (estimate, variance, sample accounting for CI clamping).
+    fn snapshot(&self) -> CountEstimate;
+
+    /// The current point estimate.
+    fn estimate(&self) -> f64 {
+        self.snapshot().estimate
+    }
+
+    /// The estimated variance of the estimator.
+    fn variance(&self) -> f64 {
+        self.snapshot().variance
+    }
+
+    /// The second (raw) moment `E[X²] ≈ Var + estimate²` — the form
+    /// in which variances travel through linear composition.
+    fn second_moment(&self) -> f64 {
+        let s = self.snapshot();
+        s.variance + s.estimate * s.estimate
+    }
+
+    /// Two-sided normal-theory CI at `confidence` (e.g. `0.95`).
+    fn ci(&self, confidence: f64) -> (f64, f64) {
+        self.snapshot().ci(confidence)
+    }
+}
+
+/// SRS-of-points COUNT: `û(E) = N·(y/m)` with the Cochran
+/// without-replacement proportion variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SrsCount {
+    /// Point-space size `N`.
+    pub total_points: f64,
+    /// Points sampled so far, `m`.
+    pub points_sampled: f64,
+    /// 1-points found so far, `y`.
+    pub ones: f64,
+}
+
+impl AggregateEstimator for SrsCount {
+    fn snapshot(&self) -> CountEstimate {
+        let n = self.total_points;
+        let m = self.points_sampled;
+        let s = if m <= 0.0 { 0.0 } else { self.ones / m };
+        CountEstimate {
+            estimate: n * s,
+            variance: n * n * srs_proportion_variance(s, n, m),
+            points_sampled: m,
+            total_points: n,
+        }
+    }
+}
+
+/// Cluster-sampling COUNT: `Ŷᵦ(E) = B·(Σyᵢ/b)` with the one-stage
+/// cluster-total variance `B²·(1−b/B)·s²_y/b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterCount<'a> {
+    /// Space blocks in the whole point space, `B`.
+    pub total_space_blocks: f64,
+    /// Space blocks evaluated so far, `b`.
+    pub blocks_seen: f64,
+    /// Running moments of the per-block 1-point totals `yᵢ`.
+    pub block_ones: &'a RunningMoments,
+    /// Point-space size `N` (CI clamping only).
+    pub total_points: f64,
+    /// Points covered by the evaluated blocks (sample accounting).
+    pub points_seen: f64,
+}
+
+impl AggregateEstimator for ClusterCount<'_> {
+    fn snapshot(&self) -> CountEstimate {
+        if self.blocks_seen < 1.0 {
+            return CountEstimate {
+                estimate: 0.0,
+                variance: 0.0,
+                points_sampled: 0.0,
+                total_points: self.total_points,
+            };
+        }
+        let b = self.blocks_seen;
+        let big_b = self.total_space_blocks;
+        let estimate = big_b * self.block_ones.mean();
+        let fpc = if big_b > 0.0 {
+            (1.0 - b / big_b).max(0.0)
+        } else {
+            0.0
+        };
+        let variance = big_b * big_b * fpc * self.block_ones.variance() / b;
+        CountEstimate {
+            estimate,
+            variance,
+            points_sampled: self.points_seen,
+            total_points: self.total_points,
+        }
+    }
+}
+
+/// Distinct-count over sampled group occupancies (projection roots):
+/// Goodman's unbiased estimator by default, Chao1/jackknife for the
+/// small-fraction regime, with the SRS plug-in variance on the
+/// distinct rate (the paper reports no closed-form Goodman variance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistinctCount<'a> {
+    /// Which distinct-classes estimator corrects the raw count.
+    pub distinct: DistinctEstimator,
+    /// Pre-projection population size the correction extrapolates to.
+    pub population: f64,
+    /// Sampled occupancy of each distinct class seen so far.
+    pub occupancies: &'a [u64],
+    /// Points sampled so far, `m` (sample accounting).
+    pub points_sampled: f64,
+    /// Point-space size `N` (CI clamping only).
+    pub total_points: f64,
+}
+
+impl AggregateEstimator for DistinctCount<'_> {
+    fn snapshot(&self) -> CountEstimate {
+        let sample: u64 = self.occupancies.iter().sum();
+        let estimate = self.distinct.estimate(self.population, self.occupancies);
+        let d = self.occupancies.len() as f64;
+        let rate = if sample > 0 { d / sample as f64 } else { 0.0 };
+        let variance = self.population
+            * self.population
+            * srs_proportion_variance(rate, self.population, sample as f64);
+        CountEstimate {
+            estimate,
+            variance,
+            points_sampled: self.points_sampled,
+            total_points: self.total_points,
+        }
+    }
+}
+
+/// SRS SUM: attach `z = col(tuple)` to every 1-point (0 elsewhere);
+/// then `SUM ≈ N·z̄` with variance `N²·(1−m/N)·s²_z/m`. The snapshot
+/// reports `total_points = ∞` so the CI is not clamped at `N` (sums
+/// are not bounded by the point-space size).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SrsSum {
+    /// Point-space size `N`.
+    pub total_points: f64,
+    /// Points sampled so far, `m`.
+    pub points_sampled: f64,
+    /// `Σz` over the sampled points.
+    pub sum: f64,
+    /// `Σz²` over the sampled points.
+    pub sum_sq: f64,
+}
+
+impl AggregateEstimator for SrsSum {
+    fn snapshot(&self) -> CountEstimate {
+        let m = self.points_sampled;
+        if m <= 0.0 {
+            return CountEstimate {
+                estimate: 0.0,
+                variance: 0.0,
+                points_sampled: 0.0,
+                total_points: f64::INFINITY,
+            };
+        }
+        let total_points = self.total_points;
+        let mean = self.sum / m;
+        let estimate = total_points * mean;
+        let variance = if m > 1.0 && total_points > m {
+            let s2 = ((self.sum_sq - self.sum * self.sum / m) / (m - 1.0)).max(0.0);
+            total_points * total_points * (1.0 - m / total_points) * s2 / m
+        } else {
+            0.0
+        };
+        CountEstimate {
+            estimate,
+            variance,
+            points_sampled: m,
+            total_points: f64::INFINITY,
+        }
+    }
+}
+
+/// Ratio-estimator AVG: the sampled 1-points are an SRS of the
+/// qualifying population, so their sample mean estimates `AVG(col)`
+/// with variance `s²_v/y`, finite-population-corrected against the
+/// estimated qualifying total `N·(y/m)`. Not additive — valid only on
+/// a trivial (union/difference-free) rewrite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioAvg {
+    /// Qualifying tuples found so far, `y`.
+    pub ones: f64,
+    /// Points sampled so far, `m`.
+    pub points_sampled: f64,
+    /// Point-space size `N` (for the qualifying-total extrapolation).
+    pub total_points: f64,
+    /// `Σv` over the qualifying tuples.
+    pub sum: f64,
+    /// `Σv²` over the qualifying tuples.
+    pub sum_sq: f64,
+}
+
+impl AggregateEstimator for RatioAvg {
+    fn snapshot(&self) -> CountEstimate {
+        let y = self.ones;
+        if y <= 0.0 {
+            return CountEstimate {
+                estimate: 0.0,
+                variance: 0.0,
+                points_sampled: self.points_sampled,
+                total_points: f64::INFINITY,
+            };
+        }
+        let mean = self.sum / y;
+        let variance = if y > 1.0 {
+            let s2 = ((self.sum_sq - self.sum * self.sum / y) / (y - 1.0)).max(0.0);
+            let est_qualifying = if self.points_sampled > 0.0 {
+                self.total_points * y / self.points_sampled
+            } else {
+                y
+            };
+            let fpc = (1.0 - y / est_qualifying.max(y)).max(0.0);
+            fpc * s2 / y
+        } else {
+            0.0
+        };
+        CountEstimate {
+            estimate: mean,
+            variance,
+            points_sampled: self.points_sampled,
+            total_points: f64::INFINITY,
+        }
+    }
+}
+
+/// Linear composition `Σᵢ cᵢ·fᵢ(Eᵢ)` — the inclusion–exclusion
+/// rewrite applied to any additive member estimators. Variances add
+/// as `Σᵢ cᵢ²·Varᵢ` (terms treated as independent, the paper's own
+/// simplification), the estimate is clamped at 0 (counts and
+/// non-negative sums cannot go below it), and the support columns
+/// accumulate so stopping criteria keep working on the composite.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Linear {
+    terms: Vec<(i64, CountEstimate)>,
+}
+
+impl Linear {
+    /// An empty composition (estimate 0, variance 0).
+    pub fn new() -> Self {
+        Linear::default()
+    }
+
+    /// Adds a member estimate with its inclusion–exclusion
+    /// coefficient.
+    pub fn push(&mut self, coefficient: i64, term: CountEstimate) {
+        self.terms.push((coefficient, term));
+    }
+
+    /// Builder-style [`push`](Self::push).
+    #[must_use]
+    pub fn with(mut self, coefficient: i64, term: CountEstimate) -> Self {
+        self.push(coefficient, term);
+        self
+    }
+
+    /// The member terms added so far.
+    pub fn terms(&self) -> &[(i64, CountEstimate)] {
+        &self.terms
+    }
+}
+
+impl AggregateEstimator for Linear {
+    fn snapshot(&self) -> CountEstimate {
+        let mut estimate = 0.0;
+        let mut variance = 0.0;
+        let mut points = 0.0;
+        let mut total = 0.0;
+        for (c, e) in &self.terms {
+            let cf = *c as f64;
+            estimate += cf * e.estimate;
+            variance += cf * cf * e.variance;
+            points += e.points_sampled;
+            total += cf.abs() * e.total_points;
+        }
+        CountEstimate {
+            estimate: estimate.max(0.0),
+            variance,
+            points_sampled: points,
+            total_points: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srs_count_matches_hand_formula() {
+        let e = SrsCount {
+            total_points: 10_000.0,
+            points_sampled: 10.0,
+            ones: 3.0,
+        };
+        let s = e.snapshot();
+        assert!((s.estimate - 3_000.0).abs() < 1e-9);
+        assert!(s.variance > 0.0);
+        assert_eq!(s.total_points, 10_000.0);
+        // Degenerate: no sample yet.
+        let empty = SrsCount {
+            total_points: 10_000.0,
+            points_sampled: 0.0,
+            ones: 0.0,
+        };
+        assert_eq!(empty.estimate(), 0.0);
+        assert_eq!(empty.variance(), 0.0);
+    }
+
+    #[test]
+    fn cluster_count_matches_hand_formula() {
+        let mut moments = RunningMoments::new();
+        for ones in [2.0, 1.0, 0.0, 3.0] {
+            moments.push(ones);
+        }
+        let e = ClusterCount {
+            total_space_blocks: 2_000.0,
+            blocks_seen: 4.0,
+            block_ones: &moments,
+            total_points: 10_000.0,
+            points_seen: 20.0,
+        };
+        let s = e.snapshot();
+        assert!((s.estimate - 3_000.0).abs() < 1e-9);
+        assert!(s.variance > 0.0);
+    }
+
+    #[test]
+    fn sum_scales_sample_mean_and_reports_unclamped_support() {
+        let e = SrsSum {
+            total_points: 100.0,
+            points_sampled: 10.0,
+            sum: 30.0,
+            sum_sq: 200.0,
+        };
+        let s = e.snapshot();
+        assert!((s.estimate - 300.0).abs() < 1e-9);
+        assert!(s.variance > 0.0);
+        assert_eq!(s.total_points, f64::INFINITY);
+    }
+
+    #[test]
+    fn avg_is_sample_mean_of_qualifiers() {
+        let e = RatioAvg {
+            ones: 5.0,
+            points_sampled: 50.0,
+            total_points: 1_000.0,
+            sum: 25.0,
+            sum_sq: 135.0,
+        };
+        let s = e.snapshot();
+        assert!((s.estimate - 5.0).abs() < 1e-9);
+        assert!(s.variance > 0.0);
+    }
+
+    #[test]
+    fn second_moment_is_variance_plus_square() {
+        let e = SrsCount {
+            total_points: 1_000.0,
+            points_sampled: 100.0,
+            ones: 40.0,
+        };
+        let s = e.snapshot();
+        assert!((e.second_moment() - (s.variance + s.estimate * s.estimate)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_composes_terms_with_coefficients() {
+        let a = SrsCount {
+            total_points: 1_000.0,
+            points_sampled: 100.0,
+            ones: 40.0,
+        }
+        .snapshot();
+        let b = SrsCount {
+            total_points: 1_000.0,
+            points_sampled: 100.0,
+            ones: 10.0,
+        }
+        .snapshot();
+        let composite = Linear::new().with(1, a).with(-1, b).snapshot();
+        assert!((composite.estimate - (a.estimate - b.estimate)).abs() < 1e-9);
+        assert!((composite.variance - (a.variance + b.variance)).abs() < 1e-9);
+        assert_eq!(
+            composite.points_sampled,
+            a.points_sampled + b.points_sampled
+        );
+        // Negative linear combinations clamp at 0.
+        let clamped = Linear::new().with(-1, a).snapshot();
+        assert_eq!(clamped.estimate, 0.0);
+    }
+
+    #[test]
+    fn distinct_count_uses_the_configured_estimator() {
+        let occ = [3u64, 1, 1, 2];
+        let goodman = DistinctCount {
+            distinct: DistinctEstimator::Goodman,
+            population: 100.0,
+            occupancies: &occ,
+            points_sampled: 7.0,
+            total_points: 100.0,
+        };
+        let s = goodman.snapshot();
+        assert_eq!(s.estimate, DistinctEstimator::Goodman.estimate(100.0, &occ));
+        assert!(s.variance > 0.0);
+        // Empty occupancy set is degenerate, not a panic.
+        let empty = DistinctCount {
+            distinct: DistinctEstimator::Goodman,
+            population: 100.0,
+            occupancies: &[],
+            points_sampled: 0.0,
+            total_points: 100.0,
+        };
+        assert_eq!(empty.snapshot().variance, 0.0);
+    }
+}

@@ -18,7 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::srs::srs_proportion_variance;
+use crate::algebra::{AggregateEstimator, ClusterCount, SrsCount};
 use crate::stats::{normal_quantile, RunningMoments};
 
 /// A point estimate of `COUNT(E)` with an attached variance.
@@ -150,49 +150,30 @@ impl PointSpaceAccumulator {
     }
 
     /// The SRS-of-points estimator `û = N·(y/m)` with the
-    /// without-replacement proportion variance.
+    /// without-replacement proportion variance (an
+    /// [`SrsCount`] instance of the estimator algebra).
     pub fn estimate_srs(&self) -> CountEstimate {
-        let s = self.selectivity();
-        let estimate = self.total_points * s;
-        let variance = self.total_points
-            * self.total_points
-            * srs_proportion_variance(s, self.total_points, self.points_seen);
-        CountEstimate {
-            estimate,
-            variance,
-            points_sampled: self.points_seen,
+        SrsCount {
             total_points: self.total_points,
+            points_sampled: self.points_seen,
+            ones: self.ones_seen,
         }
+        .snapshot()
     }
 
     /// The cluster estimator `Ŷᵦ = B·(Σyᵢ/b)` with the standard
     /// one-stage cluster-total variance
     /// `B²·(1−b/B)·s²_y/b`, `s²_y` the sample variance of block
-    /// totals.
+    /// totals (a [`ClusterCount`] instance of the estimator algebra).
     pub fn estimate_cluster(&self) -> CountEstimate {
-        if self.space_blocks_seen < 1.0 {
-            return CountEstimate {
-                estimate: 0.0,
-                variance: 0.0,
-                points_sampled: 0.0,
-                total_points: self.total_points,
-            };
-        }
-        let b = self.space_blocks_seen;
-        let big_b = self.total_space_blocks;
-        let estimate = big_b * self.block_ones.mean();
-        let fpc = if big_b > 0.0 {
-            (1.0 - b / big_b).max(0.0)
-        } else {
-            0.0
-        };
-        let variance = big_b * big_b * fpc * self.block_ones.variance() / b;
-        CountEstimate {
-            estimate,
-            variance,
-            points_sampled: self.points_seen,
+        ClusterCount {
+            total_space_blocks: self.total_space_blocks,
+            blocks_seen: self.space_blocks_seen,
+            block_ones: &self.block_ones,
             total_points: self.total_points,
+            points_seen: self.points_seen,
         }
+        .snapshot()
     }
 
     /// The estimator the prototype reports: cluster when at least two

@@ -18,6 +18,11 @@
 //! * [`estimator`] — the point-space accumulator producing the
 //!   `û(E) = N·(y/m)` and `Ŷᵦ(E) = B·(Σyᵢ/b)` estimates with their
 //!   variance formulas and normal-theory confidence intervals;
+//! * [`algebra`] — the estimator algebra those estimates instantiate:
+//!   the [`AggregateEstimator`] trait carrying
+//!   `(estimate, second moment, CI)` through sampling-operator
+//!   composition, with COUNT/SUM/AVG/distinct instances and the
+//!   [`Linear`] inclusion–exclusion combinator;
 //! * [`goodman`] — Goodman's (1949) unbiased estimator of the number
 //!   of distinct classes, used when `E` contains a projection;
 //! * [`distinct`] — stable alternatives (Chao1, first-order
@@ -31,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod algebra;
 pub mod distinct;
 pub mod estimator;
 pub mod goodman;
@@ -39,6 +45,9 @@ pub mod srs;
 pub mod stats;
 pub mod zerosel;
 
+pub use algebra::{
+    AggregateEstimator, ClusterCount, DistinctCount, Linear, RatioAvg, SrsCount, SrsSum,
+};
 pub use distinct::{chao1, jackknife1, DistinctEstimator};
 pub use estimator::{CountEstimate, PointSpaceAccumulator};
 pub use goodman::goodman_estimate;

@@ -1,0 +1,540 @@
+//! Offline **type-check stub** for `proptest` 1.
+//!
+//! Mirrors the subset of the proptest API this workspace uses. A
+//! [`Strategy`](strategy::Strategy) here is just a deterministic
+//! seed→value function, and the [`proptest!`] macro runs each body a
+//! handful of times with derived seeds — so under the stub the
+//! property tests compile *and* execute as smoke tests, without any
+//! shrinking or true random exploration. Real proptest (driver-side
+//! CI) remains the authority.
+
+/// SplitMix64 step — the stub's seed-derivation workhorse.
+fn splitmix(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod test_runner {
+    /// Stub `proptest::test_runner::Config` (aliased `ProptestConfig`
+    /// in the prelude).
+    #[derive(Debug, Clone, Default)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    /// Stub `TestCaseError`: a failed `prop_assert!`.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+pub mod strategy {
+    use std::rc::Rc;
+
+    use super::splitmix;
+
+    /// Stub `Strategy`: one deterministic example per seed.
+    pub trait Strategy {
+        type Value;
+
+        fn example(&self, seed: u64) -> Self::Value;
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |seed| self.example(seed)))
+        }
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            let base = self.boxed();
+            BoxedStrategy(Rc::new(move |seed| {
+                let levels = seed % (depth as u64 + 1);
+                let mut strat = base.clone();
+                for _ in 0..levels {
+                    strat = recurse(strat.clone()).boxed();
+                }
+                strat.example(splitmix(seed))
+            }))
+        }
+    }
+
+    /// Stub `BoxedStrategy`: a clonable seed→value closure.
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(u64) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn example(&self, seed: u64) -> T {
+            (self.0)(seed)
+        }
+    }
+
+    /// Stub `Just`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn example(&self, _seed: u64) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn example(&self, seed: u64) -> O {
+            (self.f)(self.inner.example(seed))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn example(&self, seed: u64) -> S2::Value {
+            (self.f)(self.inner.example(seed)).example(splitmix(seed))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn example(&self, seed: u64) -> S::Value {
+            let mut s = seed;
+            for _ in 0..10_000 {
+                let candidate = self.inner.example(s);
+                if (self.f)(&candidate) {
+                    return candidate;
+                }
+                s = splitmix(s);
+            }
+            panic!("proptest stub: filter rejected 10k candidate examples");
+        }
+    }
+
+    /// N-way alternation backing the stub `prop_oneof!`.
+    pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn example(&self, seed: u64) -> T {
+            let pick = (seed % self.0.len() as u64) as usize;
+            self.0[pick].example(splitmix(seed))
+        }
+    }
+
+    /// Real proptest treats `&str` as a regex strategy. The stub does
+    /// not interpret regex syntax; it emits a short lowercase word,
+    /// which lies inside the simple character-class patterns this
+    /// workspace uses (`[a-z…]{0,8}`-style identifiers).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn example(&self, seed: u64) -> String {
+            let mut s = splitmix(seed);
+            let len = 1 + (s % 6) as usize;
+            let mut out = String::with_capacity(len);
+            for _ in 0..len {
+                s = splitmix(s);
+                out.push((b'a' + (s % 26) as u8) as char);
+            }
+            out
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn example(&self, seed: u64) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    let span = (hi - lo).max(1) as u128;
+                    (lo + (seed as u128 % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn example(&self, seed: u64) -> $t {
+                    let lo = *self.start() as i128;
+                    let hi = *self.end() as i128;
+                    let span = (hi - lo + 1).max(1) as u128;
+                    (lo + (seed as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn example(&self, seed: u64) -> $t {
+                    let f = (seed >> 11) as $t / (1u64 << 53) as $t;
+                    self.start + (self.end - self.start) * f
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn example(&self, seed: u64) -> $t {
+                    let f = (seed >> 11) as $t / (1u64 << 53) as $t;
+                    self.start() + (self.end() - self.start()) * f
+                }
+            }
+        )*};
+    }
+    float_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn example(&self, seed: u64) -> Self::Value {
+                    let mut s = seed;
+                    ($({
+                        s = splitmix(s ^ $idx);
+                        self.$idx.example(s)
+                    },)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A: 0);
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+pub mod arbitrary {
+    use super::splitmix;
+    use super::strategy::Strategy;
+
+    /// Stub `any::<T>()` support.
+    pub trait Arbitrary: Sized {
+        fn stub_any(seed: u64) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn stub_any(seed: u64) -> Self { seed as $t }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn stub_any(seed: u64) -> Self {
+            seed & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn stub_any(seed: u64) -> Self {
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn example(&self, seed: u64) -> T {
+            T::stub_any(splitmix(seed))
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::splitmix;
+    use super::strategy::Strategy;
+
+    /// Stub `SizeRange`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn example(&self, seed: u64) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo).max(1) as u64;
+            let len = self.size.lo + (seed % span) as usize;
+            let mut s = seed;
+            (0..len)
+                .map(|_| {
+                    s = splitmix(s);
+                    self.element.example(s)
+                })
+                .collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn example(&self, seed: u64) -> T {
+            self.0[(seed % self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Stub `prop::sample::select`.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select of empty set");
+        Select(values)
+    }
+}
+
+/// Stub `proptest!`: each property runs as a plain `#[test]` over a
+/// few derived example seeds (no shrinking, no true exploration).
+#[macro_export]
+macro_rules! proptest {
+    // Closure form: runs the property inline over the example seeds.
+    (
+        $(move)? |( $($arg:pat in $strat:expr),* $(,)? )| $body:block
+    ) => {{
+        for __case in 0u64..3 {
+            let __result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                let mut __seed: u64 = 0x5EED_0000u64.wrapping_add(__case.wrapping_mul(0x9E37_79B9));
+                $(
+                    __seed = __seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let $arg = $crate::strategy::Strategy::example(&($strat), __seed);
+                )*
+                { $body }
+                Ok(())
+            })();
+            if let Err(e) = __result {
+                panic!("proptest stub case {__case} failed: {e}");
+            }
+        }
+    }};
+    (
+        $(#![proptest_config($cfg:expr)])?
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __case in 0u64..3 {
+                    let __result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        let mut __seed: u64 = 0x5EED_0000u64.wrapping_add(__case.wrapping_mul(0x9E37_79B9));
+                        $(
+                            __seed = __seed
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            let $arg = $crate::strategy::Strategy::example(&($strat), __seed);
+                        )*
+                        { $body }
+                        Ok(())
+                    })();
+                    if let Err(e) = __result {
+                        panic!("proptest stub case {__case} failed: {e}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    pub mod prop {
+        pub use crate::{collection, sample, strategy};
+    }
+}

