@@ -5,13 +5,21 @@
 //! hurts most. `merge_reference` *is* the pre-overhaul algorithm, so
 //! the `reference` vs `keyed` pairs below measure the overhaul
 //! directly.
+//!
+//! The `*_layouts` groups compare the row and columnar block
+//! traversals of the same kernels: per-tuple predicate evaluation vs
+//! [`Predicate::eval_mask`] + [`ColumnarBlock::gather`], per-tuple
+//! key extraction vs [`KeySpec::column_for_columnar`], and the
+//! extract-then-sort path vs [`sort_run_with_keys`] over prebuilt
+//! key columns.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-use eram_core::{merge_keyed, merge_reference, sort_run, KeySpec, MergeKind};
-use eram_storage::{Tuple, Value};
+use eram_core::{merge_keyed, merge_reference, sort_run, sort_run_with_keys, KeySpec, MergeKind};
+use eram_relalg::{CmpOp, Predicate};
+use eram_storage::{ColumnType, ColumnarBlock, Schema, Tuple, Value};
 
 const RUN: usize = 4_096;
 
@@ -123,9 +131,90 @@ fn bench_sort(c: &mut Criterion) {
     g.finish();
 }
 
+/// The block-resident form of [`join_runs`]'s left run: same tuples,
+/// one typed array per column.
+fn columnar_run() -> (Vec<Tuple>, ColumnarBlock) {
+    let schema = Schema::new(vec![
+        ("a", ColumnType::Int),
+        ("b", ColumnType::Int),
+        ("c", ColumnType::Int),
+    ]);
+    let tuples: Vec<Tuple> = (0..RUN as i64).map(|i| tuple(i % 50, i % 8, i)).collect();
+    let block = ColumnarBlock::from_tuples(&schema, &tuples).unwrap();
+    (tuples, block)
+}
+
+fn bench_selection_layouts(c: &mut Criterion) {
+    // ~50% selectivity on a duplicate-heavy column: the row path pays
+    // a full tuple walk + clone per survivor; the columnar path scans
+    // one typed array into a bitmap and gathers once.
+    let (tuples, block) = columnar_run();
+    let pred = Predicate::col_cmp(1, CmpOp::Lt, 4);
+    let mut g = c.benchmark_group("selection_layouts");
+    g.bench_function("row", |b| {
+        b.iter(|| {
+            let out: Vec<Tuple> = black_box(&tuples)
+                .iter()
+                .filter(|t| pred.eval(t))
+                .cloned()
+                .collect();
+            black_box(out.len())
+        })
+    });
+    g.bench_function("columnar", |b| {
+        b.iter(|| {
+            let mask = pred.eval_mask(black_box(&block));
+            black_box(block.gather(&mask).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_key_extract_layouts(c: &mut Criterion) {
+    let (tuples, block) = columnar_run();
+    let spec = KeySpec::Columns(vec![0, 1]);
+    let mut g = c.benchmark_group("key_extract_layouts");
+    g.bench_function("row", |b| {
+        b.iter(|| {
+            let keys: Vec<Tuple> = black_box(&tuples).iter().map(|t| spec.extract(t)).collect();
+            black_box(keys.len())
+        })
+    });
+    g.bench_function("columnar", |b| {
+        b.iter(|| black_box(spec.column_for_columnar(black_box(&block))))
+    });
+    g.finish();
+}
+
+fn bench_sort_layouts(c: &mut Criterion) {
+    // Ingest-time sort of a freshly decoded block: extract keys from
+    // rows then sort, vs read the key column off the block and hand
+    // it to the prekeyed sort.
+    let (tuples, block) = columnar_run();
+    let spec = KeySpec::Columns(vec![0, 1]);
+    let mut g = c.benchmark_group("sort_layouts");
+    g.bench_function("row_extract_sort", |b| {
+        b.iter(|| {
+            let mut run = tuples.clone();
+            black_box(sort_run(&mut run, &spec))
+        })
+    });
+    g.bench_function("columnar_prekeyed_sort", |b| {
+        b.iter(|| {
+            let mut run = block.to_tuples();
+            let keys = spec
+                .extract_columnar(&block)
+                .expect("a Columns spec extracts keys");
+            black_box(sort_run_with_keys(&mut run, keys))
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().measurement_time(Duration::from_secs(5));
-    targets = bench_join_merge, bench_intersect_merge, bench_sort
+    targets = bench_join_merge, bench_intersect_merge, bench_sort,
+        bench_selection_layouts, bench_key_extract_layouts, bench_sort_layouts
 }
 criterion_main!(kernels);

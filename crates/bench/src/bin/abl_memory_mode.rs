@@ -66,6 +66,7 @@ fn main() {
                 seed_from_stats: false,
                 fault_plan: None,
                 workers: 1,
+                block_layout: eram_core::BlockLayout::default(),
             };
             let measured = measure_row(&cfg, opts.runs, common::row_seed(wname, 1, d_beta));
             bench.push_measured(format!("{wname} {name}"), &measured);

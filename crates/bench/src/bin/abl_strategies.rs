@@ -85,6 +85,7 @@ fn main() {
                 seed_from_stats: false,
                 fault_plan: None,
                 workers: 1,
+                block_layout: eram_core::BlockLayout::default(),
             };
             let measured = measure_row(
                 &cfg,

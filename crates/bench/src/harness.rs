@@ -16,8 +16,8 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use eram_core::{
-    CostModel, ExecutionReport, Fulfillment, MemoryMode, ProfileSnapshot, Profiler, QueryConfig,
-    SelectivityDefaults, StoppingCriterion, TimeControlStrategy,
+    BlockLayout, CostModel, ExecutionReport, Fulfillment, MemoryMode, ProfileSnapshot, Profiler,
+    QueryConfig, SelectivityDefaults, StoppingCriterion, TimeControlStrategy,
 };
 use eram_storage::{FaultPlan, SeedSeq};
 
@@ -185,6 +185,10 @@ pub struct TrialConfig {
     /// Every trial's results are byte-identical regardless; only
     /// wall-clock time changes.
     pub workers: usize,
+    /// In-memory layout for sampled blocks (row tuples or per-column
+    /// arrays). Like `workers`, a pure wall-clock choice: results are
+    /// byte-identical under either layout.
+    pub block_layout: BlockLayout,
 }
 
 impl TrialConfig {
@@ -208,6 +212,7 @@ impl TrialConfig {
             seed_from_stats: false,
             fault_plan: None,
             workers: 1,
+            block_layout: BlockLayout::default(),
         }
     }
 }
@@ -290,6 +295,7 @@ pub fn run_trial_with(
         max_stages: 1_000,
         hybrid_leftover: config.hybrid_leftover,
         workers: config.workers.max(1),
+        block_layout: config.block_layout,
         profiler: profiler.clone(),
         ..QueryConfig::default()
     };
@@ -360,11 +366,9 @@ pub fn measure_row(config: &TrialConfig, runs: usize, master_seed: u64) -> Measu
         .map(|n| n.get())
         .unwrap_or(4)
         .min(runs.max(1));
-    let mut results: Vec<Option<(TrialResult, f64, Option<ProfileSnapshot>)>> = vec![None; runs];
-    let chunks: Vec<(
-        usize,
-        &mut [Option<(TrialResult, f64, Option<ProfileSnapshot>)>],
-    )> = {
+    type MeasuredSlot = Option<(TrialResult, f64, Option<ProfileSnapshot>)>;
+    let mut results: Vec<MeasuredSlot> = vec![None; runs];
+    let chunks: Vec<(usize, &mut [MeasuredSlot])> = {
         let chunk = runs.div_ceil(threads).max(1);
         results.chunks_mut(chunk).enumerate().collect()
     };

@@ -25,11 +25,11 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use eram_core::{
-    AggregateFn, Database, MetricsSnapshot, ProfileSnapshot, Profiler, QueryServer, ReportHealth,
-    ServerJob, ServerOutcome, Tracer,
+    AggregateFn, BlockLayout, Database, MetricsSnapshot, ProfileSnapshot, Profiler, QueryServer,
+    ReportHealth, ServerJob, ServerOutcome, Tracer,
 };
 use eram_relalg::parse_expr;
-use eram_storage::{parse_schema_spec, DeviceProfile, FaultPlan};
+use eram_storage::{parse_schema_spec, DeviceProfile, FaultPlan, IngestFormat};
 use serde::Deserialize;
 
 /// Which simulated device profile to run on.
@@ -108,6 +108,13 @@ pub struct Cli {
     /// Wall-clock only: estimates and traces are identical at any
     /// setting.
     pub run_cache_tuples: Option<usize>,
+    /// How sampled blocks are decoded and traversed (`row` or
+    /// `columnar`). Wall-clock only: estimates and traces are
+    /// identical under either layout.
+    pub layout: BlockLayout,
+    /// Input format for every `--load` file (`None` = CSV honouring
+    /// `--header`, the historical behaviour).
+    pub ingest: Option<IngestFormat>,
 }
 
 /// A CLI-level error with a user-facing message.
@@ -128,10 +135,12 @@ fn err(msg: impl Into<String>) -> CliError {
 
 /// Usage text.
 pub const USAGE: &str = "usage: eram --load NAME=FILE.csv:COL:TYPE[,COL:TYPE...] \
-[--load ...] [--device sun|modern] [--cache BLOCKS] [--seed N] [--header] \
+[--load ...] [--ingest csv|jsonl|parquet] [--device sun|modern] [--cache BLOCKS] \
+[--seed N] [--header] \
 [--fault-transient RATE] [--fault-corrupt RATE] [--fault-spike RATE] \
 [--fault-spike-ms MS] [--fault-seed N] \
 [--trace FILE] [--metrics] [--profile] [--workers N] [--run-cache-tuples N] \
+[--layout row|columnar] \
 [--query EXPR --quota SECS \
 [--agg count|sum:COL|avg:COL|count:by:G|sum:COL:by:G|avg:COL:by:G]] \
 [--serve JOBS.json [--jobs-out FILE]]";
@@ -144,6 +153,7 @@ impl Cli {
         S: Into<String>,
     {
         let mut cli = Cli::default();
+        let mut agg_seen = false;
         let mut args = args.into_iter().map(Into::into);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -193,6 +203,7 @@ impl Cli {
                     cli.agg = parse_agg(&args.next().ok_or_else(|| {
                         err("--agg needs count|sum:COL|avg:COL (optionally :by:G)")
                     })?)?;
+                    agg_seen = true;
                 }
                 "--fault-seed" => {
                     cli.fault_seed = args
@@ -249,6 +260,26 @@ impl Cli {
                         .ok_or_else(|| err("--run-cache-tuples needs a tuple count (0 = off)"))?;
                     cli.run_cache_tuples = Some(n);
                 }
+                "--layout" => {
+                    cli.layout = match args.next().as_deref() {
+                        Some("row") => BlockLayout::Row,
+                        Some("columnar") => BlockLayout::Columnar,
+                        other => {
+                            return Err(err(format!(
+                                "bad --layout {other:?} (expected row or columnar)"
+                            )))
+                        }
+                    };
+                }
+                "--ingest" => {
+                    let name = args
+                        .next()
+                        .ok_or_else(|| err("--ingest needs a format (csv, jsonl, or parquet)"))?;
+                    cli.ingest = Some(
+                        IngestFormat::parse(&name)
+                            .map_err(|e| err(format!("bad --ingest {name:?}: {e}")))?,
+                    );
+                }
                 "--help" | "-h" => return Err(err(USAGE)),
                 other => return Err(err(format!("unknown argument {other:?}\n{USAGE}"))),
             }
@@ -261,6 +292,16 @@ impl Cli {
         }
         if cli.jobs_out.is_some() && cli.serve.is_none() {
             return Err(err("--jobs-out requires --serve"));
+        }
+        // `--agg` used to be accepted (and silently ignored) without a
+        // query: the aggregate only applies to a one-shot `--query`
+        // (served jobs carry their own `agg` field).
+        if agg_seen && cli.query.is_none() {
+            return Err(err(if cli.serve.is_some() {
+                "--agg applies to --query only; served jobs set \"agg\" per job in the JSON batch"
+            } else {
+                "--agg requires --query"
+            }));
         }
         Ok(cli)
     }
@@ -314,7 +355,11 @@ fn parse_load(spec: &str) -> Result<LoadSpec, CliError> {
 }
 
 fn parse_agg(text: &str) -> Result<AggregateFn, CliError> {
-    AggregateFn::parse(text).map_err(|e| err(format!("bad --agg: {e}")))
+    AggregateFn::parse(text).map_err(|e| {
+        err(format!(
+            "bad --agg {text:?}: {e} (expected count|sum:COL|avg:COL, optionally :by:G)"
+        ))
+    })
 }
 
 /// Builds the database and loads every `--load` relation.
@@ -331,11 +376,19 @@ pub fn build_database(cli: &Cli) -> Result<Database, CliError> {
     if cli.device == Device::Modern {
         db.set_default_cost_model(eram_core::CostModel::modern_default());
     }
+    // `--ingest csv` (and the no-flag default) honours `--header`;
+    // the other formats are self-describing per record.
+    let format = match cli.ingest {
+        None | Some(IngestFormat::Csv { .. }) => IngestFormat::Csv {
+            has_header: cli.header,
+        },
+        Some(f) => f,
+    };
     for load in &cli.loads {
         let schema = parse_schema_spec(&load.schema_spec, None)
             .map_err(|e| err(format!("--load {}: {e}", load.name)))?;
         let n = db
-            .load_csv(load.name.clone(), schema, &load.path, cli.header)
+            .load_ingest(load.name.clone(), schema, &load.path, format)
             .map_err(|e| err(format!("--load {}: {e}", load.name)))?;
         eprintln!("loaded {} ({n} tuples)", load.name);
     }
@@ -433,7 +486,8 @@ pub fn run_one_shot(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
         .tracer(tracer.clone())
         .metrics(cli.metrics)
         .profiler(profiler)
-        .workers(cli.workers.max(1));
+        .workers(cli.workers.max(1))
+        .block_layout(cli.layout);
     if let Some(tuples) = cli.run_cache_tuples {
         query = query.run_cache(tuples);
     }
@@ -521,7 +575,10 @@ impl JobSpec {
         let expr = parse_expr(&self.expr).map_err(|e| err(format!("job {}: {e}", self.name)))?;
         let agg = match &self.agg {
             None => AggregateFn::Count,
-            Some(text) => parse_agg(text)?,
+            // Name the offending job, not "--agg" — the spec came from
+            // the JSON batch, not the command line.
+            Some(text) => AggregateFn::parse(text)
+                .map_err(|e| err(format!("job {}: bad agg {text:?}: {e}", self.name)))?,
         };
         for (field, v) in [
             ("deadline_secs", Some(self.deadline_secs)),
@@ -799,6 +856,74 @@ mod tests {
     }
 
     #[test]
+    fn malformed_agg_specs_return_structured_usage_errors() {
+        // Every malformed grammar corner returns a structured
+        // CliError naming the flag and the offending spec — never a
+        // panic, never a silent default to `count`.
+        for bad in [
+            "sum::by:",    // empty column AND empty group
+            "avg:COL:by:", // non-numeric column, empty group
+            "median:1",    // unknown kind
+            "sum:",        // missing column
+            "avg",         // missing column entirely
+            "count:1",     // count takes no column
+            "sum:1:by:",   // empty group column
+            "sum:1:by:x",  // non-numeric group column
+            "sum:1:of:2",  // bad separator
+            "",            // empty spec
+        ] {
+            let e = Cli::parse(["--query", "r", "--quota", "1", "--agg", bad])
+                .expect_err(&format!("--agg {bad:?} must be rejected"));
+            assert!(
+                e.0.contains("bad --agg") && e.0.contains(&format!("{bad:?}")),
+                "--agg {bad:?}: error must name the flag and spec, got {:?}",
+                e.0
+            );
+        }
+        // Valid grouped specs still parse.
+        let cli = Cli::parse(["--query", "r", "--quota", "1", "--agg", "sum:1:by:2"]).unwrap();
+        assert_eq!(
+            cli.agg,
+            AggregateFn::SumBy {
+                column: 1,
+                group: 2
+            }
+        );
+    }
+
+    #[test]
+    fn agg_without_a_query_is_rejected_not_ignored() {
+        // Regression: `--agg` with neither `--query` nor `--serve`
+        // used to parse fine and be silently ignored.
+        let e = Cli::parse(["--agg", "sum:1"]).unwrap_err();
+        assert!(e.0.contains("--agg requires --query"), "{:?}", e.0);
+        // With `--serve`, per-job "agg" fields are the mechanism; a
+        // top-level --agg would be dead weight, so it errors too.
+        let e = Cli::parse(["--serve", "jobs.json", "--agg", "sum:1"]).unwrap_err();
+        assert!(e.0.contains("per job"), "{:?}", e.0);
+    }
+
+    #[test]
+    fn job_spec_agg_errors_name_the_job() {
+        let spec = JobSpec {
+            name: "audit".into(),
+            expr: "r".into(),
+            deadline_secs: 1.0,
+            min_quota_secs: None,
+            desired_secs: None,
+            value: None,
+            agg: Some("sum::by:".into()),
+        };
+        let e = spec.into_job().unwrap_err();
+        assert!(
+            e.0.contains("job audit") && e.0.contains("sum::by:"),
+            "{:?}",
+            e.0
+        );
+        assert!(!e.0.contains("--agg"), "batch errors must not blame a flag");
+    }
+
+    #[test]
     fn run_cache_zero_is_off_and_default_is_engine_choice() {
         assert_eq!(
             Cli::parse(Vec::<String>::new()).unwrap().run_cache_tuples,
@@ -806,6 +931,53 @@ mod tests {
         );
         let cli = Cli::parse(["--run-cache-tuples", "0"]).unwrap();
         assert_eq!(cli.run_cache_tuples, Some(0));
+    }
+
+    #[test]
+    fn parses_layout_and_ingest_flags() {
+        let cli = Cli::parse(["--layout", "columnar", "--ingest", "jsonl"]).unwrap();
+        assert_eq!(cli.layout, BlockLayout::Columnar);
+        assert_eq!(cli.ingest, Some(IngestFormat::JsonLines));
+        let cli = Cli::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(cli.layout, BlockLayout::Row);
+        assert_eq!(cli.ingest, None);
+        assert!(Cli::parse(["--layout", "diagonal"]).is_err());
+        assert!(Cli::parse(["--layout"]).is_err());
+        assert!(Cli::parse(["--ingest", "orc"]).is_err());
+        assert!(Cli::parse(["--ingest"]).is_err());
+    }
+
+    #[test]
+    fn one_shot_is_identical_across_layouts_and_ingest_formats() {
+        let rows_csv: String = (0..512).map(|i| format!("{i},{}\n", i % 100)).collect();
+        let csv = write_csv("layout-csv", &rows_csv);
+        let rows_jsonl: String = (0..512).map(|i| format!("[{i}, {}]\n", i % 100)).collect();
+        let jsonl = write_csv("layout-jsonl", &rows_jsonl);
+        let run = |load: String, extra: &[&str]| {
+            let mut args = vec![
+                "--load".to_string(),
+                load,
+                "--query".to_string(),
+                "select[#1 < 50](t)".to_string(),
+                "--quota".to_string(),
+                "5".to_string(),
+            ];
+            args.extend(extra.iter().map(|s| s.to_string()));
+            let cli = Cli::parse(args).unwrap();
+            let mut db = build_database(&cli).unwrap();
+            run_one_shot(&mut db, &cli).unwrap()
+        };
+        let load = format!("t={}:k:int,v:int", csv.display());
+        let row = run(load.clone(), &[]);
+        let columnar = run(load, &["--layout", "columnar"]);
+        assert_eq!(row, columnar, "layouts must render identically");
+        let via_jsonl = run(
+            format!("t={}:k:int,v:int", jsonl.display()),
+            &["--ingest", "jsonl", "--layout", "columnar"],
+        );
+        assert_eq!(row, via_jsonl, "ingest formats must load identically");
+        let _ = std::fs::remove_file(csv);
+        let _ = std::fs::remove_file(jsonl);
     }
 
     #[test]

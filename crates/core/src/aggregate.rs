@@ -433,7 +433,11 @@ impl GroupedAccumulator {
                 continue;
             }
             let estimate = state.estimate(agg, total_points, points_covered);
-            if estimate.relative_half_width(confidence) <= target {
+            // Shared with the scalar ErrorBound path: a zero running
+            // estimate (or a non-finite half-width from a degenerate
+            // stratum) must never freeze as "converged at 0", even
+            // under an unbounded target.
+            if crate::stopping::error_bound_satisfied(&estimate, target, confidence) {
                 state.converged_at = Some(stage);
                 state.frozen = Some(estimate);
             } else {

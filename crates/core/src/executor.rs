@@ -34,7 +34,7 @@ use crate::aggregate::{
 use crate::costs::{CostCoeff, CostModel};
 use crate::obs::{MetricsRegistry, MetricsSnapshot, Phase, Profiler, Tracer};
 use crate::ops::{
-    Fulfillment, MemoryMode, PhysTree, PlanOptions, StageEnv, StageError, StageHealth,
+    BlockLayout, Fulfillment, MemoryMode, PhysTree, PlanOptions, StageEnv, StageError, StageHealth,
     DEFAULT_RUN_CACHE_TUPLES,
 };
 use crate::predict::{solve_fraction_with, SelPolicy};
@@ -151,6 +151,11 @@ pub struct ExecParams<'a> {
     /// is a wall-clock optimization: seeded results are
     /// byte-identical with it on or off.
     pub run_cache_tuples: usize,
+    /// Decode target for sampled blocks: row tuples (the original
+    /// path) or per-column typed arrays with bitmap selection. Like
+    /// `workers`, a wall-clock-only choice — seeded reports and
+    /// traces are byte-identical under either layout.
+    pub block_layout: BlockLayout,
 }
 
 impl<'a> ExecParams<'a> {
@@ -175,6 +180,7 @@ impl<'a> ExecParams<'a> {
             profiler: Profiler::disabled(),
             workers: 1,
             run_cache_tuples: DEFAULT_RUN_CACHE_TUPLES,
+            block_layout: BlockLayout::default(),
         }
     }
 }
@@ -417,6 +423,7 @@ pub fn execute_aggregate(
                 fulfillment: params.fulfillment,
                 memory: params.memory,
                 run_cache_tuples: params.run_cache_tuples,
+                block_layout: params.block_layout,
             },
             &mut rng,
         )?);
@@ -655,12 +662,19 @@ pub fn execute_aggregate(
         for (tree, tv) in trees.iter_mut().zip(values.iter_mut()) {
             match tree.advance(&mut env) {
                 Ok(delta) => {
-                    if let Some(col) = agg.column() {
-                        tv.absorb(&delta.tuples, col);
-                    }
-                    if let Some(acc) = grouped.as_mut() {
-                        let group = agg.group_by().expect("grouped accumulator implies a key");
-                        acc.absorb(&delta.tuples, group, agg.column());
+                    // Value/group accumulation walks row tuples; a
+                    // columnar delta (bare-leaf root under the
+                    // columnar layout) materializes here. COUNT
+                    // queries never look at the rows at all.
+                    if agg.column().is_some() || grouped.is_some() {
+                        let rows = delta.into_rows();
+                        if let Some(col) = agg.column() {
+                            tv.absorb(&rows, col);
+                        }
+                        if let Some(acc) = grouped.as_mut() {
+                            let group = agg.group_by().expect("grouped accumulator implies a key");
+                            acc.absorb(&rows, group, agg.column());
+                        }
                     }
                 }
                 Err(StageError::Deadline) => {

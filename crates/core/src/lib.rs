@@ -82,14 +82,17 @@ pub use costs::{CostCoeff, CostModel};
 pub use executor::{
     execute_aggregate, execute_count, term_estimate, term_estimate_with, EngineError, ExecOutcome,
 };
-pub use kernel::{merge_keyed, merge_reference, sort_run, KeyColumn, KeySpec, MergeKind};
+pub use kernel::{
+    merge_keyed, merge_reference, sort_run, sort_run_with_keys, KeyColumn, KeySpec, MergeKind,
+};
 pub use obs::{
     Histogram, MetricsRegistry, MetricsSnapshot, OperatorGuard, Phase, PhaseGuard, PhaseStats,
     PhaseTotals, ProfileSnapshot, Profiler, SpanGuard, TraceKind, TraceRecord, Tracer,
     ENGINE_OPERATOR, SCHEMA_VERSION,
 };
 pub use ops::{
-    Fulfillment, MemoryMode, PlanOptions, StageError, StageHealth, DEFAULT_RUN_CACHE_TUPLES,
+    BlockLayout, Fulfillment, MemoryMode, PlanOptions, StageError, StageHealth,
+    DEFAULT_RUN_CACHE_TUPLES,
 };
 pub use parallel::map_ordered;
 pub use report::{ExecutionReport, GroupReport, RefusalReason, ReportHealth, StageReport};
@@ -99,7 +102,7 @@ pub use server::{
     JobReport, JobState, QueryServer, ServerConfig, ServerJob, ServerOutcome, ServerStats,
 };
 pub use session::{CountQuery, Database, QueryConfig, TimedCount};
-pub use stopping::StoppingCriterion;
+pub use stopping::{error_bound_satisfied, StoppingCriterion};
 pub use strategy::{
     HeuristicStrategy, OneAtATimeInterval, SelectivityDefaults, SingleInterval, StagePlan,
     TimeControlStrategy,

@@ -32,14 +32,14 @@ use std::time::Duration;
 use eram_relalg::{Catalog, Expr, ExprError, OpKind, Predicate};
 use eram_sampling::BlockSampler;
 use eram_storage::{
-    Block, Deadline, DeviceOp, Disk, HeapFile, RunCache, Schema, StorageError, Tuple,
+    Block, ColumnarBlock, Deadline, DeviceOp, Disk, HeapFile, RunCache, Schema, StorageError, Tuple,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde_json::Value as JsonValue;
 
 use crate::costs::CostCoeff;
-use crate::kernel::{merge_keyed, sort_run, KeyColumn, KeySpec, MergeKind};
+use crate::kernel::{merge_keyed, sort_run, sort_run_with_keys, KeyColumn, KeySpec, MergeKind};
 use crate::obs::{Phase, Profiler, Tracer};
 use crate::parallel::map_ordered;
 use crate::retry::RetryPolicy;
@@ -76,6 +76,24 @@ pub enum MemoryMode {
     MainMemory,
 }
 
+/// How sampled blocks are decoded and flowed between operators.
+///
+/// Both layouts decode the same on-disk fixed-width pages and produce
+/// byte-identical reports and traces — the layout changes only *how*
+/// the pure-CPU operator kernels traverse a stage's data, never what
+/// they compute or charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockLayout {
+    /// Blocks decode to row [`Tuple`]s; operators walk tuples (the
+    /// original path, kept verbatim as the oracle).
+    #[default]
+    Row,
+    /// Blocks decode to per-column typed arrays ([`ColumnarBlock`]):
+    /// selection evaluates a per-column bitmap and materializes only
+    /// surviving rows; merge keys are read straight off key columns.
+    Columnar,
+}
+
 /// Default [`PlanOptions::run_cache_tuples`] bound: one million tuples
 /// (~200 MB of decoded 200-byte paper tuples) shared per binary node.
 pub const DEFAULT_RUN_CACHE_TUPLES: usize = 1 << 20;
@@ -94,6 +112,10 @@ pub struct PlanOptions {
     /// so it is a wall-clock-only optimization — simulated results
     /// are byte-identical either way.
     pub run_cache_tuples: usize,
+    /// How sampled blocks are decoded and traversed. Like the worker
+    /// count and the run cache, a wall-clock-only choice: reports and
+    /// traces are byte-identical under either layout.
+    pub block_layout: BlockLayout,
 }
 
 impl Default for PlanOptions {
@@ -102,6 +124,7 @@ impl Default for PlanOptions {
             fulfillment: Fulfillment::default(),
             memory: MemoryMode::default(),
             run_cache_tuples: DEFAULT_RUN_CACHE_TUPLES,
+            block_layout: BlockLayout::default(),
         }
     }
 }
@@ -259,10 +282,54 @@ impl StageEnv<'_> {
 /// A new-output delta produced by one stage of one node.
 #[derive(Debug, Clone)]
 pub struct Delta {
-    /// The new output tuples.
+    /// The new output tuples (row form). Under the columnar layout a
+    /// leaf delta carries only its banked pending rows here; freshly
+    /// decoded blocks ride in `columnar`.
     pub tuples: Vec<Tuple>,
+    /// Freshly decoded blocks in columnar form, ordered after
+    /// `tuples`. `None` under [`BlockLayout::Row`] and for every
+    /// operator output (operators emit rows).
+    pub columnar: Option<Vec<ColumnarBlock>>,
     /// Leaf-level points newly covered by this delta.
     pub leaf_points: f64,
+}
+
+impl Delta {
+    /// A plain row-form delta.
+    pub fn rows(tuples: Vec<Tuple>, leaf_points: f64) -> Self {
+        Delta {
+            tuples,
+            columnar: None,
+            leaf_points,
+        }
+    }
+
+    /// Total records carried, across both forms. Charges and
+    /// selectivity accounting key off this so the two layouts charge
+    /// identically.
+    pub fn record_count(&self) -> usize {
+        let columnar: usize = self
+            .columnar
+            .as_ref()
+            .map_or(0, |bs| bs.iter().map(ColumnarBlock::len).sum());
+        self.tuples.len() + columnar
+    }
+
+    /// Materializes the delta as row tuples, in record order. A no-op
+    /// (move) for row-form deltas.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        match self.columnar {
+            None => self.tuples,
+            Some(blocks) => {
+                let mut rows = self.tuples;
+                rows.reserve(blocks.iter().map(ColumnarBlock::len).sum());
+                for block in &blocks {
+                    rows.extend(block.to_tuples());
+                }
+                rows
+            }
+        }
+    }
 }
 
 /// Backing store of one sorted run.
@@ -294,8 +361,11 @@ pub(crate) struct LeafNode {
     /// Tuples of blocks fully read before a mid-draw deadline abort.
     /// They were never delivered in a delta (and are not in
     /// `cum_tuples`), so the next successful stage prepends them —
-    /// every point read is accounted exactly once.
+    /// every point read is accounted exactly once. Banked in row form
+    /// under either layout (the abort path is cold).
     pub(crate) pending: Vec<Tuple>,
+    /// Decode target for sampled blocks.
+    pub(crate) layout: BlockLayout,
 }
 
 pub(crate) struct SelectNode {
@@ -555,29 +625,53 @@ impl LeafNode {
         // Decode phase, parallel: pure CPU — touches neither clock
         // nor tracer — fanned out and recombined in draw order. The
         // phase guard wraps the whole fan-out on this thread, so
-        // worker-pool time is attributed to `block_decode`.
-        let decoded = {
-            let _phase = env.profiler.phase(Phase::BlockDecode);
-            let file = &self.file;
-            map_ordered(env.workers, fetched, |_, (idx, block)| {
-                file.decode_block(idx, &block)
-            })
-        };
+        // worker-pool time is attributed to `block_decode`. Both
+        // layouts decode the same fetched pages; only the in-memory
+        // target differs.
         let mut tuples = std::mem::take(&mut self.pending);
-        tuples.reserve(indices.len() * self.file.blocking_factor());
-        for d in decoded {
-            tuples.extend(d.map_err(StageError::Storage)?);
+        let mut columnar: Option<Vec<ColumnarBlock>> = None;
+        match self.layout {
+            BlockLayout::Row => {
+                let decoded = {
+                    let _phase = env.profiler.phase(Phase::BlockDecode);
+                    let file = &self.file;
+                    map_ordered(env.workers, fetched, |_, (idx, block)| {
+                        file.decode_block(idx, &block)
+                    })
+                };
+                tuples.reserve(indices.len() * self.file.blocking_factor());
+                for d in decoded {
+                    tuples.extend(d.map_err(StageError::Storage)?);
+                }
+            }
+            BlockLayout::Columnar => {
+                let decoded = {
+                    let _phase = env.profiler.phase(Phase::BlockDecode);
+                    let file = &self.file;
+                    map_ordered(env.workers, fetched, |_, (idx, block)| {
+                        file.decode_block_columnar(idx, &block)
+                    })
+                };
+                let mut blocks = Vec::with_capacity(decoded.len());
+                for d in decoded {
+                    blocks.push(d.map_err(StageError::Storage)?);
+                }
+                columnar = Some(blocks);
+            }
         }
         env.observe(
             CostCoeff::BlockRead,
             indices.len() as f64,
             env.now() - start,
         );
-        self.cum_tuples += tuples.len() as f64;
-        Ok(Delta {
-            leaf_points: tuples.len() as f64,
+        let mut delta = Delta {
             tuples,
-        })
+            columnar,
+            leaf_points: 0.0,
+        };
+        delta.leaf_points = delta.record_count() as f64;
+        self.cum_tuples += delta.leaf_points;
+        Ok(delta)
     }
 
     /// Unwinds a draw cut short by the hard deadline before block
@@ -663,14 +757,24 @@ impl SelectNode {
         if env.expired() {
             return Err(StageError::Deadline);
         }
-        let n_in = child.tuples.len();
+        let n_in = child.record_count();
+        let leaf_points = child.leaf_points;
         let start = env.now();
         charge_chunked(env, DeviceOp::TupleCpu, n_in as u64, 5)?;
-        let out: Vec<Tuple> = child
+        // Row prefix (pending-bank rows under either layout) filters
+        // tuple-at-a-time; columnar blocks evaluate the predicate as
+        // a per-column bitmap and materialize only surviving rows.
+        let mut out: Vec<Tuple> = child
             .tuples
             .into_iter()
             .filter(|t| self.predicate.eval(t))
             .collect();
+        if let Some(blocks) = child.columnar {
+            for block in &blocks {
+                let mask = self.predicate.eval_mask(block);
+                out.extend(block.gather(&mask));
+            }
+        }
         env.observe(CostCoeff::ScanTuple, n_in as f64, env.now() - start);
         if self.memory == MemoryMode::DiskResident {
             charge_tuple_writes(env, out.len() as f64, self.out_blocking)?;
@@ -678,11 +782,8 @@ impl SelectNode {
 
         self.tracker.record_stage(out.len() as f64, n_in as f64);
         self.cum_out += out.len() as f64;
-        self.cum_leaf_points += child.leaf_points;
-        Ok(Delta {
-            tuples: out,
-            leaf_points: child.leaf_points,
-        })
+        self.cum_leaf_points += leaf_points;
+        Ok(Delta::rows(out, leaf_points))
     }
 }
 
@@ -708,22 +809,58 @@ fn charged_sort(
     Ok(keys)
 }
 
+/// [`charged_sort`] for a run whose merge keys were already extracted
+/// (columnar ingest reads them straight off the key columns):
+/// identical charges and observations, with the Schwartzian pairing
+/// built from the precomputed keys instead of re-projecting.
+fn charged_sort_prekeyed(
+    env: &mut StageEnv<'_>,
+    tuples: &mut Vec<Tuple>,
+    spec: &KeySpec,
+    prekeys: Vec<Tuple>,
+) -> Result<KeyColumn, StageError> {
+    let n = tuples.len();
+    if n < 2 {
+        return Ok(spec.column_for(tuples));
+    }
+    let units = n as f64 * (n as f64).log2();
+    let start = env.now();
+    charge_chunked(env, DeviceOp::Compare, units.ceil() as u64, 128)?;
+    let keys = sort_run_with_keys(tuples, prekeys);
+    env.observe(CostCoeff::SortUnit, units, env.now() - start);
+    Ok(keys)
+}
+
 impl ProjectNode {
     fn advance(&mut self, env: &mut StageEnv<'_>) -> Result<Delta, StageError> {
         let child = self.child.advance(env)?;
         if env.expired() {
             return Err(StageError::Deadline);
         }
-        let n_in = child.tuples.len();
+        let n_in = child.record_count();
         // Step 1+2 (Figure 4.7): project and sort the new tuples.
+        // Columnar blocks project straight from their typed columns —
+        // only the projected-out values are ever materialized.
         let mut projected: Vec<Tuple> = {
             let start = env.now();
             charge_chunked(env, DeviceOp::TupleCpu, n_in as u64, 5)?;
-            let p = child
+            let mut p: Vec<Tuple> = child
                 .tuples
                 .iter()
                 .map(|t| t.project(&self.columns))
                 .collect();
+            if let Some(blocks) = &child.columnar {
+                for block in blocks {
+                    p.extend((0..block.len()).map(|row| {
+                        Tuple::new(
+                            self.columns
+                                .iter()
+                                .map(|&c| block.column(c).value(row))
+                                .collect(),
+                        )
+                    }));
+                }
+            }
             env.observe(CostCoeff::ScanTuple, n_in as f64, env.now() - start);
             p
         };
@@ -758,12 +895,13 @@ impl ProjectNode {
             .record_stage(new_groups.len() as f64, n_in as f64);
         self.cum_in += n_in as f64;
         self.cum_leaf_points += child.leaf_points;
-        Ok(Delta {
-            tuples: new_groups,
-            leaf_points: child.leaf_points,
-        })
+        Ok(Delta::rows(new_groups, child.leaf_points))
     }
 }
+
+/// One merge pair staged for the parallel phase: both runs' tuples
+/// and their precomputed key columns.
+type StagedPair = (Arc<[Tuple]>, KeyColumn, Arc<[Tuple]>, KeyColumn);
 
 impl BinKind {
     fn op_kind(&self) -> OpKind {
@@ -862,8 +1000,7 @@ impl BinaryNode {
         // (and every fault draw consumed) exactly as the uncached path
         // would; only the re-decode is skipped.
         let (left_spec, right_spec) = (self.kind.left_spec(), self.kind.right_spec());
-        let mut staged: Vec<(Arc<[Tuple]>, KeyColumn, Arc<[Tuple]>, KeyColumn)> =
-            Vec::with_capacity(pairs.len());
+        let mut staged: Vec<StagedPair> = Vec::with_capacity(pairs.len());
         for &(li, ri) in &pairs {
             if env.expired() {
                 return Err(StageError::Deadline);
@@ -909,10 +1046,7 @@ impl BinaryNode {
         self.tracker.record_stage(out.len() as f64, pair_points);
         self.cum_out += out.len() as f64;
         self.cum_leaf_points += leaf_points;
-        Ok(Delta {
-            tuples: out,
-            leaf_points,
-        })
+        Ok(Delta::rows(out, leaf_points))
     }
 
     fn ingest(
@@ -921,13 +1055,35 @@ impl BinaryNode {
         delta: Delta,
         left: bool,
     ) -> Result<(), StageError> {
-        let mut tuples = delta.tuples;
         let spec = if left {
             self.kind.left_spec()
         } else {
             self.kind.right_spec()
         };
-        let keys = charged_sort(env, &mut tuples, &spec)?;
+        let leaf_points = delta.leaf_points;
+        // Columnar deltas read merge keys straight off the key
+        // columns before any row tuple exists; the prekeyed stable
+        // sort then reproduces `sort_run`'s order exactly. (A Whole
+        // spec keys on the full tuple, so there is nothing to skip —
+        // it takes the ordinary path.)
+        let prekeys: Option<Vec<Tuple>> = match (&delta.columnar, &spec) {
+            (Some(blocks), KeySpec::Columns(_)) => {
+                let mut keys: Vec<Tuple> = delta.tuples.iter().map(|t| spec.extract(t)).collect();
+                for block in blocks {
+                    let mut ks = spec
+                        .extract_columnar(block)
+                        .expect("a Columns spec extracts keys");
+                    keys.append(&mut ks);
+                }
+                Some(keys)
+            }
+            _ => None,
+        };
+        let mut tuples = delta.into_rows();
+        let keys = match prekeys {
+            Some(prekeys) => charged_sort_prekeyed(env, &mut tuples, &spec, prekeys)?,
+            None => charged_sort(env, &mut tuples, &spec)?,
+        };
         let n = tuples.len();
         let data = match self.memory {
             MemoryMode::DiskResident => {
@@ -946,7 +1102,8 @@ impl BinaryNode {
                 // just written: the fixed-width encoding round-trips
                 // bit-faithfully, so they equal what re-decoding the
                 // file would produce.
-                self.run_cache.put(file.file_id(), tuples.into());
+                self.run_cache
+                    .put(file.file_id(), file.version(), tuples.into());
                 RunData::File(file)
             }
             MemoryMode::MainMemory => RunData::Mem(tuples.into()),
@@ -955,7 +1112,7 @@ impl BinaryNode {
             data,
             tuples: n as u64,
             keys,
-            leaf_points: delta.leaf_points,
+            leaf_points,
         };
         if left {
             self.left_runs.push(run);
@@ -1003,9 +1160,20 @@ fn read_run(
                 }
             }
             if complete {
-                if let Some(tuples) = cache.get(file.file_id()) {
+                // The version check guards against fault plans that
+                // corrupt or rewrite run blocks in place after the
+                // run was cached: a stale entry is dropped here
+                // instead of served.
+                if let Some(tuples) = cache.get(file.file_id(), file.version()) {
                     return Ok((tuples, run.keys.clone()));
                 }
+            } else {
+                // Degraded read: whatever was cached for this file
+                // no longer matches what a reader can observe, and
+                // the file may be degraded differently next time.
+                // Drop the entry rather than leave it to be served
+                // by a later complete read of a corrupt file.
+                cache.invalidate(file.file_id());
             }
             // Decode phase, parallel: pure CPU over the fetched raw
             // blocks, recombined in block order.
@@ -1021,7 +1189,7 @@ fn read_run(
             }
             if complete {
                 let shared: Arc<[Tuple]> = out.into();
-                cache.put(file.file_id(), shared.clone());
+                cache.put(file.file_id(), file.version(), shared.clone());
                 Ok((shared, run.keys.clone()))
             } else {
                 let keys = spec.column_for(&out);
@@ -1109,6 +1277,7 @@ impl PhysTree {
                     sampler,
                     cum_tuples: 0.0,
                     pending: Vec::new(),
+                    layout: options.block_layout,
                 }))
             }
             Expr::Select { input, predicate } => {

@@ -11,14 +11,14 @@ use std::time::Duration;
 
 use eram_relalg::{eval, Catalog, Expr};
 use eram_storage::{
-    Clock, DeviceProfile, Disk, HeapFile, Schema, SeedSeq, SimClock, Tuple, WallClock,
+    Clock, DeviceProfile, Disk, HeapFile, IngestFormat, Schema, SeedSeq, SimClock, Tuple, WallClock,
 };
 
 use crate::aggregate::AggregateFn;
 use crate::costs::CostModel;
 use crate::executor::{execute_aggregate, EngineError, ExecOutcome, ExecParams};
 use crate::obs::{Profiler, Tracer};
-use crate::ops::{Fulfillment, MemoryMode, DEFAULT_RUN_CACHE_TUPLES};
+use crate::ops::{BlockLayout, Fulfillment, MemoryMode, DEFAULT_RUN_CACHE_TUPLES};
 use crate::retry::RetryPolicy;
 use crate::seltrack::SelectivityDefaults;
 use crate::stopping::StoppingCriterion;
@@ -73,6 +73,10 @@ pub struct QueryConfig {
     /// `0` disables it. Wall-clock only: cached runs still charge
     /// their block reads, so results are byte-identical either way.
     pub run_cache_tuples: usize,
+    /// Decode target for sampled blocks (row tuples or per-column
+    /// typed arrays). Wall-clock only: results are byte-identical
+    /// under either layout.
+    pub block_layout: BlockLayout,
 }
 
 impl Default for QueryConfig {
@@ -94,6 +98,7 @@ impl Default for QueryConfig {
             profiler: Profiler::disabled(),
             workers: 1,
             run_cache_tuples: DEFAULT_RUN_CACHE_TUPLES,
+            block_layout: BlockLayout::default(),
         }
     }
 }
@@ -239,6 +244,25 @@ impl Database {
     ) -> Result<usize, eram_storage::StorageError> {
         let file = std::fs::File::open(path)?;
         let tuples = eram_storage::read_csv(std::io::BufReader::new(file), &schema, has_header)?;
+        let n = tuples.len();
+        self.load_relation(name, schema, tuples)?;
+        Ok(n)
+    }
+
+    /// Loads a relation from a file in any supported ingest format
+    /// (CSV, JSON-lines, or the Parquet subset). The parsed tuples
+    /// land in the same [`HeapFile`] layout regardless of format, so
+    /// queries over the relation are byte-identical across formats.
+    pub fn load_ingest(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        path: &std::path::Path,
+        format: IngestFormat,
+    ) -> Result<usize, eram_storage::StorageError> {
+        let file = std::fs::File::open(path)?;
+        let mut reader = std::io::BufReader::new(file);
+        let tuples = eram_storage::read_tuples(format, &mut reader, &schema)?;
         let n = tuples.len();
         self.load_relation(name, schema, tuples)?;
         Ok(n)
@@ -447,6 +471,15 @@ impl CountQuery<'_> {
         self
     }
 
+    /// Selects how sampled blocks are decoded and traversed: row
+    /// tuples (the default) or per-column typed arrays with bitmap
+    /// selection. Estimates, reports, and traces are byte-identical
+    /// under either layout; only wall-clock time changes.
+    pub fn block_layout(mut self, layout: BlockLayout) -> Self {
+        self.config.block_layout = layout;
+        self
+    }
+
     /// Replaces the whole config in one call.
     pub fn config(mut self, config: QueryConfig) -> Self {
         self.config = config;
@@ -473,6 +506,7 @@ impl CountQuery<'_> {
             profiler: self.config.profiler,
             workers: self.config.workers,
             run_cache_tuples: self.config.run_cache_tuples,
+            block_layout: self.config.block_layout,
         };
         execute_aggregate(
             &self.db.disk,

@@ -79,6 +79,32 @@ pub enum StoppingCriterion {
     Combined(Vec<StoppingCriterion>),
 }
 
+/// The one precision gate shared by the scalar
+/// [`StoppingCriterion::ErrorBound`] check and the per-group freeze in
+/// [`GroupedAccumulator::check_convergence`]: an estimate has met a
+/// relative-error target only when it is strictly positive and its
+/// relative CI half-width is *finite* and within `target`.
+///
+/// A running estimate of 0 (no qualifying tuples yet, or an all-zero
+/// SUM group) has a relative half-width of `f64::INFINITY`, and in
+/// IEEE arithmetic `INFINITY <= INFINITY` is *true* — so a plain
+/// `rel <= target` comparison freezes such a group as "converged at 0"
+/// whenever the target is unbounded (e.g. a census-only
+/// `min_tuples` policy). Likewise a NaN half-width (degenerate
+/// stratum) must never read as satisfied. Requiring a positive
+/// estimate and a finite half-width closes both holes for the scalar
+/// and grouped paths at once.
+///
+/// [`GroupedAccumulator::check_convergence`]:
+/// crate::aggregate::GroupedAccumulator::check_convergence
+pub fn error_bound_satisfied(estimate: &CountEstimate, target: f64, confidence: f64) -> bool {
+    if estimate.estimate <= 0.0 {
+        return false;
+    }
+    let rel = estimate.relative_half_width(confidence);
+    rel.is_finite() && rel <= target
+}
+
 impl StoppingCriterion {
     /// True if the criterion (or any member) demands the hard
     /// mid-stage abort behaviour.
@@ -147,7 +173,7 @@ impl StoppingCriterion {
             StoppingCriterion::GroupErrorBound { .. } => false,
             StoppingCriterion::ErrorBound { target, confidence } => history
                 .last()
-                .is_some_and(|e| e.relative_half_width(*confidence) <= *target),
+                .is_some_and(|e| error_bound_satisfied(e, *target, *confidence)),
             StoppingCriterion::NoImprovement { epsilon, stages } => {
                 if history.len() < stages + 1 {
                     return false;
@@ -312,5 +338,30 @@ mod tests {
             confidence: 0.95,
         };
         assert!(!c.precision_satisfied(&[est(0.0, 0.0)]));
+    }
+
+    #[test]
+    fn zero_estimate_never_satisfies_even_an_unbounded_target() {
+        // `INFINITY <= INFINITY` is true in IEEE arithmetic, so
+        // before the shared `error_bound_satisfied` gate an unbounded
+        // target froze a zero estimate as "converged at 0".
+        let c = StoppingCriterion::ErrorBound {
+            target: f64::INFINITY,
+            confidence: 0.95,
+        };
+        assert!(!c.precision_satisfied(&[est(0.0, 0.0)]));
+        // A positive estimate under the same unbounded target still
+        // satisfies (its half-width is finite).
+        assert!(c.precision_satisfied(&[est(1000.0, 90_000.0)]));
+    }
+
+    #[test]
+    fn error_bound_helper_rejects_degenerate_estimates() {
+        assert!(!error_bound_satisfied(&est(0.0, 0.0), 0.5, 0.95));
+        assert!(!error_bound_satisfied(&est(-3.0, 1.0), 0.5, 0.95));
+        assert!(!error_bound_satisfied(&est(0.0, 0.0), f64::INFINITY, 0.95));
+        // NaN target: never satisfied, rather than freezing.
+        assert!(!error_bound_satisfied(&est(1000.0, 1.0), f64::NAN, 0.95));
+        assert!(error_bound_satisfied(&est(1000.0, 100.0), 0.05, 0.95));
     }
 }

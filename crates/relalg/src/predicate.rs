@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use eram_storage::{Schema, Tuple, Value};
+use eram_storage::{ColumnData, ColumnarBlock, Schema, Tuple, Value};
 
 use crate::expr::ExprError;
 
@@ -175,6 +175,115 @@ impl Predicate {
             Predicate::Not(a) => !a.eval(t),
         }
     }
+
+    /// Evaluates the formula against every record of a columnar
+    /// block at once, producing a selection bitmap with one entry per
+    /// record.
+    ///
+    /// This is the columnar counterpart of [`Predicate::eval`] and
+    /// must agree with it record for record — the engine's layout
+    /// equivalence suites compare the two directly. Comparison atoms
+    /// over same-typed operands run as tight loops over the typed
+    /// column arrays (floats via `total_cmp`, exactly like
+    /// [`Value::cmp`]); mixed-type atoms fall back to materializing
+    /// [`Value`]s per record so cross-type ordering stays identical
+    /// to the row path.
+    ///
+    /// # Panics
+    /// Panics if a column index is out of range (call
+    /// [`Predicate::validate`] first).
+    pub fn eval_mask(&self, block: &ColumnarBlock) -> Vec<bool> {
+        match self {
+            Predicate::True => vec![true; block.len()],
+            Predicate::False => vec![false; block.len()],
+            Predicate::Compare { left, op, right } => compare_mask(left, *op, right, block),
+            Predicate::And(a, b) => {
+                let mut m = a.eval_mask(block);
+                for (x, y) in m.iter_mut().zip(b.eval_mask(block)) {
+                    *x = *x && y;
+                }
+                m
+            }
+            Predicate::Or(a, b) => {
+                let mut m = a.eval_mask(block);
+                for (x, y) in m.iter_mut().zip(b.eval_mask(block)) {
+                    *x = *x || y;
+                }
+                m
+            }
+            Predicate::Not(a) => {
+                let mut m = a.eval_mask(block);
+                for x in &mut m {
+                    *x = !*x;
+                }
+                m
+            }
+        }
+    }
+}
+
+/// One comparison atom over a whole block. Same-typed operand pairs
+/// take the typed fast path; everything else defers to [`Value`]'s
+/// total order per record.
+fn compare_mask(left: &Operand, op: CmpOp, right: &Operand, block: &ColumnarBlock) -> Vec<bool> {
+    match (left, right) {
+        (Operand::Const(l), Operand::Const(r)) => vec![op.apply(l.cmp(r)); block.len()],
+        (Operand::Column(i), Operand::Const(v)) => match (block.column(*i), v) {
+            (ColumnData::Int(col), Value::Int(k)) => {
+                col.iter().map(|x| op.apply(x.cmp(k))).collect()
+            }
+            (ColumnData::Float(col), Value::Float(k)) => {
+                col.iter().map(|x| op.apply(x.total_cmp(k))).collect()
+            }
+            (ColumnData::Bool(col), Value::Bool(k)) => {
+                col.iter().map(|x| op.apply(x.cmp(k))).collect()
+            }
+            (ColumnData::Str(col), Value::Str(k)) => col
+                .iter()
+                .map(|x| op.apply(x.as_str().cmp(k.as_str())))
+                .collect(),
+            (col, v) => (0..block.len())
+                .map(|r| op.apply(col.value(r).cmp(v)))
+                .collect(),
+        },
+        (Operand::Const(v), Operand::Column(i)) => match (v, block.column(*i)) {
+            (Value::Int(k), ColumnData::Int(col)) => {
+                col.iter().map(|x| op.apply(k.cmp(x))).collect()
+            }
+            (Value::Float(k), ColumnData::Float(col)) => {
+                col.iter().map(|x| op.apply(k.total_cmp(x))).collect()
+            }
+            (Value::Bool(k), ColumnData::Bool(col)) => {
+                col.iter().map(|x| op.apply(k.cmp(x))).collect()
+            }
+            (Value::Str(k), ColumnData::Str(col)) => col
+                .iter()
+                .map(|x| op.apply(k.as_str().cmp(x.as_str())))
+                .collect(),
+            (v, col) => (0..block.len())
+                .map(|r| op.apply(v.cmp(&col.value(r))))
+                .collect(),
+        },
+        (Operand::Column(i), Operand::Column(j)) => match (block.column(*i), block.column(*j)) {
+            (ColumnData::Int(a), ColumnData::Int(b)) => {
+                a.iter().zip(b).map(|(x, y)| op.apply(x.cmp(y))).collect()
+            }
+            (ColumnData::Float(a), ColumnData::Float(b)) => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| op.apply(x.total_cmp(y)))
+                .collect(),
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => {
+                a.iter().zip(b).map(|(x, y)| op.apply(x.cmp(y))).collect()
+            }
+            (ColumnData::Str(a), ColumnData::Str(b)) => {
+                a.iter().zip(b).map(|(x, y)| op.apply(x.cmp(y))).collect()
+            }
+            (a, b) => (0..block.len())
+                .map(|r| op.apply(a.value(r).cmp(&b.value(r))))
+                .collect(),
+        },
+    }
 }
 
 impl std::fmt::Display for Predicate {
@@ -264,5 +373,108 @@ mod tests {
     fn display_is_readable() {
         let p = Predicate::col_cmp(0, CmpOp::Le, 3).and(Predicate::col_col(1, CmpOp::Eq, 2));
         assert_eq!(p.to_string(), "(#0 <= 3 and #1 = #2)");
+    }
+
+    fn mixed_rows() -> (Schema, Vec<Tuple>) {
+        let schema = Schema::new(vec![
+            ("i", ColumnType::Int),
+            ("f", ColumnType::Float),
+            ("b", ColumnType::Bool),
+            ("s", ColumnType::Str { width: 8 }),
+            ("j", ColumnType::Int),
+        ]);
+        let rows = (0..17)
+            .map(|k| {
+                Tuple::new(vec![
+                    Value::Int(k % 5 - 2),
+                    Value::Float(if k == 7 {
+                        f64::NAN
+                    } else {
+                        k as f64 * 0.5 - 3.0
+                    }),
+                    Value::Bool(k % 3 == 0),
+                    Value::Str(format!("s{}", k % 4)),
+                    Value::Int(k % 2),
+                ])
+            })
+            .collect();
+        (schema, rows)
+    }
+
+    fn assert_mask_matches_eval(p: &Predicate, schema: &Schema, rows: &[Tuple]) {
+        let block = eram_storage::ColumnarBlock::from_tuples(schema, rows).unwrap();
+        let mask = p.eval_mask(&block);
+        let expect: Vec<bool> = rows.iter().map(|t| p.eval(t)).collect();
+        assert_eq!(mask, expect, "eval_mask diverged from eval for {p}");
+    }
+
+    #[test]
+    fn eval_mask_agrees_with_eval_on_every_atom_shape() {
+        let (schema, rows) = mixed_rows();
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
+        for op in ops {
+            // Typed fast paths, one per column type.
+            assert_mask_matches_eval(&Predicate::col_cmp(0, op, 0i64), &schema, &rows);
+            assert_mask_matches_eval(&Predicate::col_cmp(1, op, 0.5f64), &schema, &rows);
+            assert_mask_matches_eval(&Predicate::col_cmp(2, op, true), &schema, &rows);
+            assert_mask_matches_eval(&Predicate::col_cmp(3, op, "s2"), &schema, &rows);
+            // NaN handling must follow total_cmp like the row path.
+            assert_mask_matches_eval(&Predicate::col_cmp(1, op, f64::NAN), &schema, &rows);
+            // Column-to-column, same type and mixed type.
+            assert_mask_matches_eval(&Predicate::col_col(0, op, 4), &schema, &rows);
+            assert_mask_matches_eval(&Predicate::col_col(0, op, 1), &schema, &rows);
+            // Mixed-type constant (cross-type total order) and the
+            // reversed const-vs-column orientation.
+            assert_mask_matches_eval(&Predicate::col_cmp(0, op, 1.0f64), &schema, &rows);
+            assert_mask_matches_eval(
+                &Predicate::Compare {
+                    left: Operand::Const(Value::Int(1)),
+                    op,
+                    right: Operand::Column(0),
+                },
+                &schema,
+                &rows,
+            );
+            // Const-vs-const broadcast.
+            assert_mask_matches_eval(
+                &Predicate::Compare {
+                    left: Operand::Const(Value::Int(1)),
+                    op,
+                    right: Operand::Const(Value::Int(2)),
+                },
+                &schema,
+                &rows,
+            );
+        }
+    }
+
+    #[test]
+    fn eval_mask_agrees_with_eval_on_connectives() {
+        let (schema, rows) = mixed_rows();
+        let p = Predicate::col_cmp(0, CmpOp::Gt, -1i64)
+            .and(
+                Predicate::col_cmp(1, CmpOp::Lt, 2.0f64).or(Predicate::col_cmp(2, CmpOp::Eq, true)),
+            )
+            .and(Predicate::col_cmp(3, CmpOp::Ne, "s1").not());
+        assert_mask_matches_eval(&p, &schema, &rows);
+        assert_mask_matches_eval(&Predicate::True, &schema, &rows);
+        assert_mask_matches_eval(&Predicate::False, &schema, &rows);
+    }
+
+    #[test]
+    fn eval_mask_on_empty_block_is_empty() {
+        let (schema, _) = mixed_rows();
+        let block = eram_storage::ColumnarBlock::from_tuples(&schema, &[]).unwrap();
+        assert!(Predicate::col_cmp(0, CmpOp::Eq, 0i64)
+            .eval_mask(&block)
+            .is_empty());
+        assert!(Predicate::True.eval_mask(&block).is_empty());
     }
 }

@@ -262,11 +262,19 @@ impl BlockCache {
 /// one operator and accessed serially from the charged staging loop,
 /// so it needs no interior locking; hit/miss counters are plain
 /// fields.
+///
+/// Each entry is stamped with the file's content version (see
+/// [`crate::Disk::file_version`]) at `put` time. A `get` whose
+/// caller-supplied version differs from the stamp drops the entry
+/// and counts a miss: run files are normally written once, but fault
+/// plans can corrupt or rewrite blocks in place, and a decoded run
+/// cached before such an event must never keep serving the
+/// pre-fault tuples by file id.
 #[derive(Debug)]
 pub struct RunCache {
     capacity_tuples: usize,
     held_tuples: usize,
-    entries: HashMap<FileId, Arc<[Tuple]>>,
+    entries: HashMap<FileId, (u64, Arc<[Tuple]>)>,
     /// Least- to most-recently used. Entries are few (one per stage
     /// per side), so the O(n) touch on hit is noise.
     recency: VecDeque<FileId>,
@@ -318,16 +326,25 @@ impl RunCache {
         self.misses
     }
 
-    /// The cached run for `file`, touching its recency.
-    pub fn get(&mut self, file: FileId) -> Option<Arc<[Tuple]>> {
+    /// The cached run for `file`, touching its recency. The caller
+    /// passes the file's *current* content version; a stale entry
+    /// (stamped with an older version) is dropped and counted as a
+    /// miss instead of being served.
+    pub fn get(&mut self, file: FileId, version: u64) -> Option<Arc<[Tuple]>> {
         match self.entries.get(&file) {
-            Some(run) => {
+            Some((stamp, run)) if *stamp == version => {
                 self.hits += 1;
+                let run = run.clone();
                 if let Some(pos) = self.recency.iter().position(|&f| f == file) {
                     self.recency.remove(pos);
                 }
                 self.recency.push_back(file);
-                Some(run.clone())
+                Some(run)
+            }
+            Some(_) => {
+                self.invalidate(file);
+                self.misses += 1;
+                None
             }
             None => {
                 self.misses += 1;
@@ -336,27 +353,45 @@ impl RunCache {
         }
     }
 
-    /// Caches a run, evicting least-recently-used runs until it
-    /// fits. Runs are immutable, so a re-`put` of a cached file is a
-    /// no-op; a run larger than the whole capacity is not cached.
-    pub fn put(&mut self, file: FileId, run: Arc<[Tuple]>) {
-        if self.capacity_tuples == 0
-            || run.len() > self.capacity_tuples
-            || self.entries.contains_key(&file)
-        {
+    /// Caches a run decoded from the file at content `version`,
+    /// evicting least-recently-used runs until it fits. A re-`put`
+    /// of a cached file at the same version is a no-op (runs are
+    /// immutable while their version holds); a newer version
+    /// replaces the stale entry; a run larger than the whole
+    /// capacity is not cached.
+    pub fn put(&mut self, file: FileId, version: u64, run: Arc<[Tuple]>) {
+        if self.capacity_tuples == 0 || run.len() > self.capacity_tuples {
             return;
+        }
+        match self.entries.get(&file) {
+            Some((stamp, _)) if *stamp == version => return,
+            Some(_) => self.invalidate(file),
+            None => {}
         }
         while self.held_tuples + run.len() > self.capacity_tuples {
             let Some(victim) = self.recency.pop_front() else {
                 break;
             };
-            if let Some(evicted) = self.entries.remove(&victim) {
+            if let Some((_, evicted)) = self.entries.remove(&victim) {
                 self.held_tuples -= evicted.len();
             }
         }
         self.held_tuples += run.len();
         self.recency.push_back(file);
-        self.entries.insert(file, run);
+        self.entries.insert(file, (version, run));
+    }
+
+    /// Drops the entry for `file`, if any, without touching the
+    /// hit/miss counters. Called when a read observes the file in a
+    /// degraded or rewritten state: whatever was decoded before no
+    /// longer describes the bytes on disk.
+    pub fn invalidate(&mut self, file: FileId) {
+        if let Some((_, evicted)) = self.entries.remove(&file) {
+            self.held_tuples -= evicted.len();
+            if let Some(pos) = self.recency.iter().position(|&f| f == file) {
+                self.recency.remove(pos);
+            }
+        }
     }
 }
 
@@ -514,9 +549,9 @@ mod run_cache_tests {
     #[test]
     fn hit_after_put_and_counters() {
         let mut c = RunCache::new(100);
-        assert!(c.get(FileId(1)).is_none());
-        c.put(FileId(1), run(10, 1));
-        let got = c.get(FileId(1)).expect("cached");
+        assert!(c.get(FileId(1), 1).is_none());
+        c.put(FileId(1), 1, run(10, 1));
+        let got = c.get(FileId(1), 1).expect("cached");
         assert_eq!(got.len(), 10);
         assert_eq!((c.hits(), c.misses()), (1, 1));
         assert_eq!(c.held_tuples(), 10);
@@ -525,14 +560,14 @@ mod run_cache_tests {
     #[test]
     fn tuple_bound_evicts_least_recently_used() {
         let mut c = RunCache::new(25);
-        c.put(FileId(1), run(10, 1));
-        c.put(FileId(2), run(10, 2));
+        c.put(FileId(1), 1, run(10, 1));
+        c.put(FileId(2), 1, run(10, 2));
         // Touch 1 so 2 becomes the eviction victim.
-        assert!(c.get(FileId(1)).is_some());
-        c.put(FileId(3), run(10, 3));
-        assert!(c.get(FileId(2)).is_none(), "LRU run must be evicted");
-        assert!(c.get(FileId(1)).is_some());
-        assert!(c.get(FileId(3)).is_some());
+        assert!(c.get(FileId(1), 1).is_some());
+        c.put(FileId(3), 1, run(10, 3));
+        assert!(c.get(FileId(2), 1).is_none(), "LRU run must be evicted");
+        assert!(c.get(FileId(1), 1).is_some());
+        assert!(c.get(FileId(3), 1).is_some());
         assert_eq!(c.held_tuples(), 20);
         assert!(c.held_tuples() <= c.capacity_tuples());
     }
@@ -540,29 +575,71 @@ mod run_cache_tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = RunCache::new(0);
-        c.put(FileId(1), run(5, 1));
-        c.put(FileId(2), run(0, 2)); // even empty runs stay out
+        c.put(FileId(1), 1, run(5, 1));
+        c.put(FileId(2), 1, run(0, 2)); // even empty runs stay out
         assert!(c.is_empty());
-        assert!(c.get(FileId(1)).is_none());
+        assert!(c.get(FileId(1), 1).is_none());
     }
 
     #[test]
     fn oversize_run_is_served_but_not_cached() {
         let mut c = RunCache::new(8);
-        c.put(FileId(1), run(9, 1));
+        c.put(FileId(1), 1, run(9, 1));
         assert!(c.is_empty());
         // Smaller runs still cache normally afterwards.
-        c.put(FileId(2), run(8, 2));
+        c.put(FileId(2), 1, run(8, 2));
         assert_eq!(c.len(), 1);
     }
 
     #[test]
-    fn re_put_of_immutable_run_is_a_noop() {
+    fn re_put_of_same_version_is_a_noop() {
         let mut c = RunCache::new(100);
-        c.put(FileId(1), run(10, 1));
-        c.put(FileId(1), run(10, 7));
+        c.put(FileId(1), 3, run(10, 1));
+        c.put(FileId(1), 3, run(10, 7));
         assert_eq!(c.held_tuples(), 10, "no double-counting");
-        let got = c.get(FileId(1)).unwrap();
+        let got = c.get(FileId(1), 3).unwrap();
         assert_eq!(got[0].values()[0], Value::Int(1), "first write wins");
+    }
+
+    #[test]
+    fn version_mismatch_drops_stale_entry() {
+        let mut c = RunCache::new(100);
+        c.put(FileId(1), 1, run(10, 1));
+        // The file was rewritten on disk: version advanced to 2.
+        assert!(
+            c.get(FileId(1), 2).is_none(),
+            "stale run must not be served"
+        );
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.held_tuples(), 0, "stale entry dropped, not retained");
+        // Re-caching at the new version works and serves the new tuples.
+        c.put(FileId(1), 2, run(5, 9));
+        let got = c.get(FileId(1), 2).unwrap();
+        assert_eq!(got[0].values()[0], Value::Int(9));
+    }
+
+    #[test]
+    fn put_at_newer_version_replaces_stale_entry() {
+        let mut c = RunCache::new(100);
+        c.put(FileId(1), 1, run(10, 1));
+        c.put(FileId(1), 2, run(4, 8));
+        assert_eq!(c.held_tuples(), 4, "stale tuples released");
+        let got = c.get(FileId(1), 2).unwrap();
+        assert_eq!(got[0].values()[0], Value::Int(8), "newer version wins");
+    }
+
+    #[test]
+    fn invalidate_drops_entry_without_counting() {
+        let mut c = RunCache::new(100);
+        c.put(FileId(1), 1, run(10, 1));
+        c.put(FileId(2), 1, run(5, 2));
+        c.invalidate(FileId(1));
+        assert_eq!(c.held_tuples(), 5);
+        assert_eq!((c.hits(), c.misses()), (0, 0), "invalidate is not a lookup");
+        assert!(c.get(FileId(1), 1).is_none());
+        assert!(c.get(FileId(2), 1).is_some());
+        // Idempotent on absent keys.
+        c.invalidate(FileId(99));
+        assert_eq!(c.held_tuples(), 5);
     }
 }

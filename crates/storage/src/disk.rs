@@ -60,6 +60,23 @@ struct DiskInner {
     checksums: HashMap<(u64, u64), u64>,
     /// Active fault injector, if a [`FaultPlan`] has been armed.
     faults: Option<FaultInjector>,
+    /// Global mutation counter feeding `file_versions` — strictly
+    /// monotone across all files, so a freed-and-recreated file can
+    /// never repeat an old version.
+    write_stamp: u64,
+    /// Per-file version: the value of `write_stamp` at the file's
+    /// last mutation (append/overwrite). Caches that snapshot decoded
+    /// file contents (the executor's `RunCache`) key their entries by
+    /// this version so a later in-place write or free invalidates
+    /// them instead of serving pre-mutation tuples by file id.
+    file_versions: HashMap<u64, u64>,
+}
+
+impl DiskInner {
+    fn bump_version(&mut self, file: u64) {
+        self.write_stamp += 1;
+        self.file_versions.insert(file, self.write_stamp);
+    }
 }
 
 /// A block store that charges a clock for every operation.
@@ -140,6 +157,8 @@ impl Disk {
                 rng: StdRng::seed_from_u64(seed),
                 checksums: HashMap::new(),
                 faults: None,
+                write_stamp: 0,
+                file_versions: HashMap::new(),
             }),
             cache,
             clock,
@@ -226,9 +245,28 @@ impl Disk {
         let mut inner = self.inner.lock();
         inner.backend.free_file(file.0);
         inner.checksums.retain(|&(f, _), _| f != file.0);
+        // A freed file's content is gone: advance its version so any
+        // decoded-run cache entry keyed to the old version can never
+        // serve again, even if a backend ever reused the id.
+        inner.bump_version(file.0);
         if let Some(cache) = &self.cache {
             cache.invalidate_file(file.0);
         }
+    }
+
+    /// The file's current content version: 0 for a file never written
+    /// through this disk, otherwise a strictly monotone stamp bumped
+    /// on every append, overwrite, or free. Two reads of the same
+    /// file at the same version are guaranteed to see the same bytes
+    /// (absent injected faults), which is the invariant decoded-run
+    /// caches rely on.
+    pub fn file_version(&self, file: FileId) -> u64 {
+        self.inner
+            .lock()
+            .file_versions
+            .get(&file.0)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Number of blocks currently allocated to `file`.
@@ -252,6 +290,7 @@ impl Disk {
             let mut inner = self.inner.lock();
             let index = inner.backend.append(file.0, &block)?;
             inner.checksums.insert((file.0, index), block.checksum());
+            inner.bump_version(file.0);
             index
         };
         if let Some(cache) = &self.cache {
@@ -363,6 +402,7 @@ impl Disk {
             let mut inner = self.inner.lock();
             inner.backend.write(file.0, index, &block)?;
             inner.checksums.insert((file.0, index), block.checksum());
+            inner.bump_version(file.0);
         }
         if let Some(cache) = &self.cache {
             cache.put(file.0, index, Arc::new(block));
@@ -377,6 +417,7 @@ impl Disk {
         let mut inner = self.inner.lock();
         let index = inner.backend.append(file.0, &block)?;
         inner.checksums.insert((file.0, index), block.checksum());
+        inner.bump_version(file.0);
         Ok(index)
     }
 
@@ -523,6 +564,38 @@ mod tests {
         disk.write_block(f, 0, b.clone()).unwrap();
         assert_eq!(disk.read_block_uncharged(f, 0).unwrap(), b);
         assert!(disk.write_block(f, 5, b).is_err());
+    }
+
+    #[test]
+    fn file_versions_advance_on_every_content_change() {
+        let (_, disk) = sim_disk();
+        let f = disk.create_file();
+        assert_eq!(disk.file_version(f), 0, "untouched file starts at 0");
+        disk.append_block(f, Block::zeroed(disk.block_size()))
+            .unwrap();
+        let v1 = disk.file_version(f);
+        assert!(v1 > 0, "append bumps the version");
+        disk.read_block(f, 0).unwrap();
+        assert_eq!(disk.file_version(f), v1, "reads never bump");
+        disk.write_block(f, 0, Block::zeroed(disk.block_size()))
+            .unwrap();
+        let v2 = disk.file_version(f);
+        assert!(v2 > v1, "in-place overwrite bumps");
+        disk.append_block_uncharged(f, Block::zeroed(disk.block_size()))
+            .unwrap();
+        let v3 = disk.file_version(f);
+        assert!(v3 > v2, "uncharged append bumps too");
+        // Two files never share a version for concurrent writes: the
+        // stamp is drawn from one global monotone counter.
+        let g = disk.create_file();
+        disk.append_block(g, Block::zeroed(disk.block_size()))
+            .unwrap();
+        assert!(disk.file_version(g) > v3);
+        disk.free_file(f);
+        assert!(
+            disk.file_version(f) > v3,
+            "freeing advances the version so stale cache entries die"
+        );
     }
 
     #[test]

@@ -239,8 +239,7 @@ mod tests {
 
     #[test]
     fn io_fault_equality_ignores_source() {
-        let with_source: StorageError =
-            std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let with_source: StorageError = std::io::Error::other("boom").into();
         let without = StorageError::Io(IoFault::new(std::io::ErrorKind::Other, "boom"));
         assert_eq!(with_source, without);
     }

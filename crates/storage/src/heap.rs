@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use crate::block::Block;
+use crate::columnar::ColumnarBlock;
 use crate::disk::{Disk, FileId};
 use crate::error::StorageError;
 use crate::schema::Schema;
@@ -81,6 +82,14 @@ impl HeapFile {
     /// Tuples per block.
     pub fn blocking_factor(&self) -> usize {
         self.blocking_factor
+    }
+
+    /// The file's current content version (see
+    /// [`Disk::file_version`]): bumped on every flushed block write,
+    /// so decoded-tuple caches can tell whether an entry still
+    /// matches the bytes on disk.
+    pub fn version(&self) -> u64 {
+        self.disk.file_version(self.file)
     }
 
     /// Total tuples appended (including any unflushed tail).
@@ -161,6 +170,16 @@ impl HeapFile {
             out.push(self.schema.decode(&block.bytes()[i * rec..(i + 1) * rec])?);
         }
         Ok(out)
+    }
+
+    /// Decodes the tuples stored in `block` into a per-column typed
+    /// layout instead of row tuples. Same contract as
+    /// [`HeapFile::decode_block`] — pure CPU, worker-thread safe —
+    /// and `decode_block_columnar(i, b)?.to_tuples()` is exactly
+    /// `decode_block(i, b)?`.
+    pub fn decode_block_columnar(&self, index: u64, block: &Block) -> Result<ColumnarBlock> {
+        let n = usize::try_from(self.tuples_in_block(index)).expect("fits usize");
+        ColumnarBlock::decode(&self.schema, block.bytes(), n)
     }
 
     /// Fetches raw block `index`, charging one block read (or cache
@@ -317,6 +336,19 @@ mod tests {
         assert_eq!(hf.num_blocks(), 0);
         assert_eq!(hf.tuples_in_block(0), 0);
         assert!(hf.scan_uncharged().unwrap().is_empty());
+    }
+
+    #[test]
+    fn columnar_decode_equals_row_decode_including_partial_tail() {
+        let (_, disk) = test_disk();
+        let tuples: Vec<Tuple> = (0..13).map(|i| int_tuple(i, i * 10)).collect();
+        let hf = HeapFile::load(disk.clone(), int_schema(), tuples).unwrap();
+        for b in 0..hf.num_blocks() {
+            let raw = disk.read_block_uncharged(hf.file_id(), b).unwrap();
+            let rows = hf.decode_block(b, &raw).unwrap();
+            let cols = hf.decode_block_columnar(b, &raw).unwrap();
+            assert_eq!(cols.to_tuples(), rows, "layouts disagree at block {b}");
+        }
     }
 
     #[test]

@@ -41,12 +41,14 @@ pub mod backend;
 pub mod block;
 pub mod cache;
 pub mod clock;
+pub mod columnar;
 pub mod cost;
 pub mod csv;
 pub mod disk;
 pub mod error;
 pub mod fault;
 pub mod heap;
+pub mod ingest;
 pub mod rng;
 pub mod schema;
 pub mod tuple;
@@ -54,12 +56,17 @@ pub mod tuple;
 pub use block::{Block, BlockId, BLOCK_SIZE};
 pub use cache::{BlockCache, RunCache};
 pub use clock::{Clock, Deadline, SimClock, WallClock};
+pub use columnar::{ColumnData, ColumnarBlock};
 pub use cost::{DeviceOp, DeviceProfile};
 pub use csv::{parse_schema_spec, read_csv};
 pub use disk::{Disk, DiskStats, FileId};
 pub use error::{IoFault, StorageError};
 pub use fault::{FaultPlan, FaultStats};
 pub use heap::HeapFile;
+pub use ingest::{
+    read_tuples, write_parquet_subset, CsvSource, IngestFormat, JsonLinesSource, ParquetSource,
+    TupleSource,
+};
 pub use rng::SeedSeq;
 pub use schema::{ColumnType, Schema};
 pub use tuple::{Tuple, Value};

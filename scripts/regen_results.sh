@@ -41,6 +41,7 @@ run abl_faults --runs "$RUNS"
 run abl_convergence
 run abl_groupby --runs 50
 run abl_parallel --runs 50
+run abl_layout --runs 50
 # Whole-batch cells: the binary clamps runs to 20 internally.
 run abl_admission --runs 10
 
@@ -58,5 +59,7 @@ cargo run --release -p eram-bench --bin abl_admission -- \
     --runs 5 --json results/ci/BENCH_abl_admission.json > /dev/null
 cargo run --release -p eram-bench --bin abl_groupby -- \
     --runs 5 --json results/ci/BENCH_abl_groupby.json > /dev/null
+cargo run --release -p eram-bench --bin abl_layout -- \
+    --runs 5 --json results/ci/BENCH_abl_layout.json > /dev/null
 
 echo "done — review git diff under results/ and commit" >&2

@@ -428,6 +428,95 @@ fn small_group_exact_fallback_matches_full_evaluation() {
 }
 
 #[test]
+fn zero_estimate_group_never_freezes_as_converged_at_zero() {
+    // Regression: the per-group freeze used a raw
+    // `relative_half_width <= target` comparison. A group whose
+    // running estimate is 0 has an *infinite* relative half-width,
+    // and `INFINITY <= INFINITY` is true — so under an unbounded
+    // target (a census-only "freeze whatever you have past
+    // min_tuples" policy) the group froze as "converged at 0" and
+    // pinned that snapshot for the rest of the run. The shared
+    // `error_bound_satisfied` gate now rejects non-positive
+    // estimates and non-finite half-widths in both the scalar and
+    // grouped paths.
+    use eram_core::GroupedAccumulator;
+
+    let agg = AggregateFn::SumBy {
+        column: 1,
+        group: 2,
+    };
+    let zeros: Vec<Tuple> = (0..10)
+        .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(0), Value::Int(7)]))
+        .collect();
+    let mut acc = GroupedAccumulator::new();
+    acc.absorb(&zeros, 2, Some(1));
+    let all_frozen = acc.check_convergence(1, agg, 10_000.0, 100.0, f64::INFINITY, 0.95, 5);
+    assert!(
+        !all_frozen,
+        "a zero-estimate group must not satisfy the bound"
+    );
+    let snap = &acc.snapshots(agg, 10_000.0, 100.0)[0];
+    assert!(
+        !snap.frozen && snap.converged_at.is_none(),
+        "group with running estimate 0 froze as converged-at-0"
+    );
+
+    // A group with a positive running estimate still freezes under
+    // the same unbounded target — the gate only rejects degenerate
+    // estimates, not the freeze mechanism.
+    let spikes: Vec<Tuple> = (0..10)
+        .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(50), Value::Int(8)]))
+        .collect();
+    acc.absorb(&spikes, 2, Some(1));
+    acc.check_convergence(2, agg, 10_000.0, 200.0, f64::INFINITY, 0.95, 5);
+    let snaps = acc.snapshots(agg, 10_000.0, 200.0);
+    let spiky = snaps.iter().find(|s| s.key == 8).unwrap();
+    let zeroed = snaps.iter().find(|s| s.key == 7).unwrap();
+    assert!(spiky.frozen, "positive estimates may still freeze");
+    assert!(!zeroed.frozen, "the zero group stays live across stages");
+}
+
+#[test]
+fn all_zero_group_rides_to_census_instead_of_freezing() {
+    // End-to-end: group 1's amounts are all zero. Under an unbounded
+    // per-group target it used to freeze at the first post-min_tuples
+    // check (inexact, converged_at set); now it can never satisfy the
+    // bound, rides to the census, and lands exact.
+    let mut db = grouped_db(27, &[6_000, 4_000], &[500, 0], &[300, 1]);
+    let expr = Expr::relation("g");
+    let out = db
+        .aggregate(
+            AggregateFn::SumBy {
+                column: 1,
+                group: 2,
+            },
+            expr,
+        )
+        .within(Duration::from_secs(1_000_000))
+        .stopping(eram_core::StoppingCriterion::GroupErrorBound {
+            target: f64::INFINITY,
+            confidence: 0.95,
+            min_tuples: 25,
+        })
+        .seed(11)
+        .run()
+        .unwrap();
+    let zero_group = out
+        .report
+        .groups
+        .iter()
+        .find(|g| g.key == 1)
+        .expect("all-zero group delivered");
+    assert!(
+        zero_group.converged_at_stage.is_none(),
+        "an all-zero group must never freeze as converged at 0"
+    );
+    assert!(zero_group.exact, "it rides to the census and lands exact");
+    assert_eq!(zero_group.estimate.estimate, 0.0);
+    assert_eq!(zero_group.estimate.variance, 0.0);
+}
+
+#[test]
 fn hard_deadline_abort_leaves_partial_groups_with_honest_cis() {
     let expr = Expr::relation("g");
     // Ensemble check: per-group estimates under a tight hard deadline

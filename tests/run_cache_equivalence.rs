@@ -9,12 +9,15 @@
 //! JSONL trace with the cache at any size — including off — at any
 //! worker count, and under injected storage faults.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use eram_bench::{Workload, WorkloadKind};
 use eram_core::{AggregateFn, Database, Tracer};
 use eram_relalg::{CmpOp, Expr, Predicate};
-use eram_storage::{ColumnType, FaultPlan, Schema, Tuple, Value};
+use eram_storage::{
+    ColumnType, DeviceProfile, Disk, FaultPlan, HeapFile, RunCache, Schema, SimClock, Tuple, Value,
+};
 
 /// True under the offline stand-in crates (see `offline/README.md`):
 /// the stub serde cannot serialize the replay artifacts.
@@ -189,4 +192,91 @@ fn faulted_runs_stay_identical_with_and_without_the_cache() {
         );
         assert_eq!(trace_on, trace_off);
     }
+}
+
+#[test]
+fn heavy_chaos_cannot_expose_stale_cached_runs() {
+    if stub_serde() {
+        eprintln!("skipped: offline serde stub cannot serialize the replay artifacts");
+        return;
+    }
+    // Much heavier degradation than the leg above: with one in five
+    // run-block reads corrupted or transiently lost, most runs come
+    // back incomplete, which drives the degraded-read invalidation
+    // path in `read_run` on nearly every stage. Cached, tiny-cached,
+    // and uncached executions must still agree byte for byte.
+    let kind = WorkloadKind::Join {
+        output_tuples: 70_000,
+    };
+    let quota = Duration::from_secs_f64(2.5);
+    let plan = || FaultPlan::new(31).with_corruption(0.2).with_transient(0.2);
+    for workers in [1, 4] {
+        let (report_on, trace_on) = run_workload(kind, workers, 51, quota, None, Some(plan()));
+        let (report_tiny, trace_tiny) =
+            run_workload(kind, workers, 51, quota, Some(256), Some(plan()));
+        let (report_off, trace_off) = run_workload(kind, workers, 51, quota, Some(0), Some(plan()));
+        assert_eq!(
+            report_on, report_off,
+            "heavy-chaos run diverged with the run cache off at workers={workers}"
+        );
+        assert_eq!(
+            report_tiny, report_off,
+            "heavy-chaos run diverged with a tiny run cache at workers={workers}"
+        );
+        assert_eq!(trace_on, trace_off);
+        assert_eq!(trace_tiny, trace_off);
+    }
+}
+
+/// Regression for the run-cache staleness bug: a decoded run cached
+/// before its file was rewritten (or freed) kept being served by
+/// file id, because nothing tied the cache entry to the file's
+/// on-disk content. This mirrors the executor's exact protocol —
+/// decode once, cache under the file's content version, look up with
+/// the *current* version — and fails on the pre-fix cache, which
+/// keyed entries by `FileId` alone.
+#[test]
+fn cached_run_never_serves_pre_overwrite_tuples() {
+    let clock = Arc::new(SimClock::new());
+    let disk = Disk::new(clock, DeviceProfile::sun_3_60().without_jitter(), 5);
+    let schema = Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)]).padded_to(200);
+    let old: Vec<Tuple> = (0..5)
+        .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(10 + i)]))
+        .collect();
+    let file = HeapFile::load(disk.clone(), schema.clone(), old.clone()).unwrap();
+
+    let mut cache = RunCache::new(1_000);
+    let decoded: Arc<[Tuple]> = file.scan_uncharged().unwrap().into();
+    cache.put(file.file_id(), file.version(), decoded);
+    assert!(cache.get(file.file_id(), file.version()).is_some());
+
+    // A fault event rewrites the run's only block in place with
+    // different tuples (encoded via a donor file on the same disk).
+    let new: Vec<Tuple> = (0..5)
+        .map(|i| Tuple::new(vec![Value::Int(100 + i), Value::Int(0)]))
+        .collect();
+    let donor = HeapFile::load(disk.clone(), schema, new.clone()).unwrap();
+    let donor_block = disk.read_block_uncharged(donor.file_id(), 0).unwrap();
+    disk.write_block(file.file_id(), 0, donor_block).unwrap();
+
+    // The disk now answers with the new tuples...
+    assert_eq!(file.scan_uncharged().unwrap(), new);
+    // ...so the cache must not keep answering with the old ones: the
+    // overwrite advanced the file's version and the stale entry dies
+    // on lookup instead of being served.
+    assert!(
+        cache.get(file.file_id(), file.version()).is_none(),
+        "run cache served pre-overwrite tuples for a rewritten file"
+    );
+
+    // Freeing a file advances its version too, so a run cached
+    // before the free can never be served afterwards either.
+    let mut cache2 = RunCache::new(1_000);
+    cache2.put(donor.file_id(), donor.version(), new.into());
+    let donor_id = donor.file_id();
+    donor.free();
+    assert!(
+        cache2.get(donor_id, disk.file_version(donor_id)).is_none(),
+        "run cache served tuples for a freed file"
+    );
 }
