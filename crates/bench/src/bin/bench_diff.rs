@@ -13,7 +13,7 @@
 //! usage or I/O error.
 
 use eram_bench::bench_json::BenchReport;
-use eram_bench::diff::{diff_reports, parse_diff_args};
+use eram_bench::diff::{diff_reports, parse_diff_args, validate_schema_version};
 
 fn main() {
     let cli = match parse_diff_args(std::env::args().skip(1)) {
@@ -32,6 +32,12 @@ fn main() {
     };
     let baseline = load(&cli.baseline);
     let candidate = load(&cli.candidate);
+    for (what, report) in [("baseline", &baseline), ("candidate", &candidate)] {
+        if let Err(err) = validate_schema_version(what, report) {
+            eprintln!("bench-diff: {err}");
+            std::process::exit(2);
+        }
+    }
     let issues = diff_reports(&baseline, &candidate, &cli.opts);
     if issues.is_empty() {
         println!(

@@ -17,7 +17,22 @@
 //! [`diff_reports`] returns the list of human-readable findings; the
 //! `bench-diff` binary turns a non-empty list into exit code 1.
 
-use crate::bench_json::BenchReport;
+use crate::bench_json::{BenchReport, BENCH_SCHEMA_VERSION};
+
+/// Rejects a report whose `schema_version` is newer than this build
+/// understands, naming the offending version — a structured ingest
+/// failure, not a parse panic or a spurious field-by-field diff.
+/// Versions at or below [`BENCH_SCHEMA_VERSION`] pass (0 covers
+/// pre-versioning reports, whose field defaults still deserialize).
+pub fn validate_schema_version(what: &str, report: &BenchReport) -> Result<(), String> {
+    if report.schema_version > BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "{what}: unknown schema_version {} (this build supports <= {BENCH_SCHEMA_VERSION})",
+            report.schema_version
+        ));
+    }
+    Ok(())
+}
 
 /// Tolerances and toggles for a diff run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -302,6 +317,22 @@ mod tests {
         cand.schema_version += 1;
         let issues = diff_reports(&base, &cand, &DiffOptions::default());
         assert!(issues.iter().any(|i| i.contains("schema_version mismatch")));
+    }
+
+    #[test]
+    fn unknown_schema_versions_are_refused_by_name() {
+        let mut report = report(0.5, 2.0);
+        assert!(validate_schema_version("baseline", &report).is_ok());
+        report.schema_version = BENCH_SCHEMA_VERSION + 3;
+        let err = validate_schema_version("candidate", &report).unwrap_err();
+        assert!(
+            err.contains(&format!("schema_version {}", BENCH_SCHEMA_VERSION + 3)),
+            "the error names the version: {err}"
+        );
+        assert!(err.starts_with("candidate:"), "{err}");
+        // Pre-versioning reports (version 0) still ingest.
+        report.schema_version = 0;
+        assert!(validate_schema_version("baseline", &report).is_ok());
     }
 
     #[test]

@@ -95,6 +95,10 @@ pub struct Cli {
     pub trace: Option<PathBuf>,
     /// Collect and render storage/stage-loop metrics.
     pub metrics: bool,
+    /// Collect the per-tenant SLO ledger and decision audit log into
+    /// the `--serve` outcome. Pure observation: the job table, trace,
+    /// and the rest of the outcome are identical with or without it.
+    pub ledger: bool,
     /// Profile the run and print the top phases by wall time after
     /// the health line. Pure observation: the estimate, trace, and
     /// report are identical with or without it.
@@ -143,7 +147,7 @@ pub const USAGE: &str = "usage: eram --load NAME=FILE.csv:COL:TYPE[,COL:TYPE...]
 [--layout row|columnar] \
 [--query EXPR --quota SECS \
 [--agg count|sum:COL|avg:COL|count:by:G|sum:COL:by:G|avg:COL:by:G]] \
-[--serve JOBS.json [--jobs-out FILE]]";
+[--serve JOBS.json [--jobs-out FILE] [--ledger]]";
 
 impl Cli {
     /// Parses arguments (without the program name).
@@ -242,6 +246,7 @@ impl Cli {
                     ));
                 }
                 "--metrics" => cli.metrics = true,
+                "--ledger" => cli.ledger = true,
                 "--profile" => cli.profile = true,
                 "--workers" => {
                     let n: usize = args
@@ -292,6 +297,9 @@ impl Cli {
         }
         if cli.jobs_out.is_some() && cli.serve.is_none() {
             return Err(err("--jobs-out requires --serve"));
+        }
+        if cli.ledger && cli.serve.is_none() {
+            return Err(err("--ledger requires --serve"));
         }
         // `--agg` used to be accepted (and silently ignored) without a
         // query: the aggregate only applies to a one-shot `--query`
@@ -656,7 +664,8 @@ fn render_server(outcome: &ServerOutcome) -> String {
 /// [`QueryServer`] and renders a per-job table. With `--jobs-out
 /// FILE` the full [`ServerOutcome`] JSON is written to `FILE`; with
 /// `--trace FILE` the interleaved server + engine trace is written as
-/// JSONL.
+/// JSONL; with `--ledger` the outcome carries the per-tenant SLO
+/// ledger and decision audit log (for `eram-explain`).
 pub fn run_serve(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
     let path = cli.serve.as_ref().expect("caller checked");
     let text = std::fs::read_to_string(path)
@@ -675,9 +684,18 @@ pub fn run_serve(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
     let outcome = QueryServer::new()
         .workers(cli.workers.max(1))
         .metrics(cli.metrics)
+        .ledger(cli.ledger)
         .tracer(tracer.clone())
         .run(db, jobs);
     let mut rendered = render_server(&outcome);
+    if let Some(ledger) = &outcome.ledger {
+        rendered.push_str(&format!(
+            "\nledger: {} tenant(s), {} decision(s), {} refit(s)",
+            ledger.tenants.len(),
+            ledger.decisions.len(),
+            ledger.refits.len()
+        ));
+    }
     if let Some(path) = &cli.jobs_out {
         std::fs::write(path, outcome.to_json())
             .map_err(|e| err(format!("--jobs-out {}: {e}", path.display())))?;
@@ -1036,6 +1054,11 @@ mod tests {
         assert!(Cli::parse(["--fault-spike", "2.0"]).is_err());
         assert!(Cli::parse(["--jobs-out", "x.json"]).is_err()); // no --serve
         assert!(Cli::parse(["--query", "r", "--quota", "1", "--serve", "jobs.json"]).is_err());
+        // `--ledger` is a serve-mode flag.
+        let cli = Cli::parse(["--serve", "jobs.json", "--ledger"]).unwrap();
+        assert!(cli.ledger);
+        assert!(Cli::parse(["--ledger"]).is_err());
+        assert!(Cli::parse(["--query", "r", "--quota", "1", "--ledger"]).is_err());
     }
 
     #[test]
@@ -1079,6 +1102,63 @@ mod tests {
         assert_eq!(outcome["stats"]["offered"], 3);
         assert_eq!(outcome["stats"]["refused"], 1);
         assert_eq!(outcome["jobs"].as_array().unwrap().len(), 3);
+        let _ = std::fs::remove_file(csv);
+        let _ = std::fs::remove_file(jobs_path);
+        let _ = std::fs::remove_file(out_path);
+    }
+
+    #[test]
+    fn serve_with_ledger_rides_the_outcome_without_perturbing_it() {
+        if serde_json::to_string(&0u32).is_err() {
+            eprintln!("skipped: offline serde stub cannot serialize");
+            return;
+        }
+        let rows: String = (0..512).map(|i| format!("{i},{}\n", i % 100)).collect();
+        let csv = write_csv("served-ledger", &rows);
+        let jobs_path =
+            std::env::temp_dir().join(format!("eram-cli-ljobs-{}.json", std::process::id()));
+        let out_path =
+            std::env::temp_dir().join(format!("eram-cli-lout-{}.json", std::process::id()));
+        std::fs::write(
+            &jobs_path,
+            r#"[
+                {"name": "dash", "expr": "select[#1 < 50](t)", "deadline_secs": 8.0},
+                {"name": "tiny", "expr": "t", "deadline_secs": 0.05}
+            ]"#,
+        )
+        .unwrap();
+        let run = |ledger: bool| {
+            let mut args = vec![
+                "--load".to_string(),
+                format!("t={}:k:int,v:int", csv.display()),
+                "--serve".to_string(),
+                jobs_path.display().to_string(),
+                "--jobs-out".to_string(),
+                out_path.display().to_string(),
+            ];
+            if ledger {
+                args.push("--ledger".to_string());
+            }
+            let cli = Cli::parse(args).unwrap();
+            let mut db = build_database(&cli).unwrap();
+            let rendered = run_serve(&mut db, &cli).unwrap();
+            (rendered, std::fs::read_to_string(&out_path).unwrap())
+        };
+        let (plain_render, plain_json) = run(false);
+        let (ledger_render, ledger_json) = run(true);
+        assert!(!plain_render.contains("ledger:"), "{plain_render}");
+        assert!(
+            ledger_render.contains("ledger: 2 tenant(s)"),
+            "{ledger_render}"
+        );
+        let outcome: serde_json::Value = serde_json::from_str(&ledger_json).unwrap();
+        assert_eq!(outcome["ledger"]["tenants"]["dash"]["completed"], 1);
+        assert_eq!(outcome["ledger"]["tenants"]["tiny"]["refused"], 1);
+        // Pure observation: stripping the ledger restores the exact
+        // bytes of the ledger-off outcome.
+        let mut stripped: eram_core::ServerOutcome = serde_json::from_str(&ledger_json).unwrap();
+        stripped.ledger = None;
+        assert_eq!(stripped.to_json(), plain_json);
         let _ = std::fs::remove_file(csv);
         let _ = std::fs::remove_file(jobs_path);
         let _ = std::fs::remove_file(out_path);

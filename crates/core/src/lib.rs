@@ -99,7 +99,8 @@ pub use report::{ExecutionReport, GroupReport, RefusalReason, ReportHealth, Stag
 pub use retry::RetryPolicy;
 pub use scheduler::{EdfScheduler, JobOutcome, JobStatus, QueryJob, DEFAULT_MIN_QUOTA};
 pub use server::{
-    JobReport, JobState, QueryServer, ServerConfig, ServerJob, ServerOutcome, ServerStats,
+    DecisionAction, DecisionRecord, JobReport, JobState, QueryServer, RefitSample, ServerConfig,
+    ServerJob, ServerOutcome, ServerStats, TenantLedger, TenantSlo,
 };
 pub use session::{CountQuery, Database, QueryConfig, TimedCount};
 pub use stopping::{error_bound_satisfied, StoppingCriterion};

@@ -73,7 +73,11 @@ impl Histogram {
 
     /// Nearest-rank quantile over the retained samples, or `None`
     /// when empty (or when the histogram was deserialized from a
-    /// pre-`samples` snapshot) or `q` is outside `[0, 1]`.
+    /// pre-`samples` snapshot) or `q` is outside `[0, 1]`. Never a
+    /// surprising 0: an empty histogram is `None`, a single-sample
+    /// histogram returns that sample for every `q`, and on tiny
+    /// counts the nearest-rank convention picks a real observation
+    /// (`q = 0` the minimum, `q = 1` the maximum).
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.samples.is_empty() || !(0.0..=1.0).contains(&q) {
             return None;
@@ -221,6 +225,24 @@ mod tests {
         assert_eq!(h.p95(), Some(7.5));
         assert_eq!(h.quantile(0.0), Some(7.5));
         assert_eq!(h.quantile(1.0), Some(7.5));
+    }
+
+    #[test]
+    fn tiny_sample_counts_pick_real_observations() {
+        // Two samples: nearest-rank p50 is the lower one, p95 the
+        // upper — never an interpolated value or a surprising 0.
+        let mut h = Histogram::default();
+        h.observe(10.0);
+        h.observe(20.0);
+        assert_eq!(h.p50(), Some(10.0));
+        assert_eq!(h.p95(), Some(20.0));
+        assert_eq!(h.quantile(0.0), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(20.0));
+        // Three samples: the median is the middle observation.
+        h.observe(30.0);
+        assert_eq!(h.p50(), Some(20.0));
+        assert_eq!(h.p95(), Some(30.0));
+        assert_eq!(h.quantile(0.0), Some(10.0));
     }
 
     #[test]

@@ -43,8 +43,11 @@
 //! | `stopping_check` | event | exactly one per executed stage |
 //! | `stop` | event | exactly one per run, with the loop-exit reason |
 //! | `convergence` | stage | per-stage estimate / CI / time trajectory |
+//! | `group_convergence` | stage | per-stage GROUP BY freeze state |
+//! | `server.decision` | event | one per admission/grant/shed/refit/watchdog/terminal decision, with its inputs (see [`DecisionRecord`](crate::server::DecisionRecord)) |
 //!
-//! The JSONL schema is documented in `DESIGN.md` §"Observability".
+//! The JSONL schema is documented in `DESIGN.md` §"Observability";
+//! the decision audit and per-tenant SLO ledger in `DESIGN.md` §5j.
 
 mod metrics;
 mod profiler;

@@ -51,6 +51,14 @@
 //! seeded multi-job run therefore produces byte-identical
 //! [`ServerOutcome`] JSON and trace JSONL across `--workers 1/4` and
 //! across repeated runs (on a simulated clock).
+//!
+//! **Deadline forensics**: every serving decision — admission,
+//! refusal, grant deflation, refit, shed, watchdog trip, completion —
+//! is mirrored as a `server.decision` trace event carrying the inputs
+//! it was made from, and (when [`ServerConfig::collect_ledger`] is
+//! set) folded into a [`TenantLedger`] of per-tenant SLO counters and
+//! an append-only decision audit log riding
+//! [`ServerOutcome::ledger`]. See [`ledger`].
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -76,6 +84,12 @@ use crate::scheduler::{QueryJob, DEFAULT_MIN_QUOTA};
 use crate::seltrack::SelectivityDefaults;
 use crate::session::Database;
 use crate::stopping::StoppingCriterion;
+
+pub mod ledger;
+
+pub use ledger::{DecisionAction, DecisionRecord, RefitSample, TenantLedger, TenantSlo};
+
+use ledger::duration_ns;
 
 /// One tenant's deadline-bound aggregate request.
 #[derive(Debug, Clone)]
@@ -287,6 +301,12 @@ pub struct ServerOutcome {
     /// [`ServerConfig::collect_metrics`] was set.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<MetricsSnapshot>,
+    /// Per-tenant SLO counters and the decision audit log, when
+    /// [`ServerConfig::collect_ledger`] was set. Pure observation:
+    /// with the flag off this field stays off the wire and the
+    /// outcome JSON is byte-identical to pre-ledger writers.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub ledger: Option<TenantLedger>,
 }
 
 impl ServerOutcome {
@@ -333,6 +353,12 @@ pub struct ServerConfig {
     /// Collect server-loop counters into [`ServerOutcome::metrics`]
     /// and per-job engine metrics into each job's report.
     pub collect_metrics: bool,
+    /// Aggregate the per-tenant SLO ledger and decision audit log
+    /// into [`ServerOutcome::ledger`]. Charge-free and RNG-free;
+    /// `server.decision` trace events are emitted whenever a
+    /// recording tracer is attached, regardless of this flag, so the
+    /// trace stream is identical either way.
+    pub collect_ledger: bool,
 }
 
 impl Default for ServerConfig {
@@ -348,6 +374,7 @@ impl Default for ServerConfig {
             watchdog_grace: 1.25,
             tracer: Tracer::disabled(),
             collect_metrics: false,
+            collect_ledger: false,
         }
     }
 }
@@ -443,6 +470,13 @@ impl QueryServer {
         self
     }
 
+    /// Toggles the per-tenant SLO ledger and decision audit log
+    /// ([`ServerOutcome::ledger`]).
+    pub fn ledger(mut self, on: bool) -> Self {
+        self.config.collect_ledger = on;
+        self
+    }
+
     /// Serves a batch: admission, execution with replan-and-shed,
     /// refit. Consumes the database's clock time; returns one report
     /// per offered job in canonical admission (EDF) order.
@@ -450,6 +484,8 @@ impl QueryServer {
         let cfg = &self.config;
         let tracer = cfg.tracer.clone();
         let mut registry = cfg.collect_metrics.then(MetricsRegistry::new);
+        let mut ledger = cfg.collect_ledger.then(TenantLedger::new);
+        let clock = db.disk().clock().clone();
         let model = cfg
             .cost_model
             .clone()
@@ -469,6 +505,14 @@ impl QueryServer {
         let mut pending: Vec<usize> = Vec::new();
         let mut projected = Duration::ZERO;
         for (idx, job) in jobs.iter().enumerate() {
+            if let Some(ledger) = ledger.as_mut() {
+                ledger.offer(&job.name);
+            }
+            // Admission is charge-free, so this stamp is the batch
+            // start for every phase-1 decision — same timebase as the
+            // trace stream.
+            let t_ns = duration_ns(clock.elapsed());
+            let slack = job.deadline.saturating_sub(projected);
             let grant = grant_for(job, projected, cfg.slack_margin, 1.0);
             let alone = grant_for(job, Duration::ZERO, cfg.slack_margin, 1.0);
             if grant < job.min_quota {
@@ -485,6 +529,19 @@ impl QueryServer {
                         ("min_quota_ns", json_ns(job.min_quota)),
                     ]
                 });
+                decide(
+                    &mut ledger,
+                    &tracer,
+                    DecisionRecord {
+                        reason: Some(reason),
+                        slack_ns: Some(duration_ns(slack)),
+                        grant_ns: Some(duration_ns(grant)),
+                        min_quota_ns: Some(duration_ns(job.min_quota)),
+                        projected_start_ns: Some(duration_ns(projected)),
+                        margin: Some(cfg.slack_margin),
+                        ..DecisionRecord::new(t_ns, DecisionAction::Refuse, job.name.as_str())
+                    },
+                );
                 stats.refused += 1;
                 count(&mut registry, "server.refused");
                 slots[idx] = Some(denied_report(job, Duration::ZERO, reason));
@@ -503,14 +560,24 @@ impl QueryServer {
                         ("error", JsonValue::from(error.clone())),
                     ]
                 });
+                decide(
+                    &mut ledger,
+                    &tracer,
+                    DecisionRecord {
+                        error: Some(error.clone()),
+                        ..DecisionRecord::new(t_ns, DecisionAction::Fail, job.name.as_str())
+                    },
+                );
                 stats.failed += 1;
                 count(&mut registry, "server.failed");
                 slots[idx] = Some(failed_report(job, Duration::ZERO, Duration::ZERO, error));
                 continue;
             }
+            let mut floor = None;
             if cfg.qcost_admission {
                 match qcost_floor(db, &job.expr, cfg.optimize, &model) {
                     Ok(floor_secs) => {
+                        floor = Some(floor_secs);
                         if floor_secs > grant.as_secs_f64() {
                             let reason = if floor_secs > alone.as_secs_f64() {
                                 RefusalReason::Infeasible
@@ -525,6 +592,24 @@ impl QueryServer {
                                     ("qcost_floor_secs", JsonValue::from(floor_secs)),
                                 ]
                             });
+                            decide(
+                                &mut ledger,
+                                &tracer,
+                                DecisionRecord {
+                                    reason: Some(reason),
+                                    slack_ns: Some(duration_ns(slack)),
+                                    grant_ns: Some(duration_ns(grant)),
+                                    min_quota_ns: Some(duration_ns(job.min_quota)),
+                                    projected_start_ns: Some(duration_ns(projected)),
+                                    predicted_cost_secs: Some(floor_secs),
+                                    margin: Some(cfg.slack_margin),
+                                    ..DecisionRecord::new(
+                                        t_ns,
+                                        DecisionAction::Refuse,
+                                        job.name.as_str(),
+                                    )
+                                },
+                            );
                             stats.refused += 1;
                             count(&mut registry, "server.refused");
                             slots[idx] = Some(denied_report(job, Duration::ZERO, reason));
@@ -542,6 +627,14 @@ impl QueryServer {
                                 ("error", JsonValue::from(error.clone())),
                             ]
                         });
+                        decide(
+                            &mut ledger,
+                            &tracer,
+                            DecisionRecord {
+                                error: Some(error.clone()),
+                                ..DecisionRecord::new(t_ns, DecisionAction::Fail, job.name.as_str())
+                            },
+                        );
                         stats.failed += 1;
                         count(&mut registry, "server.failed");
                         slots[idx] =
@@ -557,6 +650,20 @@ impl QueryServer {
                     ("projected_start_ns", json_ns(projected)),
                 ]
             });
+            decide(
+                &mut ledger,
+                &tracer,
+                DecisionRecord {
+                    slack_ns: Some(duration_ns(slack)),
+                    grant_ns: Some(duration_ns(grant)),
+                    min_quota_ns: Some(duration_ns(job.min_quota)),
+                    projected_start_ns: Some(duration_ns(projected)),
+                    predicted_cost_secs: floor,
+                    margin: Some(cfg.slack_margin),
+                    overrun: Some(1.0), // factor is 1.0 at admission
+                    ..DecisionRecord::new(t_ns, DecisionAction::Admit, job.name.as_str())
+                },
+            );
             stats.admitted += 1;
             count(&mut registry, "server.admitted");
             projected += grant; // overrun factor is 1.0 at admission
@@ -564,7 +671,6 @@ impl QueryServer {
         }
 
         // ---- Phase 2: execution with replan-and-shed + refit. ----
-        let clock = db.disk().clock().clone();
         let start = clock.elapsed();
         let now = |clock: &Arc<dyn Clock>| clock.elapsed().saturating_sub(start);
         let mut overrun = 1.0f64;
@@ -585,6 +691,23 @@ impl QueryServer {
                         ("value", JsonValue::from(victim.value)),
                     ]
                 });
+                decide(
+                    &mut ledger,
+                    &tracer,
+                    DecisionRecord {
+                        reason: Some(RefusalReason::Shed),
+                        slack_ns: Some(duration_ns(victim.deadline.saturating_sub(t))),
+                        min_quota_ns: Some(duration_ns(victim.min_quota)),
+                        margin: Some(cfg.slack_margin),
+                        overrun: Some(factor),
+                        value: Some(victim.value),
+                        ..DecisionRecord::new(
+                            duration_ns(clock.elapsed()),
+                            DecisionAction::Shed,
+                            victim.name.as_str(),
+                        )
+                    },
+                );
                 stats.shed += 1;
                 count(&mut registry, "server.shed");
                 slots[vidx] = Some(denied_report(victim, t, RefusalReason::Shed));
@@ -603,6 +726,22 @@ impl QueryServer {
                     ("overrun_x1000", JsonValue::from((factor * 1000.0) as u64)),
                 ]
             });
+            decide(
+                &mut ledger,
+                &tracer,
+                DecisionRecord {
+                    slack_ns: Some(duration_ns(job.deadline.saturating_sub(started_at))),
+                    grant_ns: Some(duration_ns(quota)),
+                    min_quota_ns: Some(duration_ns(job.min_quota)),
+                    margin: Some(cfg.slack_margin),
+                    overrun: Some(factor),
+                    ..DecisionRecord::new(
+                        duration_ns(clock.elapsed()),
+                        DecisionAction::Grant,
+                        job.name.as_str(),
+                    )
+                },
+            );
             observe(&mut registry, "server.grant_secs", quota.as_secs_f64());
             let retry = job.retry.unwrap_or(cfg.retry);
             let mut query = db
@@ -633,6 +772,21 @@ impl QueryServer {
                         ("overrun", JsonValue::from(logged)),
                     ]
                 });
+                decide(
+                    &mut ledger,
+                    &tracer,
+                    DecisionRecord {
+                        grant_ns: Some(duration_ns(quota)),
+                        overrun: Some(logged),
+                        ratio: Some(ratio),
+                        spent_ns: Some(duration_ns(spent)),
+                        ..DecisionRecord::new(
+                            duration_ns(clock.elapsed()),
+                            DecisionAction::Refit,
+                            job.name.as_str(),
+                        )
+                    },
+                );
                 observe(&mut registry, "server.overrun_ratio", ratio);
             }
             if spent > scale(quota, cfg.watchdog_grace) {
@@ -643,6 +797,19 @@ impl QueryServer {
                         ("spent_ns", json_ns(spent)),
                     ]
                 });
+                decide(
+                    &mut ledger,
+                    &tracer,
+                    DecisionRecord {
+                        grant_ns: Some(duration_ns(quota)),
+                        spent_ns: Some(duration_ns(spent)),
+                        ..DecisionRecord::new(
+                            duration_ns(clock.elapsed()),
+                            DecisionAction::Watchdog,
+                            job.name.as_str(),
+                        )
+                    },
+                );
                 stats.watchdog_overruns += 1;
                 count(&mut registry, "server.watchdog_overruns");
             }
@@ -666,6 +833,29 @@ impl QueryServer {
                             ("met", JsonValue::from(met)),
                         ]
                     });
+                    decide(
+                        &mut ledger,
+                        &tracer,
+                        DecisionRecord {
+                            slack_ns: Some(duration_ns(job.deadline.saturating_sub(finished_at))),
+                            grant_ns: Some(duration_ns(quota)),
+                            spent_ns: Some(duration_ns(spent)),
+                            value: Some(job.value),
+                            met: Some(met),
+                            ..DecisionRecord::new(
+                                duration_ns(clock.elapsed()),
+                                DecisionAction::Done,
+                                job.name.as_str(),
+                            )
+                        },
+                    );
+                    if let Some(ledger) = ledger.as_mut() {
+                        ledger.bank_slack(
+                            &job.name,
+                            job.value,
+                            job.deadline.saturating_sub(finished_at),
+                        );
+                    }
                     JobReport {
                         name: job.name.clone(),
                         deadline: job.deadline,
@@ -692,6 +882,23 @@ impl QueryServer {
                             ("error", JsonValue::from(error.clone())),
                         ]
                     });
+                    decide(
+                        &mut ledger,
+                        &tracer,
+                        DecisionRecord {
+                            grant_ns: Some(duration_ns(quota)),
+                            spent_ns: Some(duration_ns(spent)),
+                            error: Some(error.clone()),
+                            ..DecisionRecord::new(
+                                duration_ns(clock.elapsed()),
+                                DecisionAction::Fail,
+                                job.name.as_str(),
+                            )
+                        },
+                    );
+                    if let Some(ledger) = ledger.as_mut() {
+                        ledger.spend(&job.name, spent);
+                    }
                     let mut r = failed_report(job, started_at, finished_at, error);
                     r.granted_quota = quota;
                     r
@@ -711,7 +918,21 @@ impl QueryServer {
                 .collect(),
             stats,
             metrics: registry.map(|r| r.snapshot()),
+            ledger,
         }
+    }
+}
+
+/// Mirrors one serving decision into the trace stream (always, when a
+/// recording tracer is attached — the field closure is skipped when
+/// tracing is off) and into the ledger (only when one is being
+/// collected). Keeping the event unconditional is what makes the
+/// ledger flag trace-invisible: the JSONL stream is byte-identical
+/// with the ledger on or off.
+fn decide(ledger: &mut Option<TenantLedger>, tracer: &Tracer, record: DecisionRecord) {
+    tracer.event("server.decision", || record.trace_fields());
+    if let Some(ledger) = ledger.as_mut() {
+        ledger.record(record);
     }
 }
 
@@ -1162,6 +1383,111 @@ mod tests {
         assert_eq!(m.counter("server.admitted"), 1);
         assert_eq!(m.counter("server.refused"), 1);
         assert_eq!(m.counter("server.offered"), 2);
+    }
+
+    #[test]
+    fn ledger_counters_cross_check_stats() {
+        let mut db = db(37);
+        let jobs = vec![
+            ServerJob::count("ok", sel(5), Duration::from_secs(6)),
+            ServerJob::count("tiny", sel(5), Duration::from_millis(50)),
+            ServerJob::count("broken", Expr::relation("no_such"), Duration::from_secs(5)),
+        ];
+        let outcome = QueryServer::new().ledger(true).run(&mut db, jobs);
+        let ledger = outcome.ledger.as_ref().expect("ledger was requested");
+        assert_eq!(ledger.schema_version, crate::obs::SCHEMA_VERSION);
+        let sum = |f: fn(&TenantSlo) -> u64| ledger.tenants.values().map(f).sum::<u64>();
+        assert_eq!(sum(|t| t.offered), outcome.stats.offered);
+        assert_eq!(sum(|t| t.admitted), outcome.stats.admitted);
+        assert_eq!(sum(|t| t.refused), outcome.stats.refused);
+        assert_eq!(sum(|t| t.failed), outcome.stats.failed);
+        assert_eq!(sum(|t| t.completed), outcome.stats.completed);
+        assert_eq!(sum(|t| t.deadlines_met), outcome.stats.deadlines_met);
+        assert_eq!(sum(|t| t.deadlines_missed), outcome.stats.deadlines_missed);
+        // The completed tenant banked its spend against its grant and
+        // some positive value-weighted slack.
+        let ok = ledger.tenants.get("ok").unwrap();
+        assert!(ok.granted_ns > 0);
+        assert!(ok.spent_ns > 0);
+        assert!(ok.value_weighted_slack_secs > 0.0);
+        // The audit log narrates the whole batch: every tenant's
+        // terminal decision is present.
+        let action_of = |name: &str| {
+            ledger
+                .decisions
+                .iter()
+                .rev()
+                .find(|d| d.job == name)
+                .map(|d| d.action)
+        };
+        assert_eq!(action_of("ok"), Some(DecisionAction::Done));
+        assert_eq!(action_of("tiny"), Some(DecisionAction::Refuse));
+        assert_eq!(action_of("broken"), Some(DecisionAction::Fail));
+        // Refusals carry their inputs.
+        let refusal = ledger
+            .decisions
+            .iter()
+            .find(|d| d.action == DecisionAction::Refuse)
+            .unwrap();
+        assert_eq!(refusal.reason, Some(RefusalReason::Infeasible));
+        assert!(refusal.grant_ns.is_some());
+        assert!(refusal.min_quota_ns.is_some());
+        assert_eq!(refusal.margin, Some(0.9));
+    }
+
+    /// The acceptance criterion: the ledger is pure observation. The
+    /// trace stream and the rest of the outcome are byte-identical
+    /// with the ledger on or off.
+    #[test]
+    fn ledger_is_trace_invisible_and_strips_to_disabled_bytes() {
+        let run = |with_ledger: bool| {
+            let mut db = db(43);
+            db.inject_faults(FaultPlan::new(3).with_transient(0.05));
+            let tracer = Tracer::recording(db.disk().clock().clone());
+            let jobs = vec![
+                ServerJob::count("a", sel(3), Duration::from_secs(6)),
+                ServerJob::count("b", sel(5), Duration::from_secs(14)),
+                ServerJob::count("tiny", sel(5), Duration::from_millis(50)),
+            ];
+            let outcome = QueryServer::new()
+                .metrics(true)
+                .ledger(with_ledger)
+                .tracer(tracer.clone())
+                .run(&mut db, jobs);
+            (outcome, tracer)
+        };
+        let (with, trace_with) = run(true);
+        let (without, trace_without) = run(false);
+        assert!(with.ledger.is_some());
+        assert!(without.ledger.is_none());
+        // The decision events are in the trace either way.
+        assert!(trace_with
+            .records()
+            .iter()
+            .any(|r| r.name == "server.decision"));
+        if serde_json::to_string(&0u32).is_ok() {
+            assert_eq!(
+                trace_with.to_jsonl(),
+                trace_without.to_jsonl(),
+                "trace must not depend on the ledger flag"
+            );
+            let mut stripped = with.clone();
+            stripped.ledger = None;
+            assert_eq!(
+                stripped.to_json(),
+                without.to_json(),
+                "outside the ledger field the outcome must be byte-identical"
+            );
+        } else {
+            // Offline stubs cannot serialize; compare structurally.
+            assert_eq!(
+                format!("{:?}", trace_with.records()),
+                format!("{:?}", trace_without.records())
+            );
+            let mut stripped = with.clone();
+            stripped.ledger = None;
+            assert_eq!(stripped, without);
+        }
     }
 
     #[test]

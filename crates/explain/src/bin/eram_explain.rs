@@ -1,0 +1,117 @@
+//! `eram-explain` — render a postmortem from the engine's
+//! observability artifacts.
+//!
+//! ```text
+//! eram-explain [--trace trace.jsonl] [--outcome outcome.json]
+//!              [--report report.json] [--format text|json]
+//! ```
+//!
+//! At least one input is required. Exit status: 0 on success, 2 on
+//! usage, I/O, parse, or unknown-schema-version errors (the error is
+//! printed to stderr with the offending version named).
+
+use std::process::ExitCode;
+
+use eram_explain::{parse_outcome, parse_report, parse_trace, postmortem, ExplainError, Format};
+
+const USAGE: &str = "eram-explain [--trace FILE] [--outcome FILE] [--report FILE] \
+[--format text|json]\n\
+\n\
+Renders a deadline-forensics postmortem from trace JSONL (--trace),\n\
+a server outcome JSON (--outcome), and/or an execution report JSON\n\
+(--report). At least one input is required.";
+
+struct Args {
+    trace: Option<String>,
+    outcome: Option<String>,
+    report: Option<String>,
+    format: Format,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, ExplainError> {
+    let mut args = Args {
+        trace: None,
+        outcome: None,
+        report: None,
+        format: Format::Text,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, ExplainError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ExplainError::Usage(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--outcome" => args.outcome = Some(value("--outcome")?),
+            "--report" => args.report = Some(value("--report")?),
+            "--format" => args.format = value("--format")?.parse()?,
+            "--help" | "-h" => return Err(ExplainError::Usage(String::new())),
+            other => {
+                return Err(ExplainError::Usage(format!("unknown flag {other:?}")));
+            }
+        }
+    }
+    if args.trace.is_none() && args.outcome.is_none() && args.report.is_none() {
+        return Err(ExplainError::Usage(
+            "at least one of --trace/--outcome/--report is required".to_string(),
+        ));
+    }
+    Ok(args)
+}
+
+fn read(what: &'static str, path: &str) -> Result<String, ExplainError> {
+    std::fs::read_to_string(path).map_err(|e| ExplainError::Parse {
+        what,
+        line: 0,
+        message: format!("{path}: {e}"),
+    })
+}
+
+fn run(argv: &[String]) -> Result<String, ExplainError> {
+    let args = parse_args(argv)?;
+    let trace = args
+        .trace
+        .as_deref()
+        .map(|p| read("trace", p).and_then(|s| parse_trace(&s)))
+        .transpose()?;
+    let outcome = args
+        .outcome
+        .as_deref()
+        .map(|p| read("outcome", p).and_then(|s| parse_outcome(&s)))
+        .transpose()?;
+    let report = args
+        .report
+        .as_deref()
+        .map(|p| read("report", p).and_then(|s| parse_report(&s)))
+        .transpose()?;
+    let pm = postmortem(trace.as_deref(), outcome.as_ref(), report.as_ref());
+    Ok(pm.render(args.format))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&argv) {
+        Ok(rendered) => {
+            print!("{rendered}");
+            ExitCode::SUCCESS
+        }
+        Err(ExplainError::Usage(msg)) => {
+            if msg.is_empty() {
+                eprintln!("{USAGE}");
+            } else {
+                eprintln!("error: {msg}\n\n{USAGE}");
+            }
+            ExitCode::from(2)
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

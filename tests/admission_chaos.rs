@@ -323,6 +323,70 @@ fn ci_selected_worker_count_matches_the_serial_reference() {
     assert!(!trace_1.is_empty());
 }
 
+/// `run_storm` with the SLO ledger and decision audit enabled.
+fn run_storm_with_ledger(
+    seed: u64,
+    transient: f64,
+    spikes: f64,
+    workers: usize,
+) -> (ServerOutcome, String) {
+    let mut db = build_db(seed);
+    if transient > 0.0 || spikes > 0.0 {
+        db.inject_faults(
+            FaultPlan::new(seed ^ 0xC4A0)
+                .with_transient(transient)
+                .with_spikes(spikes, Duration::from_millis(400)),
+        );
+    }
+    let tracer = Tracer::recording(db.disk().clock().clone());
+    let outcome = QueryServer::new()
+        .workers(workers)
+        .metrics(true)
+        .ledger(true)
+        .tracer(tracer.clone())
+        .run(&mut db, storm_batch());
+    (outcome, tracer.to_jsonl())
+}
+
+/// The forensics acceptance criterion, end to end: the ledger and
+/// decision audit are pure observation. Trace JSONL is byte-identical
+/// with the ledger on or off, the ledger-stripped outcome JSON is
+/// byte-identical to the ledger-off outcome, and the ledger itself
+/// replays byte-identically across worker counts — all under the same
+/// fault storm the equivalence matrix runs.
+#[test]
+fn ledger_is_pure_observation_across_worker_counts() {
+    if stub_toolchain() {
+        eprintln!("skipped: offline serde stub cannot serialize the replay artifacts");
+        return;
+    }
+    let workers: usize = std::env::var("ERAM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let (json_off, trace_off) = run_storm(51, 0.08, 0.2, 1);
+    for w in [1usize, workers] {
+        let (outcome, trace_on) = run_storm_with_ledger(51, 0.08, 0.2, w);
+        assert_eq!(
+            trace_on, trace_off,
+            "ledger must not touch the trace (workers={w})"
+        );
+        let ledger = outcome.ledger.as_ref().expect("ledger was requested");
+        assert!(!ledger.decisions.is_empty(), "the audit narrates the batch");
+        let with_json = outcome.to_json();
+        let mut stripped = outcome.clone();
+        stripped.ledger = None;
+        assert_eq!(
+            stripped.to_json(),
+            json_off,
+            "stripping the ledger restores the exact ledger-off bytes (workers={w})"
+        );
+        // The ledger-carrying outcome itself is worker-invariant.
+        let (again, _) = run_storm_with_ledger(51, 0.08, 0.2, 1);
+        assert_eq!(again.to_json(), with_json, "workers={w} vs 1");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

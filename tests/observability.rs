@@ -26,8 +26,8 @@ use std::time::Duration;
 use proptest::prelude::*;
 
 use eram_core::{
-    Database, MetricsSnapshot, Profiler, ReportHealth, StoppingCriterion, TraceKind, TraceRecord,
-    Tracer, SCHEMA_VERSION,
+    Database, MetricsSnapshot, Profiler, QueryServer, ReportHealth, ServerJob, StoppingCriterion,
+    TraceKind, TraceRecord, Tracer, SCHEMA_VERSION,
 };
 use eram_relalg::{CmpOp, Expr, Predicate};
 use eram_storage::{ColumnType, FaultPlan, Schema, Tuple, Value};
@@ -572,6 +572,125 @@ proptest! {
             .collect();
         prop_assert_eq!(back, records);
     }
+}
+
+/// Every record name the tracer and server emit, including the
+/// decision audit (`server.decision`).
+const RECORD_NAMES: [&str; 16] = [
+    "execute",
+    "stage",
+    "block_draw",
+    "revise_selectivities",
+    "plan_stage",
+    "group_convergence",
+    "convergence",
+    "stopping_check",
+    "stop",
+    "retry",
+    "block_lost",
+    "server.admit",
+    "server.refuse",
+    "server.shed",
+    "server.refit",
+    "server.decision",
+];
+
+/// An arbitrary field value of the shapes the taxonomy uses: bools,
+/// counters, finite floats, labels, and homogeneous arrays.
+fn arbitrary_field_value() -> impl Strategy<Value = serde_json::Value> {
+    prop_oneof![
+        any::<bool>().prop_map(serde_json::Value::from),
+        any::<u64>().prop_map(serde_json::Value::from),
+        any::<i64>().prop_map(serde_json::Value::from),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(serde_json::Value::from),
+        "[a-z_:.]{1,16}".prop_map(serde_json::Value::from),
+        proptest::collection::vec(any::<u64>(), 0..4).prop_map(serde_json::Value::from),
+    ]
+}
+
+fn arbitrary_record() -> impl Strategy<Value = TraceRecord> {
+    let kind = prop_oneof![
+        Just(TraceKind::Begin),
+        Just(TraceKind::End),
+        Just(TraceKind::Event),
+        Just(TraceKind::Stage),
+    ];
+    let name = proptest::sample::select(RECORD_NAMES.to_vec());
+    let fields = proptest::collection::vec(("[a-z_]{1,12}", arbitrary_field_value()), 0..5);
+    (kind, name, 0usize..32, any::<u64>(), any::<u64>(), fields).prop_map(
+        |(kind, name, stage, t_ns, dur, fields)| TraceRecord {
+            t_ns,
+            kind,
+            name: name.to_string(),
+            stage,
+            // The schema carries durations on End records only.
+            dur_ns: (kind == TraceKind::End).then_some(dur),
+            fields: fields.into_iter().collect(),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every record type the tracer and server can emit — including
+    /// `server.decision` — parses back from its JSONL line and
+    /// re-serializes byte-identically.
+    #[test]
+    fn any_record_type_reserializes_byte_identically(record in arbitrary_record()) {
+        if stub_serde() {
+            eprintln!("skipped: offline serde stub cannot serialize");
+            return Ok(());
+        }
+        let line = serde_json::to_string(&record).unwrap();
+        let back: TraceRecord = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(&back, &record);
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), line);
+    }
+}
+
+/// The same property over a real serving trace: every line a
+/// ledger-enabled faulted serve emits — decision audit included —
+/// round-trips byte-identically through [`TraceRecord`].
+#[test]
+fn server_trace_lines_round_trip_byte_identically() {
+    if stub_serde() {
+        eprintln!("skipped: offline serde stub cannot serialize");
+        return;
+    }
+    let mut db = small_db(11);
+    db.inject_faults(FaultPlan::new(5).with_transient(0.05));
+    let tracer = Tracer::recording(db.disk().clock().clone());
+    let expr = Expr::relation("t").select(Predicate::col_cmp(1, CmpOp::Lt, 50));
+    let jobs = vec![
+        ServerJob::count("alpha", expr.clone(), Duration::from_secs(6)),
+        ServerJob::count("tiny", expr, Duration::from_millis(1)),
+    ];
+    QueryServer::new()
+        .ledger(true)
+        .tracer(tracer.clone())
+        .run(&mut db, jobs);
+    let jsonl = tracer.to_jsonl();
+    let mut decisions = 0usize;
+    for line in jsonl.lines().skip(1) {
+        let back: TraceRecord = serde_json::from_str(line).expect("every line parses");
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            line,
+            "re-serialization is byte-identical"
+        );
+        if back.name == "server.decision" {
+            decisions += 1;
+            let action = back.fields.get("action").and_then(|v| v.as_str());
+            assert!(action.is_some(), "decisions carry their action");
+        }
+    }
+    assert!(
+        decisions >= 3,
+        "admit + refuse + grant/done decisions in the audit: {decisions}"
+    );
 }
 
 #[test]
