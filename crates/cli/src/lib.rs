@@ -25,8 +25,8 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use eram_core::{
-    AggregateFn, BlockLayout, Database, MetricsSnapshot, ProfileSnapshot, Profiler, QueryServer,
-    ReportHealth, ServerJob, ServerOutcome, Tracer,
+    AggregateFn, BlockLayout, Concurrency, Database, MetricsSnapshot, ProfileSnapshot, Profiler,
+    QueryServer, ReportHealth, ServerJob, ServerOutcome, Tracer,
 };
 use eram_relalg::parse_expr;
 use eram_storage::{parse_schema_spec, DeviceProfile, FaultPlan, IngestFormat};
@@ -99,6 +99,11 @@ pub struct Cli {
     /// the `--serve` outcome. Pure observation: the job table, trace,
     /// and the rest of the outcome are identical with or without it.
     pub ledger: bool,
+    /// Lane scheduling for `--serve` (`seq` = the sequential oracle,
+    /// `interleaved` = turnstile stages + shared block draws).
+    /// Per-job reports and traces are byte-identical in either mode;
+    /// only the schedule report and sharing counters differ.
+    pub concurrency: Concurrency,
     /// Profile the run and print the top phases by wall time after
     /// the health line. Pure observation: the estimate, trace, and
     /// report are identical with or without it.
@@ -147,7 +152,7 @@ pub const USAGE: &str = "usage: eram --load NAME=FILE.csv:COL:TYPE[,COL:TYPE...]
 [--layout row|columnar] \
 [--query EXPR --quota SECS \
 [--agg count|sum:COL|avg:COL|count:by:G|sum:COL:by:G|avg:COL:by:G]] \
-[--serve JOBS.json [--jobs-out FILE] [--ledger]]";
+[--serve JOBS.json [--jobs-out FILE] [--ledger] [--concurrency seq|interleaved]]";
 
 impl Cli {
     /// Parses arguments (without the program name).
@@ -247,6 +252,13 @@ impl Cli {
                 }
                 "--metrics" => cli.metrics = true,
                 "--ledger" => cli.ledger = true,
+                "--concurrency" => {
+                    let mode = args
+                        .next()
+                        .ok_or_else(|| err("--concurrency needs seq|interleaved"))?;
+                    cli.concurrency = Concurrency::parse(&mode)
+                        .ok_or_else(|| err(format!("unknown concurrency mode {mode:?}")))?;
+                }
                 "--profile" => cli.profile = true,
                 "--workers" => {
                     let n: usize = args
@@ -685,9 +697,23 @@ pub fn run_serve(db: &mut Database, cli: &Cli) -> Result<String, CliError> {
         .workers(cli.workers.max(1))
         .metrics(cli.metrics)
         .ledger(cli.ledger)
+        .concurrency(cli.concurrency)
         .tracer(tracer.clone())
         .run(db, jobs);
     let mut rendered = render_server(&outcome);
+    if let Some(schedule) = &outcome.schedule {
+        rendered.push_str(&format!(
+            "\nschedule: {} | makespan {:.2}s (virtual {:.2}s) | blocks {} charged / {} physical \
+             | shared {} (saved {:.3}s)",
+            schedule.concurrency.as_str(),
+            schedule.makespan.as_secs_f64(),
+            schedule.virtual_makespan.as_secs_f64(),
+            schedule.charged_blocks,
+            schedule.physical_blocks,
+            schedule.blocks_shared,
+            schedule.charge_saved_ns as f64 / 1e9,
+        ));
+    }
     if let Some(ledger) = &outcome.ledger {
         rendered.push_str(&format!(
             "\nledger: {} tenant(s), {} decision(s), {} refit(s)",
@@ -871,6 +897,24 @@ mod tests {
         assert!(Cli::parse(["--workers", "two"]).is_err());
         assert!(Cli::parse(["--run-cache-tuples"]).is_err()); // missing count
         assert!(Cli::parse(["--run-cache-tuples", "many"]).is_err());
+        assert!(Cli::parse(["--concurrency"]).is_err()); // missing mode
+        assert!(Cli::parse(["--concurrency", "parallel"]).is_err());
+    }
+
+    #[test]
+    fn concurrency_mode_parses_with_a_sequential_default() {
+        assert_eq!(
+            Cli::parse::<_, String>([]).unwrap().concurrency,
+            Concurrency::Sequential
+        );
+        for (token, mode) in [
+            ("seq", Concurrency::Sequential),
+            ("sequential", Concurrency::Sequential),
+            ("interleaved", Concurrency::Interleaved),
+        ] {
+            let cli = Cli::parse(["--concurrency", token]).unwrap();
+            assert_eq!(cli.concurrency, mode, "--concurrency {token}");
+        }
     }
 
     #[test]

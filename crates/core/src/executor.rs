@@ -156,6 +156,13 @@ pub struct ExecParams<'a> {
     /// `workers`, a wall-clock-only choice — seeded reports and
     /// traces are byte-identical under either layout.
     pub block_layout: BlockLayout,
+    /// Cooperative stage gate for interleaved serving: when set, the
+    /// stage loop calls it once at the top of every iteration, letting
+    /// the query server park this job until its turn at the (virtual)
+    /// device comes up. Purely a scheduling hook — it must not charge
+    /// the clock — so execution under a gate is byte-identical to
+    /// `None` (the default, which runs stages back-to-back).
+    pub stage_yield: Option<&'a (dyn Fn() + Sync)>,
 }
 
 impl<'a> ExecParams<'a> {
@@ -181,6 +188,7 @@ impl<'a> ExecParams<'a> {
             workers: 1,
             run_cache_tuples: DEFAULT_RUN_CACHE_TUPLES,
             block_layout: BlockLayout::default(),
+            stage_yield: None,
         }
     }
 }
@@ -503,6 +511,9 @@ pub fn execute_aggregate(
 
     let mut stop_reason = "max_stages";
     while stages.len() < params.max_stages {
+        if let Some(gate) = params.stage_yield {
+            gate();
+        }
         if trees.iter().all(PhysTree::exhausted) {
             stop_reason = "census_complete";
             break; // census complete — the estimate is exact

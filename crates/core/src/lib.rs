@@ -99,10 +99,11 @@ pub use report::{ExecutionReport, GroupReport, RefusalReason, ReportHealth, Stag
 pub use retry::RetryPolicy;
 pub use scheduler::{EdfScheduler, JobOutcome, JobStatus, QueryJob, DEFAULT_MIN_QUOTA};
 pub use server::{
-    DecisionAction, DecisionRecord, JobReport, JobState, QueryServer, RefitSample, ServerConfig,
-    ServerJob, ServerOutcome, ServerStats, TenantLedger, TenantSlo,
+    Concurrency, DecisionAction, DecisionRecord, JobReport, JobState, LaneWindow, QueryServer,
+    RefitSample, ScheduleReport, ServerConfig, ServerJob, ServerOutcome, ServerStats, TenantLedger,
+    TenantSlo,
 };
-pub use session::{CountQuery, Database, QueryConfig, TimedCount};
+pub use session::{CountQuery, Database, PreparedQuery, QueryConfig, TimedCount};
 pub use stopping::{error_bound_satisfied, StoppingCriterion};
 pub use strategy::{
     HeuristicStrategy, OneAtATimeInterval, SelectivityDefaults, SingleInterval, StagePlan,

@@ -141,6 +141,48 @@ impl Tracer {
         self.emit(TraceKind::Stage, name, fields);
     }
 
+    /// Emits a point-in-time event with an explicit timestamp instead
+    /// of sampling the clock — for control-plane replay, where events
+    /// are stamped on a virtual timeline the shared clock has not
+    /// advanced along yet.
+    pub fn event_at<F>(&self, t_ns: u64, name: &'static str, fields: F)
+    where
+        F: FnOnce() -> Vec<(&'static str, Value)>,
+    {
+        if let Some(inner) = &self.inner {
+            let fields = fields()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            let mut state = inner.state.lock();
+            let stage = state.stage;
+            state.records.push(TraceRecord {
+                t_ns,
+                kind: TraceKind::Event,
+                name: name.to_string(),
+                stage,
+                dur_ns: None,
+                fields,
+            });
+        }
+    }
+
+    /// Splices pre-recorded records (a per-job lane trace, stamped
+    /// from the lane's own clock starting at zero) into this buffer,
+    /// shifting every timestamp by `offset_ns` onto this tracer's
+    /// timeline. Stage fields are kept as recorded — the per-lane
+    /// stage counter, not this buffer's — and this buffer's own stage
+    /// counter is left untouched.
+    pub fn absorb(&self, records: Vec<TraceRecord>, offset_ns: u64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock();
+            state.records.extend(records.into_iter().map(|mut r| {
+                r.t_ns = r.t_ns.saturating_add(offset_ns);
+                r
+            }));
+        }
+    }
+
     fn emit<F>(&self, kind: TraceKind, name: &'static str, fields: F)
     where
         F: FnOnce() -> Vec<(&'static str, Value)>,

@@ -1263,10 +1263,15 @@ impl PhysTree {
     ) -> Result<Node, ExprError> {
         match expr {
             Expr::Relation(name) => {
+                // Re-base the relation onto the execution disk: same
+                // backend bytes, but draws charge *this* execution's
+                // clock — which is what lets the server run each job
+                // on its own lane view of the shared device.
                 let file = catalog
                     .relation(name)
                     .ok_or_else(|| ExprError::UnknownRelation(name.clone()))?
-                    .clone();
+                    .clone()
+                    .with_disk(disk.clone());
                 *total_points *= file.num_tuples() as f64;
                 *total_space_blocks *= file.num_blocks() as f64;
                 let seed: u64 = rng.gen();

@@ -23,10 +23,54 @@ use std::time::Duration;
 
 use eram_relalg::Expr;
 use eram_storage::Clock;
+use serde::{Deserialize, Serialize};
 
 use crate::aggregate::AggregateFn;
 use crate::executor::{EngineError, ExecOutcome};
 use crate::session::Database;
+
+/// How [`crate::server::QueryServer`] executes its admitted batch.
+///
+/// Both modes produce byte-identical per-job reports, traces, and
+/// (schedule-stripped) outcomes — per-job charges live on private
+/// lanes either way. The modes differ only in device-level totals:
+/// interleaving admits cross-job block sharing, which sequential
+/// execution (the oracle) cannot exploit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Concurrency {
+    /// Drain each admitted job to completion in stable-EDF order —
+    /// the reference discipline every optimization is checked
+    /// against.
+    #[default]
+    Sequential,
+    /// Dispatch ready stages from all admitted jobs through the
+    /// server's turnstile (least lane progress first, stable-EDF
+    /// tiebreak), with the shared-draw broker pooling base-relation
+    /// reads across live jobs.
+    Interleaved,
+}
+
+impl Concurrency {
+    /// Stable lowercase token (`seq` / `interleaved`), as accepted by
+    /// [`Concurrency::parse`] and the CLI `--concurrency` flag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Concurrency::Sequential => "seq",
+            Concurrency::Interleaved => "interleaved",
+        }
+    }
+
+    /// Parses a CLI token; accepts `seq`/`sequential` and
+    /// `interleaved`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "seq" | "sequential" => Some(Concurrency::Sequential),
+            "interleaved" => Some(Concurrency::Interleaved),
+            _ => None,
+        }
+    }
+}
 
 /// Default minimum useful quota for [`QueryJob::count`] (and
 /// [`crate::server::ServerJob::count`]): below 100 ms on the paper's

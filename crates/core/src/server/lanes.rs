@@ -1,0 +1,374 @@
+//! Per-job execution lanes and the deterministic stage turnstile.
+//!
+//! A *lane* is one admitted job's private execution context: its own
+//! virtual clock, its own jitter RNG and fault-injector instance
+//! (fresh instances of the database's armed plan), its own trace
+//! buffer, and a lane view of the shared disk — same backend bytes,
+//! private charge stream (see [`eram_storage::Disk::lane_view`]).
+//! Because every mutable resource the stage loop touches is
+//! lane-local, a lane's outcome is a pure function of (database
+//! state, prepared spec, lane index) — independent of whether other
+//! lanes run before, after, or interleaved with it. That independence
+//! is what lets the server offer `--concurrency seq|interleaved` with
+//! byte-identical per-job results: both modes run the *same* lanes,
+//! they only schedule them differently.
+//!
+//! The [`StageGate`] serializes interleaved lanes at stage
+//! granularity: exactly one lane executes between yield points, and
+//! the next turn goes to the waiting lane with the least charged
+//! virtual time (ties to the lower canonical EDF index — a pure
+//! stable-EDF pick would replay sequential order verbatim and
+//! interleave nothing). The resulting schedule is deterministic — a
+//! pure function of the lanes' charge streams — so the shared-draw
+//! pool fills in the same order on every run and the sharing counters
+//! replay exactly.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use eram_storage::{Clock, SharedDrawBroker, SimClock};
+
+use crate::executor::EngineError;
+use crate::obs::{TraceRecord, Tracer};
+use crate::session::{Database, PreparedQuery, TimedCount};
+
+/// XOR'd into the per-query sampling seed to derive the lane disk's
+/// jitter-RNG stream: the lane must not replay the sampling stream as
+/// device jitter.
+pub(super) const LANE_JITTER_SALT: u64 = 0xD15C_1A9E;
+
+/// Everything one lane produced.
+pub(super) struct LaneOutcome {
+    /// The engine result (the same shape `Database::aggregate` runs
+    /// return).
+    pub result: Result<TimedCount, EngineError>,
+    /// Charged time on the lane's own clock.
+    pub spent: Duration,
+    /// The lane's trace records, timestamped on the lane clock from
+    /// zero. Empty when tracing is off or the lane ran on the shared
+    /// wall clock (then its spans went straight to the shared
+    /// tracer).
+    pub records: Vec<TraceRecord>,
+    /// Charged block reads on the lane disk.
+    pub reads: u64,
+    /// Reads served from the batch's shared-draw pool (each still
+    /// charged to this lane in full).
+    pub blocks_shared: u64,
+    /// Device time (ns) those pool hits spared the physical device.
+    pub charge_saved_ns: u64,
+}
+
+/// Runs one prepared job on its own lane of `db`'s disk.
+///
+/// On a simulated clock the lane gets a fresh [`SimClock`] at zero
+/// and (when `server_tracer` records) a private recording tracer, so
+/// its charge stream and trace bytes are independent of every other
+/// lane; the caller splices the records into the shared stream at the
+/// job's canonical start offset. On a wall clock there is no virtual
+/// time to isolate: the lane runs on the shared clock and tracer
+/// directly (and `records` stays empty).
+pub(super) fn run_lane(
+    db: &Database,
+    spec: &PreparedQuery,
+    lane: usize,
+    server_tracer: &Tracer,
+    broker: Option<Arc<SharedDrawBroker>>,
+    gate: Option<&StageGate>,
+) -> LaneOutcome {
+    let root_clock = db.disk().clock().clone();
+    let (clock, tracer, own_trace): (Arc<dyn Clock>, Tracer, bool) = if root_clock.is_simulated() {
+        let clock: Arc<dyn Clock> = Arc::new(SimClock::new());
+        let tracer = if server_tracer.is_enabled() {
+            Tracer::recording(clock.clone())
+        } else {
+            Tracer::disabled()
+        };
+        (clock, tracer, true)
+    } else {
+        (root_clock, server_tracer.clone(), false)
+    };
+    let disk = db.disk().lane_view(
+        clock.clone(),
+        spec.seed ^ LANE_JITTER_SALT,
+        lane as u64,
+        broker,
+    );
+    let start = clock.elapsed();
+    let result = match gate {
+        Some(gate) => {
+            // Hold the turnstile from the first instruction: planning
+            // reads must not race other lanes into the draw pool.
+            gate.enter(lane);
+            let _done = DoneGuard { gate, lane };
+            let yield_clock = clock.clone();
+            let stage_yield = move || gate.yield_turn(lane, yield_clock.elapsed());
+            spec.run_on(&disk, db.catalog(), tracer.clone(), Some(&stage_yield))
+        }
+        None => spec.run_on(&disk, db.catalog(), tracer.clone(), None),
+    };
+    let spent = clock.elapsed().saturating_sub(start);
+    let (blocks_shared, charge_saved_ns) = disk.sharing();
+    LaneOutcome {
+        result,
+        spent,
+        records: if own_trace {
+            tracer.records()
+        } else {
+            Vec::new()
+        },
+        reads: disk.stats().block_reads,
+        blocks_shared,
+        charge_saved_ns,
+    }
+}
+
+/// Runs every prepared lane to completion under the turnstile and
+/// returns the outcomes in lane order plus the dispatch order (the
+/// sequence in which lanes received their *first* turn).
+///
+/// One OS thread per lane, but the gate admits exactly one at a time,
+/// so the schedule — and therefore the shared-draw pool's fill order
+/// and every sharing counter — is deterministic.
+pub(super) fn run_interleaved(
+    db: &Database,
+    specs: &[PreparedQuery],
+    server_tracer: &Tracer,
+    broker: Option<Arc<SharedDrawBroker>>,
+) -> (Vec<LaneOutcome>, Vec<usize>) {
+    let gate = StageGate::new(specs.len());
+    let mut outcomes: Vec<Option<LaneOutcome>> = Vec::with_capacity(specs.len());
+    outcomes.resize_with(specs.len(), || None);
+    std::thread::scope(|scope| {
+        let gate = &gate;
+        let handles: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(lane, spec)| {
+                let broker = broker.clone();
+                scope.spawn(move || run_lane(db, spec, lane, server_tracer, broker, Some(gate)))
+            })
+            .collect();
+        for (lane, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(out) => outcomes[lane] = Some(out),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    let outcomes = outcomes
+        .into_iter()
+        .map(|o| o.expect("every lane joined"))
+        .collect();
+    (outcomes, gate.dispatch_order())
+}
+
+/// A lane's position in the turnstile protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneStatus {
+    /// Thread not yet at the gate (spawn in flight).
+    Starting,
+    /// Parked at the gate, bidding with its virtual time.
+    Waiting,
+    /// Holds the (single) execution turn.
+    Running,
+    /// Finished (or unwound); never bids again.
+    Done,
+}
+
+struct GateState {
+    status: Vec<LaneStatus>,
+    /// Each lane's charged virtual time at its last yield — the bid.
+    vtime_ns: Vec<u64>,
+    /// Lanes in the order they received their first turn.
+    order: Vec<usize>,
+}
+
+/// The stage turnstile: grants the single execution turn to the
+/// waiting lane with the least charged virtual time, ties to the
+/// lower canonical index. No turn is granted while any lane is still
+/// `Starting`, so the first pick already sees every bidder and the
+/// schedule cannot depend on thread-spawn timing.
+pub(super) struct StageGate {
+    state: Mutex<GateState>,
+    turn: Condvar,
+}
+
+impl StageGate {
+    fn new(lanes: usize) -> Self {
+        StageGate {
+            state: Mutex::new(GateState {
+                status: vec![LaneStatus::Starting; lanes],
+                vtime_ns: vec![0; lanes],
+                order: Vec::with_capacity(lanes),
+            }),
+            turn: Condvar::new(),
+        }
+    }
+
+    /// Locks the gate state, shrugging off poison: a lane that
+    /// panicked mid-unwind must not strand the survivors (the state
+    /// itself stays consistent — every mutation is a single-field
+    /// status/bid write).
+    fn lock(&self) -> MutexGuard<'_, GateState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// First arrival: registers the lane as a bidder (virtual time
+    /// zero) and blocks until it is granted its first turn.
+    fn enter(&self, lane: usize) {
+        let mut state = self.lock();
+        state.status[lane] = LaneStatus::Waiting;
+        state.vtime_ns[lane] = 0;
+        Self::grant_next(&mut state);
+        self.wait_for_turn(lane, state);
+    }
+
+    /// Stage boundary: surrenders the turn, re-bids with the lane's
+    /// current virtual time, and blocks until granted again. Called
+    /// from the engine's `stage_yield` hook, which charges nothing —
+    /// parked wall time never reaches the lane clock.
+    fn yield_turn(&self, lane: usize, elapsed: Duration) {
+        let mut state = self.lock();
+        state.status[lane] = LaneStatus::Waiting;
+        state.vtime_ns[lane] = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        Self::grant_next(&mut state);
+        self.wait_for_turn(lane, state);
+    }
+
+    /// Parks until `lane` holds the turn (waking the lane the grant
+    /// actually went to first, if it was someone else).
+    fn wait_for_turn(&self, lane: usize, mut state: MutexGuard<'_, GateState>) {
+        if state.status[lane] != LaneStatus::Running {
+            self.turn.notify_all();
+            while state.status[lane] != LaneStatus::Running {
+                state = self.turn.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Terminal: the lane stops bidding and the turn moves on.
+    fn done(&self, lane: usize) {
+        let mut state = self.lock();
+        state.status[lane] = LaneStatus::Done;
+        Self::grant_next(&mut state);
+        self.turn.notify_all();
+    }
+
+    /// The lanes in first-turn order (the interleaved dispatch order).
+    fn dispatch_order(&self) -> Vec<usize> {
+        self.lock().order.clone()
+    }
+
+    /// Grants the turn to the best waiting bidder, if the gate is
+    /// quiescent (nobody starting, nobody running).
+    fn grant_next(state: &mut GateState) {
+        if state
+            .status
+            .iter()
+            .any(|s| matches!(s, LaneStatus::Starting | LaneStatus::Running))
+        {
+            return;
+        }
+        let next = state
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == LaneStatus::Waiting)
+            .min_by_key(|&(lane, _)| (state.vtime_ns[lane], lane))
+            .map(|(lane, _)| lane);
+        if let Some(lane) = next {
+            state.status[lane] = LaneStatus::Running;
+            if !state.order.contains(&lane) {
+                state.order.push(lane);
+            }
+        }
+    }
+}
+
+/// Releases the lane's turnstile slot even if the engine unwinds —
+/// a panicking lane must not strand the other bidders.
+struct DoneGuard<'a> {
+    gate: &'a StageGate,
+    lane: usize,
+}
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        self.gate.done(self.lane);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives the gate from plain threads (no engine): three lanes
+    /// with scripted per-stage charges must interleave in
+    /// least-virtual-time order regardless of spawn timing.
+    #[test]
+    fn gate_schedules_by_least_virtual_time_with_index_ties() {
+        // Per-lane stage charges (ns). Bids after each stage:
+        //   lane 0: 0, 100, 200      lane 1: 0, 60, 300
+        //   lane 2: 0, 250
+        // Expected turn sequence by (vtime, lane):
+        //   first turns 0,1,2 (all bid 0; index breaks ties),
+        //   then 1 (60) , 0 (100), 0 done, 1 (300 after 2's 250)...
+        let charges: Vec<Vec<u64>> = vec![vec![100, 100], vec![60, 240], vec![250]];
+        let gate = StageGate::new(3);
+        let log = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for (lane, stages) in charges.iter().enumerate() {
+                let gate = &gate;
+                let log = &log;
+                scope.spawn(move || {
+                    gate.enter(lane);
+                    let _done = DoneGuard { gate, lane };
+                    let mut vt = 0u64;
+                    for charge in stages {
+                        log.lock().unwrap().push((lane, vt));
+                        vt += charge;
+                        gate.yield_turn(lane, Duration::from_nanos(vt));
+                    }
+                    log.lock().unwrap().push((lane, vt));
+                });
+            }
+        });
+        let got = log.lock().unwrap().clone();
+        let want = vec![
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (1, 60),
+            (0, 100),
+            (0, 200),
+            (2, 250),
+            (1, 300),
+        ];
+        assert_eq!(got, want);
+        assert_eq!(gate.dispatch_order(), vec![0, 1, 2]);
+    }
+
+    /// A lane that unwinds mid-turn must not deadlock the rest.
+    #[test]
+    fn panicking_lane_releases_the_gate() {
+        let gate = StageGate::new(2);
+        let survived = std::thread::scope(|scope| {
+            let gate = &gate;
+            let bad = scope.spawn(move || {
+                gate.enter(0);
+                let _done = DoneGuard { gate, lane: 0 };
+                panic!("lane 0 exploded");
+            });
+            let good = scope.spawn(move || {
+                gate.enter(1);
+                let _done = DoneGuard { gate, lane: 1 };
+                gate.yield_turn(1, Duration::from_nanos(10));
+                true
+            });
+            let crashed = bad.join().is_err();
+            let survived = good.join().expect("lane 1 must complete");
+            crashed && survived
+        });
+        assert!(survived);
+    }
+}

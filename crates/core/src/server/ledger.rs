@@ -261,6 +261,18 @@ pub struct TenantSlo {
     /// answers landed early; ~0 means they landed at the wire.
     #[serde(default)]
     pub value_weighted_slack_secs: f64,
+    /// Block draws this tenant's jobs satisfied from a co-resident
+    /// job's charged read (interleaved serving only; always 0 under
+    /// the sequential oracle). Stripped by
+    /// `ServerOutcome::stripped_of_schedule` for cross-mode diffs.
+    #[serde(default)]
+    pub blocks_shared: u64,
+    /// Simulated I/O time those shared draws would have cost had the
+    /// disk profile been charged again (the broker still charges the
+    /// subscriber's own lane, so this is savings *attributable*, not
+    /// savings already deducted from per-job clocks).
+    #[serde(default)]
+    pub charge_saved_ns: u64,
 }
 
 impl TenantSlo {
@@ -360,6 +372,18 @@ impl TenantLedger {
     /// value.
     pub fn bank_slack(&mut self, tenant: &str, value: f64, slack: Duration) {
         self.tenant(tenant).value_weighted_slack_secs += value * slack.as_secs_f64();
+    }
+
+    /// Credits shared block draws to `tenant`: `blocks` satisfied
+    /// from the broker pool, worth `saved_ns` of simulated disk time.
+    /// No-op for the sequential oracle (both arguments 0 there).
+    pub fn credit_sharing(&mut self, tenant: &str, blocks: u64, saved_ns: u64) {
+        if blocks == 0 && saved_ns == 0 {
+            return;
+        }
+        let slo = self.tenant(tenant);
+        slo.blocks_shared += blocks;
+        slo.charge_saved_ns += saved_ns;
     }
 }
 

@@ -52,6 +52,28 @@
 //! [`ServerOutcome`] JSON and trace JSONL across `--workers 1/4` and
 //! across repeated runs (on a simulated clock).
 //!
+//! **Concurrency (vector-clock charge accounting)**: every admitted
+//! job executes on its own *lane* — a private virtual clock, RNG
+//! stream, fault-injector instance, and trace buffer over a
+//! [`lane view`](eram_storage::Disk::lane_view) of the shared disk —
+//! so the batch's charge state is a vector of per-job clocks rather
+//! than one scalar timeline. Quotas are fixed at admission (the
+//! phase-1 grant *is* the execution quota): a dispatch-time grant
+//! would be a function of preceding jobs' actual spends, which
+//! provably forces sequential execution on any schedule that must
+//! stay byte-identical. The server then *replays* the canonical EDF
+//! control loop (shed sweeps, refit, ledger, trace stamps) over the
+//! lane outcomes on a virtual timeline, so
+//! [`Concurrency::Sequential`] (lanes run lazily at dispatch, the
+//! oracle) and [`Concurrency::Interleaved`] (all admitted lanes run
+//! up front, stages interleaved under a deterministic least-virtual-
+//! time turnstile, base-relation draws pooled through a
+//! [`SharedDrawBroker`]) produce byte-identical per-job reports,
+//! traces, and schedule-stripped outcomes. Only
+//! [`ServerOutcome::schedule`] and the tenants' sharing counters —
+//! the makespan/IO story — are allowed to differ between modes; see
+//! [`ServerOutcome::stripped_of_schedule`].
+//!
 //! **Deadline forensics**: every serving decision — admission,
 //! refusal, grant deflation, refit, shed, watchdog trip, completion —
 //! is mirrored as a `server.decision` trace event carrying the inputs
@@ -60,11 +82,10 @@
 //! an append-only decision audit log riding
 //! [`ServerOutcome::ledger`]. See [`ledger`].
 
-use std::sync::Arc;
 use std::time::Duration;
 
 use eram_relalg::{push_selections, Expr, PieRewrite};
-use eram_storage::Clock;
+use eram_storage::SharedDrawBroker;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -82,13 +103,16 @@ use crate::report::{ExecutionReport, RefusalReason, ReportHealth};
 use crate::retry::RetryPolicy;
 use crate::scheduler::{QueryJob, DEFAULT_MIN_QUOTA};
 use crate::seltrack::SelectivityDefaults;
-use crate::session::Database;
+use crate::session::{Database, PreparedQuery};
 use crate::stopping::StoppingCriterion;
 
+mod lanes;
 pub mod ledger;
 
+pub use crate::scheduler::Concurrency;
 pub use ledger::{DecisionAction, DecisionRecord, RefitSample, TenantLedger, TenantSlo};
 
+use lanes::{run_interleaved, run_lane, LaneOutcome};
 use ledger::duration_ns;
 
 /// One tenant's deadline-bound aggregate request.
@@ -279,7 +303,12 @@ pub struct ServerStats {
     /// Completed jobs that finished by their deadline.
     pub deadlines_met: u64,
     /// Completed jobs that finished late — the quantity this whole
-    /// module exists to keep at zero.
+    /// module exists to keep at zero. The dispatch loop drops any
+    /// result landing past its deadline (it becomes a [`shed`]
+    /// casualty instead), so a nonzero count here means the serving
+    /// invariant itself is broken.
+    ///
+    /// [`shed`]: ServerStats::shed
     pub deadlines_missed: u64,
     /// Jobs whose engine run overshot the granted quota beyond
     /// [`ServerConfig::watchdog_grace`].
@@ -307,6 +336,14 @@ pub struct ServerOutcome {
     /// outcome JSON is byte-identical to pre-ledger writers.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub ledger: Option<TenantLedger>,
+    /// How the batch was scheduled: per-lane windows, makespan, and
+    /// shared-draw accounting. The only part of the outcome that is
+    /// *allowed* to differ between concurrency modes (deterministic
+    /// within each mode); everything else is byte-identical across
+    /// `--concurrency seq|interleaved`. Absent in outcomes from
+    /// pre-concurrency writers.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub schedule: Option<ScheduleReport>,
 }
 
 impl ServerOutcome {
@@ -315,6 +352,80 @@ impl ServerOutcome {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("server outcome serializes")
     }
+
+    /// The outcome minus everything mode-dependent: the schedule
+    /// report is dropped and the tenants' sharing counters zeroed.
+    /// Two serving runs that differ only in [`ServerConfig::concurrency`]
+    /// must produce byte-identical stripped outcomes — this is the
+    /// equivalence artifact the conformance suites and CI compare.
+    /// (jq equivalent: `del(.schedule) | (.ledger.tenants[]? |=
+    /// (.blocks_shared = 0 | .charge_saved_ns = 0))`.)
+    pub fn stripped_of_schedule(&self) -> ServerOutcome {
+        let mut out = self.clone();
+        out.schedule = None;
+        if let Some(ledger) = out.ledger.as_mut() {
+            for slo in ledger.tenants.values_mut() {
+                slo.blocks_shared = 0;
+                slo.charge_saved_ns = 0;
+            }
+        }
+        out
+    }
+}
+
+/// One lane's slice of the batch schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaneWindow {
+    /// The job that ran on this lane.
+    pub job: String,
+    /// Rank at which the lane received its first turn (`None` for a
+    /// lane that never ran — sequential mode sheds before dispatch).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dispatch_order: Option<u64>,
+    /// Charged time on the lane's own clock (zero if it never ran).
+    pub spent: Duration,
+    /// Lane reads served from the batch's shared-draw pool.
+    pub blocks_shared: u64,
+    /// Device time (ns) those pool hits spared the physical device.
+    pub charge_saved_ns: u64,
+    /// True if the lane's job was shed: its work (if any) was
+    /// speculative and none of it is observable in the job reports.
+    pub discarded: bool,
+}
+
+/// The batch's scheduling story: what concurrency bought (or cost).
+///
+/// Per-job correctness lives in [`ServerOutcome::jobs`] and is
+/// mode-invariant; this report carries the mode-*dependent* half —
+/// simulated makespan, shared physical reads, wasted speculation —
+/// in one deterministic structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// The mode that produced this schedule.
+    pub concurrency: Concurrency,
+    /// Simulated completion time of the whole batch: the consumed
+    /// virtual timeline, plus discarded speculative work, minus the
+    /// device time shared draws saved. Interleaving with sharing
+    /// strictly beats sequential here whenever `blocks_shared > 0`.
+    pub makespan: Duration,
+    /// The canonical virtual timeline the control replay consumed —
+    /// identical across modes (it is what the job reports are
+    /// stamped with).
+    pub virtual_makespan: Duration,
+    /// Charged block reads summed over every lane that ran.
+    pub charged_blocks: u64,
+    /// Backend block fetches actually performed
+    /// (`charged_blocks − blocks_shared`).
+    pub physical_blocks: u64,
+    /// Charged reads served from the shared-draw pool.
+    pub blocks_shared: u64,
+    /// Device time (ns) the pool spared the physical device.
+    pub charge_saved_ns: u64,
+    /// Speculative lane time discarded by mid-batch shedding
+    /// (interleaved mode pre-runs every admitted lane).
+    pub wasted: Duration,
+    /// Per-lane windows, in canonical admission order.
+    pub lanes: Vec<LaneWindow>,
 }
 
 /// Tunables for a [`QueryServer`].
@@ -359,6 +470,16 @@ pub struct ServerConfig {
     /// recording tracer is attached, regardless of this flag, so the
     /// trace stream is identical either way.
     pub collect_ledger: bool,
+    /// How admitted lanes are scheduled: [`Concurrency::Sequential`]
+    /// (the oracle — one lane at a time, in canonical EDF order) or
+    /// [`Concurrency::Interleaved`] (stages from all admitted lanes
+    /// interleaved, base-relation draws shared). Per-job reports,
+    /// traces, and the schedule-stripped outcome are byte-identical
+    /// across modes; only [`ServerOutcome::schedule`] and the
+    /// tenants' sharing counters differ. On a wall clock the server
+    /// always runs sequentially (there is no virtual time to order
+    /// the turnstile by).
+    pub concurrency: Concurrency,
 }
 
 impl Default for ServerConfig {
@@ -375,6 +496,7 @@ impl Default for ServerConfig {
             tracer: Tracer::disabled(),
             collect_metrics: false,
             collect_ledger: false,
+            concurrency: Concurrency::Sequential,
         }
     }
 }
@@ -477,6 +599,13 @@ impl QueryServer {
         self
     }
 
+    /// Selects the lane scheduling mode (see
+    /// [`ServerConfig::concurrency`]).
+    pub fn concurrency(mut self, mode: Concurrency) -> Self {
+        self.config.concurrency = mode;
+        self
+    }
+
     /// Serves a batch: admission, execution with replan-and-shed,
     /// refit. Consumes the database's clock time; returns one report
     /// per offered job in canonical admission (EDF) order.
@@ -502,6 +631,11 @@ impl QueryServer {
         let mut slots: Vec<Option<JobReport>> = jobs.iter().map(|_| None).collect();
 
         // ---- Phase 1: predictive admission (charge-free). ----
+        // The phase-1 grant IS the execution quota (see the module
+        // docs): fixing it here is what makes each lane a pure
+        // function of the admitted set, independent of how the other
+        // lanes are scheduled.
+        let mut grants: Vec<Duration> = vec![Duration::ZERO; jobs.len()];
         let mut pending: Vec<usize> = Vec::new();
         let mut projected = Duration::ZERO;
         for (idx, job) in jobs.iter().enumerate() {
@@ -666,24 +800,108 @@ impl QueryServer {
             );
             stats.admitted += 1;
             count(&mut registry, "server.admitted");
+            grants[idx] = grant;
             projected += grant; // overrun factor is 1.0 at admission
             pending.push(idx);
         }
 
-        // ---- Phase 2: execution with replan-and-shed + refit. ----
+        // ---- Phase 1.5: one prepared execution lane per admitted
+        // job, in canonical order (the per-query seed stream is part
+        // of the replay contract). Quotas are the fixed phase-1
+        // grants, so every lane is a pure function of the admitted
+        // set — independent of how (or whether) the others run. ----
+        let admitted: Vec<usize> = pending.clone();
+        let mut specs: Vec<PreparedQuery> = Vec::with_capacity(admitted.len());
+        for &idx in &admitted {
+            let job = &jobs[idx];
+            let mut spec = db.prepare(job.agg, job.expr.clone());
+            spec.quota = grants[idx];
+            spec.config.stopping = StoppingCriterion::HardDeadline;
+            spec.config.retry = job.retry.unwrap_or(cfg.retry);
+            spec.config.workers = cfg.workers.max(1);
+            spec.config.collect_metrics = cfg.collect_metrics;
+            if let Some(model) = &cfg.cost_model {
+                spec.config.cost_model = model.clone();
+            }
+            specs.push(spec);
+        }
+        let db = &*db;
+
+        // Interleaving needs a virtual clock to define the turnstile
+        // order; a wall clock always serves sequentially.
+        let mode = if clock.is_simulated() {
+            cfg.concurrency
+        } else {
+            Concurrency::Sequential
+        };
+
+        // Interleaved mode runs every admitted lane up front — stages
+        // interleaved under the deterministic turnstile, co-resident
+        // base-relation draws pooled through the broker — and the
+        // control replay below consumes the outcomes in canonical
+        // order. Sequential mode (the oracle) runs each lane lazily
+        // at its dispatch point, so jobs shed before dispatch never
+        // execute at all.
+        let (mut lane_slots, mut dispatch): (Vec<Option<LaneOutcome>>, Vec<usize>) = match mode {
+            Concurrency::Interleaved => {
+                let broker = SharedDrawBroker::new(
+                    db.catalog()
+                        .names()
+                        .into_iter()
+                        .filter_map(|name| db.catalog().relation(name))
+                        .map(|file| file.file_id()),
+                );
+                let (outs, order) = run_interleaved(db, &specs, &tracer, Some(broker));
+                (outs.into_iter().map(Some).collect(), order)
+            }
+            Concurrency::Sequential => {
+                let mut lazy: Vec<Option<LaneOutcome>> = Vec::with_capacity(specs.len());
+                lazy.resize_with(specs.len(), || None);
+                (lazy, Vec::new())
+            }
+        };
+        let mut windows: Vec<LaneWindow> = admitted
+            .iter()
+            .map(|&idx| LaneWindow {
+                job: jobs[idx].name.clone(),
+                dispatch_order: None,
+                spent: Duration::ZERO,
+                blocks_shared: 0,
+                charge_saved_ns: 0,
+                discarded: false,
+            })
+            .collect();
+
+        // ---- Phase 2: canonical control replay (replan-and-shed +
+        // refit) over the lane outcomes. `vt` is the batch's virtual
+        // timeline: the sum of the consumed lanes' private clocks, in
+        // canonical order. Both modes replay the identical control
+        // sequence over identical lane outcomes, so every report
+        // field, ledger entry, and trace byte below is mode-invariant.
         let start = clock.elapsed();
-        let now = |clock: &Arc<dyn Clock>| clock.elapsed().saturating_sub(start);
+        let mut vt = Duration::ZERO;
         let mut overrun = 1.0f64;
+        let mut charged_blocks = 0u64;
+        let mut blocks_shared = 0u64;
+        let mut charge_saved_ns = 0u64;
+        let mut wasted = Duration::ZERO;
 
         while !pending.is_empty() {
-            let t = now(&clock);
+            let t = vt;
             let factor = overrun.max(1.0);
             // Shed until the projected schedule is feasible again.
-            while let Some(pos) = first_infeasible(&jobs, &pending, t, cfg.slack_margin, factor) {
+            while let Some(pos) =
+                first_infeasible(&jobs, &pending, &grants, t, cfg.slack_margin, factor)
+            {
                 let vpos = pick_victim(&jobs, &pending, t, cfg.slack_margin, factor, pos);
                 let vidx = pending.remove(vpos);
                 let victim = &jobs[vidx];
-                tracer.event("server.shed", || {
+                let vlane = admitted
+                    .iter()
+                    .position(|&i| i == vidx)
+                    .expect("victims were admitted");
+                windows[vlane].discarded = true;
+                tracer.event_at(duration_ns(start + t), "server.shed", || {
                     vec![
                         ("job", JsonValue::from(victim.name.clone())),
                         ("reason", JsonValue::from(RefusalReason::Shed.as_str())),
@@ -702,7 +920,7 @@ impl QueryServer {
                         overrun: Some(factor),
                         value: Some(victim.value),
                         ..DecisionRecord::new(
-                            duration_ns(clock.elapsed()),
+                            duration_ns(start + t),
                             DecisionAction::Shed,
                             victim.name.as_str(),
                         )
@@ -716,10 +934,14 @@ impl QueryServer {
                 break;
             }
             let idx = pending.remove(0);
+            let lane = admitted
+                .iter()
+                .position(|&i| i == idx)
+                .expect("dispatched jobs were admitted");
             let job = &jobs[idx];
-            let started_at = now(&clock);
-            let quota = grant_for(job, started_at, cfg.slack_margin, factor);
-            tracer.event("server.job_start", || {
+            let started_at = vt;
+            let mut quota = grants[idx];
+            tracer.event_at(duration_ns(start + started_at), "server.job_start", || {
                 vec![
                     ("job", JsonValue::from(job.name.clone())),
                     ("quota_ns", json_ns(quota)),
@@ -736,28 +958,82 @@ impl QueryServer {
                     margin: Some(cfg.slack_margin),
                     overrun: Some(factor),
                     ..DecisionRecord::new(
-                        duration_ns(clock.elapsed()),
+                        duration_ns(start + started_at),
                         DecisionAction::Grant,
                         job.name.as_str(),
                     )
                 },
             );
             observe(&mut registry, "server.grant_secs", quota.as_secs_f64());
-            let retry = job.retry.unwrap_or(cfg.retry);
-            let mut query = db
-                .aggregate(job.agg, job.expr.clone())
-                .within(quota)
-                .stopping(StoppingCriterion::HardDeadline)
-                .retry(retry)
-                .workers(cfg.workers.max(1))
-                .tracer(tracer.clone())
-                .metrics(cfg.collect_metrics);
-            if let Some(model) = &cfg.cost_model {
-                query = query.cost_model(model.clone());
+            if mode == Concurrency::Sequential {
+                dispatch.push(lane);
             }
-            let result = query.run();
-            let finished_at = now(&clock);
-            let spent = finished_at.saturating_sub(started_at);
+            let mut attempt = lane_slots[lane]
+                .take()
+                .unwrap_or_else(|| run_lane(db, &specs[lane], lane, &tracer, None, None));
+            // Dispatch-time deflation. Admission fixed this quota
+            // against a projected start, but the actual timeline may
+            // have slipped (earlier lanes overran under device
+            // weather). When the attempt would land past the
+            // deadline and a fresh dispatch-time grant is tighter
+            // than the admission quota, the attempt is discarded —
+            // its work becomes schedule-level waste — and the lane
+            // re-runs under the deflated quota. Both modes take this
+            // branch from identical replay state and identical lane
+            // outcomes, and a re-run replays the same lane seed, so
+            // the consumed outcome stays mode-invariant.
+            if clock.is_simulated()
+                && attempt.result.is_ok()
+                && started_at + attempt.spent > job.deadline
+            {
+                let deflated = grant_for(job, started_at, cfg.slack_margin, factor).min(quota);
+                if deflated < quota && deflated >= job.min_quota {
+                    tracer.event_at(duration_ns(start + started_at), "server.deflate", || {
+                        vec![
+                            ("job", JsonValue::from(job.name.clone())),
+                            ("quota_ns", json_ns(quota)),
+                            ("deflated_ns", json_ns(deflated)),
+                            ("discarded_ns", json_ns(attempt.spent)),
+                        ]
+                    });
+                    wasted += attempt.spent;
+                    charged_blocks += attempt.reads;
+                    blocks_shared += attempt.blocks_shared;
+                    charge_saved_ns += attempt.charge_saved_ns;
+                    quota = deflated;
+                    specs[lane].quota = deflated;
+                    attempt = run_lane(db, &specs[lane], lane, &tracer, None, None);
+                }
+            }
+            let LaneOutcome {
+                result,
+                spent,
+                records,
+                reads,
+                blocks_shared: lane_shared,
+                charge_saved_ns: lane_saved,
+            } = attempt;
+            // Splice the lane's trace onto the shared stream at the
+            // job's canonical start (wall-clock lanes trace straight
+            // into the shared stream; their record list is empty).
+            tracer.absorb(records, duration_ns(start + started_at));
+            charged_blocks += reads;
+            blocks_shared += lane_shared;
+            charge_saved_ns += lane_saved;
+            windows[lane].spent = spent;
+            windows[lane].blocks_shared = lane_shared;
+            windows[lane].charge_saved_ns = lane_saved;
+            let finished_at = started_at + spent;
+            vt = finished_at;
+            // A result landing past the deadline is dropped below
+            // (late shed): its pool hits stay discarded lane work,
+            // never tenant credit.
+            let late = result.is_ok() && finished_at > job.deadline;
+            if !late {
+                if let Some(ledger) = ledger.as_mut() {
+                    ledger.credit_sharing(&job.name, lane_shared, lane_saved);
+                }
+            }
 
             // Section-4-style refit, one level up: fold the observed
             // overrun into the factor that deflates future grants.
@@ -766,7 +1042,7 @@ impl QueryServer {
                     .clamp(OVERRUN_CLAMP.0, OVERRUN_CLAMP.1);
                 overrun += cfg.overrun_alpha * (ratio - overrun);
                 let logged = overrun;
-                tracer.event("server.refit", || {
+                tracer.event_at(duration_ns(start + finished_at), "server.refit", || {
                     vec![
                         ("ratio", JsonValue::from(ratio)),
                         ("overrun", JsonValue::from(logged)),
@@ -781,7 +1057,7 @@ impl QueryServer {
                         ratio: Some(ratio),
                         spent_ns: Some(duration_ns(spent)),
                         ..DecisionRecord::new(
-                            duration_ns(clock.elapsed()),
+                            duration_ns(start + finished_at),
                             DecisionAction::Refit,
                             job.name.as_str(),
                         )
@@ -790,7 +1066,7 @@ impl QueryServer {
                 observe(&mut registry, "server.overrun_ratio", ratio);
             }
             if spent > scale(quota, cfg.watchdog_grace) {
-                tracer.event("server.watchdog", || {
+                tracer.event_at(duration_ns(start + finished_at), "server.watchdog", || {
                     vec![
                         ("job", JsonValue::from(job.name.clone())),
                         ("quota_ns", json_ns(quota)),
@@ -804,7 +1080,7 @@ impl QueryServer {
                         grant_ns: Some(duration_ns(quota)),
                         spent_ns: Some(duration_ns(spent)),
                         ..DecisionRecord::new(
-                            duration_ns(clock.elapsed()),
+                            duration_ns(start + finished_at),
                             DecisionAction::Watchdog,
                             job.name.as_str(),
                         )
@@ -815,6 +1091,46 @@ impl QueryServer {
             }
 
             let report = match result {
+                Ok(_) if late => {
+                    // Hard-deadline serving never delivers a late
+                    // answer: the timeline keeps the charge, but the
+                    // result is dropped and the job recorded as an
+                    // explicit shed casualty instead of a silent
+                    // deadline miss reaching a client.
+                    stats.shed += 1;
+                    count(&mut registry, "server.shed");
+                    windows[lane].discarded = true;
+                    tracer.event_at(duration_ns(start + finished_at), "server.shed", || {
+                        vec![
+                            ("job", JsonValue::from(job.name.clone())),
+                            ("reason", JsonValue::from(RefusalReason::Shed.as_str())),
+                            ("late_ns", json_ns(finished_at.saturating_sub(job.deadline))),
+                            ("now_ns", json_ns(finished_at)),
+                        ]
+                    });
+                    decide(
+                        &mut ledger,
+                        &tracer,
+                        DecisionRecord {
+                            reason: Some(RefusalReason::Shed),
+                            grant_ns: Some(duration_ns(quota)),
+                            spent_ns: Some(duration_ns(spent)),
+                            value: Some(job.value),
+                            ..DecisionRecord::new(
+                                duration_ns(start + finished_at),
+                                DecisionAction::Shed,
+                                job.name.as_str(),
+                            )
+                        },
+                    );
+                    if let Some(ledger) = ledger.as_mut() {
+                        ledger.spend(&job.name, spent);
+                    }
+                    let mut r = denied_report(job, started_at, RefusalReason::Shed);
+                    r.finished_at = finished_at;
+                    r.granted_quota = quota;
+                    r
+                }
                 Ok(out) => {
                     stats.completed += 1;
                     count(&mut registry, "server.completed");
@@ -826,7 +1142,7 @@ impl QueryServer {
                         stats.deadlines_missed += 1;
                         count(&mut registry, "server.deadlines_missed");
                     }
-                    tracer.event("server.job_done", || {
+                    tracer.event_at(duration_ns(start + finished_at), "server.job_done", || {
                         vec![
                             ("job", JsonValue::from(job.name.clone())),
                             ("elapsed_ns", json_ns(spent)),
@@ -843,7 +1159,7 @@ impl QueryServer {
                             value: Some(job.value),
                             met: Some(met),
                             ..DecisionRecord::new(
-                                duration_ns(clock.elapsed()),
+                                duration_ns(start + finished_at),
                                 DecisionAction::Done,
                                 job.name.as_str(),
                             )
@@ -876,12 +1192,16 @@ impl QueryServer {
                     let error = e.to_string();
                     stats.failed += 1;
                     count(&mut registry, "server.failed");
-                    tracer.event("server.job_failed", || {
-                        vec![
-                            ("job", JsonValue::from(job.name.clone())),
-                            ("error", JsonValue::from(error.clone())),
-                        ]
-                    });
+                    tracer.event_at(
+                        duration_ns(start + finished_at),
+                        "server.job_failed",
+                        || {
+                            vec![
+                                ("job", JsonValue::from(job.name.clone())),
+                                ("error", JsonValue::from(error.clone())),
+                            ]
+                        },
+                    );
                     decide(
                         &mut ledger,
                         &tracer,
@@ -890,7 +1210,7 @@ impl QueryServer {
                             spent_ns: Some(duration_ns(spent)),
                             error: Some(error.clone()),
                             ..DecisionRecord::new(
-                                duration_ns(clock.elapsed()),
+                                duration_ns(start + finished_at),
                                 DecisionAction::Fail,
                                 job.name.as_str(),
                             )
@@ -907,6 +1227,42 @@ impl QueryServer {
             slots[idx] = Some(report);
         }
 
+        // The batch consumed `vt` of lane time; advance the shared
+        // clock by exactly that much so the session timeline reads as
+        // if the jobs had run on it directly (a wall clock ignores
+        // the charge — its time already passed inside the lanes).
+        clock.charge(vt);
+
+        // Lanes that pre-ran speculatively (interleaved mode) but
+        // were shed before dispatch: wasted work, visible only in the
+        // schedule report — never in per-job reports or the ledger.
+        for (lane, slot) in lane_slots.iter_mut().enumerate() {
+            if let Some(out) = slot.take() {
+                wasted += out.spent;
+                charged_blocks += out.reads;
+                blocks_shared += out.blocks_shared;
+                charge_saved_ns += out.charge_saved_ns;
+                windows[lane].spent = out.spent;
+                windows[lane].blocks_shared = out.blocks_shared;
+                windows[lane].charge_saved_ns = out.charge_saved_ns;
+                windows[lane].discarded = true;
+            }
+        }
+        for (rank, &lane) in dispatch.iter().enumerate() {
+            windows[lane].dispatch_order = Some(rank as u64);
+        }
+        let schedule = ScheduleReport {
+            concurrency: mode,
+            makespan: (vt + wasted).saturating_sub(Duration::from_nanos(charge_saved_ns)),
+            virtual_makespan: vt,
+            charged_blocks,
+            physical_blocks: charged_blocks.saturating_sub(blocks_shared),
+            blocks_shared,
+            charge_saved_ns,
+            wasted,
+            lanes: windows,
+        };
+
         if let Some(reg) = registry.as_mut() {
             reg.add("server.offered", stats.offered);
         }
@@ -919,6 +1275,7 @@ impl QueryServer {
             stats,
             metrics: registry.map(|r| r.snapshot()),
             ledger,
+            schedule: Some(schedule),
         }
     }
 }
@@ -948,11 +1305,24 @@ fn grant_for(job: &ServerJob, start: Duration, margin: f64, factor: f64) -> Dura
 }
 
 /// Walks the pending queue's projected timeline from `now`; returns
-/// the position of the first job whose projected grant falls below
-/// its minimum, or `None` when the whole queue fits.
+/// the position of the first job that no longer fits, or `None` when
+/// the whole queue does. Two ways a job falls out:
+///
+/// 1. the grant a fresh admission at its projected start would earn
+///    falls below its declared minimum (the pre-quota criterion), or
+/// 2. its *fixed* admission quota, inflated by the refit factor, now
+///    projects past its deadline (overcommit: earlier jobs consumed
+///    more of the timeline than admission assumed).
+///
+/// The second check is what keeps the fixed-quota protocol honest:
+/// quotas never shrink after admission — a job that can no longer
+/// finish in time becomes an explicit shed casualty rather than a
+/// silent deadline miss. Occupancy advances by the fixed quota
+/// (refit-scaled), matching what dispatch will actually charge.
 fn first_infeasible(
     jobs: &[ServerJob],
     pending: &[usize],
+    quotas: &[Duration],
     now: Duration,
     margin: f64,
     factor: f64,
@@ -964,7 +1334,11 @@ fn first_infeasible(
         if grant < job.min_quota {
             return Some(pos);
         }
-        t += scale(grant, factor);
+        let occupancy = scale(quotas[idx], factor);
+        if t + occupancy > job.deadline {
+            return Some(pos);
+        }
+        t += occupancy;
     }
     None
 }
@@ -1364,6 +1738,102 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_matches_the_sequential_oracle() {
+        if serde_json::to_string(&0u32).is_err() {
+            eprintln!("skipped: offline serde stub cannot serialize");
+            return;
+        }
+        let run = |mode: Concurrency, workers: usize| {
+            let mut db = db(41);
+            db.inject_faults(FaultPlan::new(3).with_transient(0.05));
+            let tracer = Tracer::recording(db.disk().clock().clone());
+            let jobs = vec![
+                ServerJob::count("a", sel(3), Duration::from_secs(6)),
+                ServerJob::count("b", sel(5), Duration::from_secs(14)),
+                ServerJob::count("c", sel(7), Duration::from_secs(15)).with_value(0.5),
+            ];
+            let outcome = QueryServer::new()
+                .workers(workers)
+                .metrics(true)
+                .ledger(true)
+                .concurrency(mode)
+                .tracer(tracer.clone())
+                .run(&mut db, jobs);
+            (outcome, tracer.to_jsonl())
+        };
+        let (seq, seq_trace) = run(Concurrency::Sequential, 1);
+        let (inter, inter_trace) = run(Concurrency::Interleaved, 1);
+        // The tentpole invariant: per-job results, the ledger, the
+        // metrics, and every trace byte are mode-invariant; only the
+        // schedule report (and the sharing counters it feeds) may
+        // differ — and those strip away.
+        assert_eq!(
+            seq_trace, inter_trace,
+            "trace bytes must not depend on the scheduling mode"
+        );
+        assert_eq!(
+            seq.stripped_of_schedule().to_json(),
+            inter.stripped_of_schedule().to_json(),
+            "stripped outcomes must not depend on the scheduling mode"
+        );
+        // Worker count is lane-internal: even the schedule (sharing
+        // counters included) replays across it.
+        let (inter4, inter4_trace) = run(Concurrency::Interleaved, 4);
+        assert_eq!(inter_trace, inter4_trace);
+        assert_eq!(inter.to_json(), inter4.to_json());
+        // The mode-dependent surface.
+        let s = seq.schedule.as_ref().expect("schedule is always reported");
+        let i = inter
+            .schedule
+            .as_ref()
+            .expect("schedule is always reported");
+        assert_eq!(s.concurrency, Concurrency::Sequential);
+        assert_eq!(i.concurrency, Concurrency::Interleaved);
+        assert_eq!(
+            s.virtual_makespan, i.virtual_makespan,
+            "the virtual timeline is mode-invariant"
+        );
+        assert_eq!(s.blocks_shared, 0, "the oracle never pools draws");
+        assert_eq!(s.charged_blocks, s.physical_blocks);
+        assert!(
+            i.blocks_shared > 0,
+            "co-resident scans of t must share draws"
+        );
+        assert_eq!(i.physical_blocks, i.charged_blocks - i.blocks_shared);
+        assert!(
+            i.makespan < s.makespan,
+            "sharing must shrink the interleaved makespan ({:?} vs {:?})",
+            i.makespan,
+            s.makespan
+        );
+        // Sharing credits land on tenants — and strip away.
+        let credited: u64 = inter
+            .ledger
+            .as_ref()
+            .unwrap()
+            .tenants
+            .values()
+            .map(|t| t.blocks_shared)
+            .sum();
+        let discarded: u64 = i
+            .lanes
+            .iter()
+            .filter(|l| l.discarded)
+            .map(|l| l.blocks_shared)
+            .sum();
+        assert_eq!(credited + discarded, i.blocks_shared);
+        let stripped = inter.stripped_of_schedule();
+        assert!(stripped
+            .ledger
+            .as_ref()
+            .unwrap()
+            .tenants
+            .values()
+            .all(|t| t.blocks_shared == 0 && t.charge_saved_ns == 0));
+        assert!(stripped.schedule.is_none());
+    }
+
+    #[test]
     fn outcome_json_round_trips() {
         if serde_json::to_string(&0u32).is_err() {
             eprintln!("skipped: offline serde stub cannot serialize");
@@ -1518,6 +1988,17 @@ mod tests {
         .with_value(value)
     }
 
+    /// The admission-time quotas for the three-job demand grids
+    /// below: a gets slack×0.9 = 9, b (projected start 9, slack 11)
+    /// gets 9.9, c (projected start 18.9, slack 1.6) gets 1.44.
+    fn demo_quotas() -> Vec<Duration> {
+        vec![
+            Duration::from_secs_f64(9.0),
+            Duration::from_secs_f64(9.9),
+            Duration::from_secs_f64(1.44),
+        ]
+    }
+
     #[test]
     fn first_infeasible_walks_the_projected_timeline() {
         let jobs = vec![
@@ -1526,29 +2007,32 @@ mod tests {
             demand("c", 20.5, 3.0, 1.0),
         ];
         let pending = [0usize, 1, 2];
+        let quotas = demo_quotas();
         // a occupies [0, 9], b [9, 18.9]; c's grant ≈ 1.44 < 3.
         assert_eq!(
-            first_infeasible(&jobs, &pending, Duration::ZERO, 0.9, 1.0),
+            first_infeasible(&jobs, &pending, &quotas, Duration::ZERO, 0.9, 1.0),
             Some(2)
         );
-        // Without c's steep minimum the queue fits.
+        // Without c's steep minimum the queue fits: every grant
+        // clears its minimum and every fixed quota lands in time
+        // (c finishes at 20.34 ≤ 20.5).
         let jobs2 = vec![
             demand("a", 10.0, 1.0, 1.0),
             demand("b", 20.0, 1.0, 1.0),
             demand("c", 20.5, 1.0, 1.0),
         ];
         assert_eq!(
-            first_infeasible(&jobs2, &pending, Duration::ZERO, 0.9, 1.0),
+            first_infeasible(&jobs2, &pending, &quotas, Duration::ZERO, 0.9, 1.0),
             None
         );
-        // A higher overrun factor deflates grants and inflates
-        // occupancy: the same queue turns infeasible.
-        // a: grant 4.5, occupies [0, 9]; b: slack 11, grant 4.95,
-        // occupies [9, 18.9]; c: slack 1.6, grant 0.72 < 1.
+        // A higher overrun factor inflates every fixed quota's
+        // occupancy: a's own quota 9 now projects 18 seconds of
+        // spend against a 10-second deadline, so the head of the
+        // queue is the first overcommit.
         assert_eq!(
-            first_infeasible(&jobs2, &pending, Duration::ZERO, 0.9, 2.0),
-            Some(2),
-            "factor 2 must find the infeasibility"
+            first_infeasible(&jobs2, &pending, &quotas, Duration::ZERO, 0.9, 2.0),
+            Some(0),
+            "factor 2 must find the overcommit at the head"
         );
     }
 
@@ -1563,7 +2047,8 @@ mod tests {
             demand("c", 20.5, 3.0, 4.0),
         ];
         let pending = [0usize, 1, 2];
-        let pos = first_infeasible(&jobs, &pending, Duration::ZERO, 0.9, 1.0).unwrap();
+        let pos =
+            first_infeasible(&jobs, &pending, &demo_quotas(), Duration::ZERO, 0.9, 1.0).unwrap();
         assert_eq!(pos, 2);
         let victim = pick_victim(&jobs, &pending, Duration::ZERO, 0.9, 1.0, pos);
         assert_eq!(jobs[pending[victim]].name, "b");

@@ -322,8 +322,7 @@ impl Database {
 
     /// Begins a time-constrained aggregate of `expr`.
     pub fn aggregate(&mut self, agg: AggregateFn, expr: Expr) -> CountQuery<'_> {
-        self.query_counter += 1;
-        let seed = self.seeds.derive(self.query_counter);
+        let seed = self.next_query_seed();
         let config = QueryConfig {
             cost_model: self.default_cost_model.clone(),
             ..QueryConfig::default()
@@ -335,6 +334,34 @@ impl Database {
             quota: Duration::from_secs(1),
             config,
             seed,
+        }
+    }
+
+    /// Draws the next per-query sampling seed — the same
+    /// counter-backed sequence [`Database::aggregate`] consumes, so
+    /// prepared and builder-style queries share one seed stream.
+    pub fn next_query_seed(&mut self) -> u64 {
+        self.query_counter += 1;
+        self.seeds.derive(self.query_counter)
+    }
+
+    /// Prepares a time-constrained aggregate without borrowing the
+    /// database for its whole lifetime: the per-query seed is drawn
+    /// now (in call order), and the returned spec can later be run on
+    /// any view of this database's disk via [`PreparedQuery::run_on`].
+    /// The query server prepares every admitted job up front in
+    /// canonical admission order, then executes each on its own lane.
+    pub fn prepare(&mut self, agg: AggregateFn, expr: Expr) -> PreparedQuery {
+        let seed = self.next_query_seed();
+        PreparedQuery {
+            agg,
+            expr,
+            quota: Duration::from_secs(1),
+            seed,
+            config: QueryConfig {
+                cost_model: self.default_cost_model.clone(),
+                ..QueryConfig::default()
+            },
         }
     }
 }
@@ -507,6 +534,7 @@ impl CountQuery<'_> {
             workers: self.config.workers,
             run_cache_tuples: self.config.run_cache_tuples,
             block_layout: self.config.block_layout,
+            stage_yield: None,
         };
         execute_aggregate(
             &self.db.disk,
@@ -516,6 +544,64 @@ impl CountQuery<'_> {
             self.quota,
             params,
         )
+    }
+}
+
+/// A query detached from the [`Database`] borrow: the aggregate, the
+/// expression, a quota, a per-query seed already drawn from the
+/// database's seed sequence, and a full [`QueryConfig`]. Built by
+/// [`Database::prepare`]; executed — possibly on a per-job lane view
+/// of the shared disk — via [`PreparedQuery::run_on`].
+pub struct PreparedQuery {
+    /// The aggregate to estimate.
+    pub agg: AggregateFn,
+    /// The relational expression.
+    pub expr: Expr,
+    /// The time quota `T` (default 1 s).
+    pub quota: Duration,
+    /// The sampling seed (drawn at preparation time).
+    pub seed: u64,
+    /// Tunables; fields are public for direct adjustment.
+    pub config: QueryConfig,
+}
+
+impl PreparedQuery {
+    /// Runs the stage loop against `disk` and `catalog`. The catalog's
+    /// relations are re-based onto `disk` for sampling (see the leaf
+    /// handling in the executor), so passing a lane view of the
+    /// loading disk charges this query's own clock while reading the
+    /// shared backend bytes. `tracer` overrides the config's tracer;
+    /// `stage_yield` is the server's interleaving gate (`None` runs
+    /// stages back-to-back).
+    pub fn run_on(
+        &self,
+        disk: &Arc<Disk>,
+        catalog: &Catalog,
+        tracer: Tracer,
+        stage_yield: Option<&(dyn Fn() + Sync)>,
+    ) -> Result<TimedCount, EngineError> {
+        let params = ExecParams {
+            strategy: self.config.strategy.as_ref(),
+            stopping: self.config.stopping.clone(),
+            cost_model: self.config.cost_model.clone(),
+            defaults: self.config.defaults,
+            fulfillment: self.config.fulfillment,
+            memory: self.config.memory,
+            seed: self.seed,
+            max_stages: self.config.max_stages,
+            distinct: self.config.distinct,
+            hybrid_leftover: self.config.hybrid_leftover,
+            optimize: self.config.optimize,
+            retry: self.config.retry,
+            tracer,
+            collect_metrics: self.config.collect_metrics,
+            profiler: self.config.profiler.clone(),
+            workers: self.config.workers,
+            run_cache_tuples: self.config.run_cache_tuples,
+            block_layout: self.config.block_layout,
+            stage_yield,
+        };
+        execute_aggregate(disk, catalog, &self.expr, self.agg, self.quota, params)
     }
 }
 

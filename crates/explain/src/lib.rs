@@ -610,6 +610,14 @@ pub struct TenantRow {
     pub spend_ratio: f64,
     /// Σ value × remaining-slack seconds over completed jobs.
     pub value_weighted_slack_secs: f64,
+    /// Block draws served from a co-resident job's charged read
+    /// (interleaved serving only; absent/0 in older artifacts and
+    /// under the sequential oracle).
+    #[serde(default)]
+    pub blocks_shared: u64,
+    /// Device time (ns) those shared draws spared the simulated disk.
+    #[serde(default)]
+    pub charge_saved_ns: u64,
 }
 
 /// Tenant SLO rows from a ledger (tenant-name order).
@@ -632,6 +640,8 @@ pub fn tenant_rows_from_ledger(ledger: &TenantLedger) -> Vec<TenantRow> {
             spent_ns: slo.spent_ns,
             spend_ratio: slo.spend_ratio(),
             value_weighted_slack_secs: slo.value_weighted_slack_secs,
+            blocks_shared: slo.blocks_shared,
+            charge_saved_ns: slo.charge_saved_ns,
         })
         .collect()
 }
@@ -1017,6 +1027,28 @@ impl Postmortem {
                     format!("{:.3}", t.spend_ratio),
                 );
             }
+            // Sharing savings: only rendered when the batch actually
+            // pooled draws (interleaved serving), so postmortems of
+            // sequential or pre-sharing artifacts are byte-unchanged.
+            let shared: u64 = self.tenants.iter().map(|t| t.blocks_shared).sum();
+            if shared > 0 {
+                let saved: u64 = self.tenants.iter().map(|t| t.charge_saved_ns).sum();
+                let _ = writeln!(
+                    out,
+                    "sharing savings: {shared} block draw(s) fed from co-resident reads, \
+                     {} ms of device time spared",
+                    ms(saved)
+                );
+                for t in self.tenants.iter().filter(|t| t.blocks_shared > 0) {
+                    let _ = writeln!(
+                        out,
+                        "  {:<16} {:>6} shared  {:>10} ms spared",
+                        t.tenant,
+                        t.blocks_shared,
+                        ms(t.charge_saved_ns)
+                    );
+                }
+            }
         }
         out
     }
@@ -1383,6 +1415,50 @@ mod tests {
             Err(ExplainError::Parse { what, .. }) => assert_eq!(what, "trace"),
             other => panic!("expected Parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sharing_savings_render_only_when_draws_were_pooled() {
+        let mut pm = Postmortem {
+            schema_version: SUPPORTED_SCHEMA_VERSION,
+            ..Postmortem::default()
+        };
+        pm.tenants.push(TenantRow {
+            tenant: "solo".into(),
+            offered: 1,
+            admitted: 1,
+            completed: 1,
+            deadlines_met: 1,
+            granted_ns: 2_000_000,
+            spent_ns: 1_000_000,
+            spend_ratio: 0.5,
+            ..TenantRow::default()
+        });
+        let without = pm.render(Format::Text);
+        assert!(
+            !without.contains("sharing savings"),
+            "sequential artifacts must render unchanged:\n{without}"
+        );
+        pm.tenants.push(TenantRow {
+            tenant: "pooled".into(),
+            offered: 1,
+            admitted: 1,
+            completed: 1,
+            deadlines_met: 1,
+            granted_ns: 2_000_000,
+            spent_ns: 1_500_000,
+            spend_ratio: 0.75,
+            blocks_shared: 12,
+            charge_saved_ns: 36_000_000,
+            ..TenantRow::default()
+        });
+        let with = pm.render(Format::Text);
+        assert!(with.contains("sharing savings: 12 block draw(s)"), "{with}");
+        assert!(with.contains("pooled"), "{with}");
+        assert!(
+            !with.contains("solo             ") || !with.contains("solo   0 shared"),
+            "tenants with no sharing stay out of the savings list"
+        );
     }
 
     #[test]

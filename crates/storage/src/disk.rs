@@ -13,10 +13,26 @@
 //! algorithms observe. `*_uncharged` accessors exist for ground-truth
 //! computation (exact `COUNT` evaluation must not consume the query's
 //! simulated quota).
+//!
+//! # Lane views
+//!
+//! A disk is split into *shared* state (the backend bytes, checksum
+//! digests, and file versions — one copy per physical device) and
+//! *per-view* state (the jitter RNG, the fault injector's attempt
+//! counters, and the activity counters). [`Disk::lane_view`] derives
+//! a second handle onto the same backend whose charges go to a
+//! different clock and whose RNG/fault streams are private: the query
+//! server gives each admitted job such a lane so interleaved
+//! execution charges every job exactly as if it ran alone. Files
+//! created through a lane get lane-local *virtual* ids (translated at
+//! the backend boundary), so a job's temporary run files carry the
+//! same ids — and therefore the same fault-injection decisions, which
+//! hash the id — no matter how many other jobs allocate concurrently.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -25,6 +41,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::backend::{BlockBackend, FileBackend, MemoryBackend};
 use crate::block::{Block, BLOCK_SIZE};
+use crate::broker::SharedDrawBroker;
 use crate::cache::BlockCache;
 use crate::clock::Clock;
 use crate::cost::{DeviceOp, DeviceProfile};
@@ -52,14 +69,14 @@ pub struct DiskStats {
     pub checksum_verifies: u64,
 }
 
-struct DiskInner {
+/// Device state shared by every view of one physical disk: the
+/// backend bytes plus the integrity/version bookkeeping that must
+/// agree across views.
+struct DiskShared {
     backend: Box<dyn BlockBackend>,
-    rng: StdRng,
     /// FNV-1a digest of every block written through this disk, keyed
-    /// by (file, index); verified on every charged read.
+    /// by (physical file, index); verified on every charged read.
     checksums: HashMap<(u64, u64), u64>,
-    /// Active fault injector, if a [`FaultPlan`] has been armed.
-    faults: Option<FaultInjector>,
     /// Global mutation counter feeding `file_versions` — strictly
     /// monotone across all files, so a freed-and-recreated file can
     /// never repeat an old version.
@@ -72,20 +89,52 @@ struct DiskInner {
     file_versions: HashMap<u64, u64>,
 }
 
-impl DiskInner {
+impl DiskShared {
     fn bump_version(&mut self, file: u64) {
         self.write_stamp += 1;
         self.file_versions.insert(file, self.write_stamp);
     }
 }
 
+/// Per-view state: the jitter RNG and the fault injector's attempt
+/// counters. Each lane view gets its own, so one job's charge stream
+/// and fault pattern never depend on what other jobs are doing.
+struct DiskLocal {
+    rng: StdRng,
+    /// Active fault injector, if a [`FaultPlan`] has been armed.
+    faults: Option<FaultInjector>,
+}
+
+/// High bit + lane tag marking virtual file ids handed out by lane
+/// views; backend ids are small integers, so the namespaces can never
+/// collide.
+const LANE_FILE_TAG: u64 = 0x8000_0000_0000_0000;
+
+/// Lane-local virtual file-id namespace: files created through a lane
+/// view get deterministic ids derived from the lane index alone, so
+/// fault decisions (which hash the file id) and error messages are
+/// invariant to how lanes interleave their allocations.
+struct LaneFiles {
+    tag: u64,
+    next: u64,
+    /// virtual id → physical backend id
+    map: HashMap<u64, u64>,
+}
+
 /// A block store that charges a clock for every operation.
 pub struct Disk {
-    inner: Mutex<DiskInner>,
-    /// Buffer cache, outside `inner`: it carries its own lock
+    shared: Arc<Mutex<DiskShared>>,
+    local: Mutex<DiskLocal>,
+    /// Buffer cache, outside the shared lock: it carries its own lock
     /// striping, so concurrent readers hitting the cache never
     /// serialize on the backend lock.
     cache: Option<BlockCache>,
+    /// Lane-local virtual file-id table; `None` on a root disk, whose
+    /// ids are the backend's own.
+    lane: Option<Mutex<LaneFiles>>,
+    /// Cross-lane draw pool, armed only on lane views serving a
+    /// concurrent batch.
+    broker: Option<Arc<SharedDrawBroker>>,
     clock: Arc<dyn Clock>,
     profile: DeviceProfile,
     block_size: usize,
@@ -94,6 +143,12 @@ pub struct Disk {
     tuple_cpu: AtomicU64,
     compares: AtomicU64,
     verifies: AtomicU64,
+    /// Charged reads served from the shared-draw pool (a physical
+    /// fetch avoided; the subscriber was still charged in full).
+    shared_hits: AtomicU64,
+    /// Total device time (ns) those pool hits would have cost the
+    /// physical device.
+    saved_ns: AtomicU64,
 }
 
 impl Disk {
@@ -152,15 +207,19 @@ impl Disk {
         cache: Option<BlockCache>,
     ) -> Arc<Self> {
         Arc::new(Disk {
-            inner: Mutex::new(DiskInner {
+            shared: Arc::new(Mutex::new(DiskShared {
                 backend,
-                rng: StdRng::seed_from_u64(seed),
                 checksums: HashMap::new(),
-                faults: None,
                 write_stamp: 0,
                 file_versions: HashMap::new(),
+            })),
+            local: Mutex::new(DiskLocal {
+                rng: StdRng::seed_from_u64(seed),
+                faults: None,
             }),
             cache,
+            lane: None,
+            broker: None,
             clock,
             profile,
             block_size,
@@ -169,7 +228,63 @@ impl Disk {
             tuple_cpu: AtomicU64::new(0),
             compares: AtomicU64::new(0),
             verifies: AtomicU64::new(0),
+            shared_hits: AtomicU64::new(0),
+            saved_ns: AtomicU64::new(0),
         })
+    }
+
+    /// Derives a per-job lane view of this disk: same backend bytes,
+    /// checksums, and file versions, but charges go to `clock`, the
+    /// jitter RNG restarts from `seed`, and the fault injector (a
+    /// fresh instance of this disk's armed plan, with its own attempt
+    /// counters) decides faults from the lane's own read history.
+    /// Files created through the view get lane-deterministic virtual
+    /// ids. `broker`, when set, pools base-relation reads with other
+    /// lanes of the same batch — charge-transparent to this lane.
+    ///
+    /// Lane views carry no buffer cache: each job's charge stream
+    /// must be independent of co-resident jobs, and a shared cache
+    /// would leak their access history into this job's costs.
+    pub fn lane_view(
+        self: &Arc<Self>,
+        clock: Arc<dyn Clock>,
+        seed: u64,
+        lane: u64,
+        broker: Option<Arc<SharedDrawBroker>>,
+    ) -> Arc<Disk> {
+        let plan = self.fault_plan();
+        Arc::new(Disk {
+            shared: Arc::clone(&self.shared),
+            local: Mutex::new(DiskLocal {
+                rng: StdRng::seed_from_u64(seed),
+                faults: plan.map(FaultInjector::new),
+            }),
+            cache: None,
+            lane: Some(Mutex::new(LaneFiles {
+                tag: LANE_FILE_TAG | ((lane + 1) << 32),
+                next: 0,
+                map: HashMap::new(),
+            })),
+            broker,
+            clock,
+            profile: self.profile.clone(),
+            block_size: self.block_size,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            tuple_cpu: AtomicU64::new(0),
+            compares: AtomicU64::new(0),
+            verifies: AtomicU64::new(0),
+            shared_hits: AtomicU64::new(0),
+            saved_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// Maps a (possibly lane-virtual) file id to the backend's id.
+    fn physical(&self, file: FileId) -> u64 {
+        match &self.lane {
+            Some(lane) => lane.lock().map.get(&file.0).copied().unwrap_or(file.0),
+            None => file.0,
+        }
     }
 
     /// Creates an in-memory disk fronted by an LRU buffer cache of
@@ -202,22 +317,22 @@ impl Disk {
     /// through the plan's deterministic fault decisions. Replaces any
     /// previously armed plan (and its counters).
     pub fn set_fault_plan(&self, plan: FaultPlan) {
-        self.inner.lock().faults = Some(FaultInjector::new(plan));
+        self.local.lock().faults = Some(FaultInjector::new(plan));
     }
 
     /// Disarms fault injection.
     pub fn clear_fault_plan(&self) {
-        self.inner.lock().faults = None;
+        self.local.lock().faults = None;
     }
 
     /// The armed fault plan, if any.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
-        self.inner.lock().faults.as_ref().map(|i| *i.plan())
+        self.local.lock().faults.as_ref().map(|i| *i.plan())
     }
 
     /// Counters of faults injected so far, if a plan is armed.
     pub fn fault_stats(&self) -> Option<FaultStats> {
-        self.inner.lock().faults.as_ref().map(|i| i.stats())
+        self.local.lock().faults.as_ref().map(|i| i.stats())
     }
 
     /// The clock charged by this disk.
@@ -235,20 +350,34 @@ impl Disk {
         self.block_size
     }
 
-    /// Allocates a new, empty file.
+    /// Allocates a new, empty file. Through a lane view the returned
+    /// id is lane-virtual — deterministic for the lane regardless of
+    /// concurrent allocations on other views.
     pub fn create_file(&self) -> FileId {
-        FileId(self.inner.lock().backend.create_file())
+        let physical = self.shared.lock().backend.create_file();
+        match &self.lane {
+            Some(lane) => {
+                let mut lane = lane.lock();
+                let virt = lane.tag | lane.next;
+                lane.next += 1;
+                lane.map.insert(virt, physical);
+                FileId(virt)
+            }
+            None => FileId(physical),
+        }
     }
 
     /// Releases a file's blocks (temporary results between stages).
     pub fn free_file(&self, file: FileId) {
-        let mut inner = self.inner.lock();
-        inner.backend.free_file(file.0);
-        inner.checksums.retain(|&(f, _), _| f != file.0);
+        let physical = self.physical(file);
+        let mut shared = self.shared.lock();
+        shared.backend.free_file(physical);
+        shared.checksums.retain(|&(f, _), _| f != physical);
         // A freed file's content is gone: advance its version so any
         // decoded-run cache entry keyed to the old version can never
         // serve again, even if a backend ever reused the id.
-        inner.bump_version(file.0);
+        shared.bump_version(physical);
+        drop(shared);
         if let Some(cache) = &self.cache {
             cache.invalidate_file(file.0);
         }
@@ -261,20 +390,22 @@ impl Disk {
     /// (absent injected faults), which is the invariant decoded-run
     /// caches rely on.
     pub fn file_version(&self, file: FileId) -> u64 {
-        self.inner
+        let physical = self.physical(file);
+        self.shared
             .lock()
             .file_versions
-            .get(&file.0)
+            .get(&physical)
             .copied()
             .unwrap_or(0)
     }
 
     /// Number of blocks currently allocated to `file`.
     pub fn num_blocks(&self, file: FileId) -> Result<u64> {
-        self.inner
+        let physical = self.physical(file);
+        self.shared
             .lock()
             .backend
-            .num_blocks(file.0)
+            .num_blocks(physical)
             .ok_or(StorageError::UnknownFile(file.0))
     }
 
@@ -286,11 +417,12 @@ impl Disk {
         assert_eq!(block.len(), self.block_size, "block size mismatch");
         self.charge(DeviceOp::BlockWrite);
         self.writes.fetch_add(1, Ordering::Relaxed);
+        let physical = self.physical(file);
         let index = {
-            let mut inner = self.inner.lock();
-            let index = inner.backend.append(file.0, &block)?;
-            inner.checksums.insert((file.0, index), block.checksum());
-            inner.bump_version(file.0);
+            let mut shared = self.shared.lock();
+            let index = shared.backend.append(physical, &block)?;
+            shared.checksums.insert((physical, index), block.checksum());
+            shared.bump_version(physical);
             index
         };
         if let Some(cache) = &self.cache {
@@ -310,6 +442,12 @@ impl Disk {
     /// block was verified when it entered the cache, matching a real
     /// buffer pool where rot lives on the medium, not in RAM.
     ///
+    /// When a [`SharedDrawBroker`] is armed (lane views only), a read
+    /// of an eligible base-relation block that another lane already
+    /// fetched is served from the pool: the charge, fault decision,
+    /// and checksum verification are identical — only the physical
+    /// backend fetch is skipped.
+    ///
     /// Returns a shared [`Arc<Block>`]: cache hits hand back the
     /// resident block without copying its bytes.
     pub fn read_block(&self, file: FileId, index: u64) -> Result<Arc<Block>> {
@@ -323,16 +461,17 @@ impl Disk {
             self.charge(DeviceOp::CacheHit);
             return Ok(block);
         }
-        self.charge(DeviceOp::BlockRead);
+        let cost = self.sample_charge(DeviceOp::BlockRead);
         self.reads.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.lock();
-        // Fault decisions, the backend read, corruption, and checksum
-        // verification all happen under one lock acquisition so the
+        let physical = self.physical(file);
+        let mut local = self.local.lock();
+        // Fault decisions, the fetch, corruption, and checksum
+        // verification all happen under the view's lock so the
         // (file, block, attempt) accounting can never interleave.
         // Spikes charge the clock directly — `Clock::charge` is
-        // atomic, while `Disk::charge` would re-lock `inner`.
+        // atomic, while `Disk::charge` would re-lock the view.
         let mut injected_corrupt = false;
-        if let Some(injector) = inner.faults.as_mut() {
+        if let Some(injector) = local.faults.as_mut() {
             let outcome = injector.on_read(file.0, index);
             if let Some(spike) = outcome.spike {
                 self.clock.charge(spike);
@@ -351,19 +490,46 @@ impl Disk {
                 None => {}
             }
         }
-        let mut block = inner.backend.read(file.0, index)?;
-        if injected_corrupt {
+        // Pool lookup happens only after the fault gate: a transient
+        // failure never consults the pool, and a pool hit still pays
+        // spikes/corruption from this lane's own injector.
+        let broker = self
+            .broker
+            .as_ref()
+            .filter(|b| b.eligible(FileId(physical)));
+        let pooled = broker.and_then(|b| b.get(physical, index));
+        let from_pool = pooled.is_some();
+        let fetched: Arc<Block> = match pooled {
+            Some(block) => {
+                self.shared_hits.fetch_add(1, Ordering::Relaxed);
+                self.saved_ns
+                    .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+                block
+            }
+            None => Arc::new(self.shared.lock().backend.read(physical, index)?),
+        };
+        let block = if injected_corrupt {
             // Flip one deterministic bit on the returned copy; the
             // backend's bytes stay clean so uncharged (ground-truth)
             // reads are unaffected.
-            let (byte, mask) = inner
+            let (byte, mask) = local
                 .faults
                 .as_ref()
                 .expect("injector set when corruption decided")
-                .corrupt_bit(file.0, index, block.len());
-            block.bytes_mut()[byte] ^= mask;
-        }
-        if let Some(&expected) = inner.checksums.get(&(file.0, index)) {
+                .corrupt_bit(file.0, index, fetched.len());
+            let mut copy = (*fetched).clone();
+            copy.bytes_mut()[byte] ^= mask;
+            Arc::new(copy)
+        } else {
+            fetched
+        };
+        let digest = self
+            .shared
+            .lock()
+            .checksums
+            .get(&(physical, index))
+            .copied();
+        if let Some(expected) = digest {
             self.verifies.fetch_add(1, Ordering::Relaxed);
             if block.checksum() != expected {
                 return Err(StorageError::Corrupt {
@@ -379,8 +545,12 @@ impl Disk {
                 block: index,
             });
         }
-        drop(inner);
-        let block = Arc::new(block);
+        drop(local);
+        if !from_pool && !injected_corrupt {
+            if let Some(b) = broker {
+                b.publish(physical, index, Arc::clone(&block));
+            }
+        }
         if let Some(cache) = &self.cache {
             cache.put(file.0, index, Arc::clone(&block));
         }
@@ -390,7 +560,8 @@ impl Disk {
     /// Reads block `index` of `file` without charging the clock —
     /// for ground-truth evaluation and tests only.
     pub fn read_block_uncharged(&self, file: FileId, index: u64) -> Result<Block> {
-        self.inner.lock().backend.read(file.0, index)
+        let physical = self.physical(file);
+        self.shared.lock().backend.read(physical, index)
     }
 
     /// Overwrites block `index` of `file`, charging one block write.
@@ -398,11 +569,12 @@ impl Disk {
         assert_eq!(block.len(), self.block_size, "block size mismatch");
         self.charge(DeviceOp::BlockWrite);
         self.writes.fetch_add(1, Ordering::Relaxed);
+        let physical = self.physical(file);
         {
-            let mut inner = self.inner.lock();
-            inner.backend.write(file.0, index, &block)?;
-            inner.checksums.insert((file.0, index), block.checksum());
-            inner.bump_version(file.0);
+            let mut shared = self.shared.lock();
+            shared.backend.write(physical, index, &block)?;
+            shared.checksums.insert((physical, index), block.checksum());
+            shared.bump_version(physical);
         }
         if let Some(cache) = &self.cache {
             cache.put(file.0, index, Arc::new(block));
@@ -414,11 +586,27 @@ impl Disk {
     /// relations before the query's quota is armed, and for tests.
     pub fn append_block_uncharged(&self, file: FileId, block: Block) -> Result<u64> {
         assert_eq!(block.len(), self.block_size, "block size mismatch");
-        let mut inner = self.inner.lock();
-        let index = inner.backend.append(file.0, &block)?;
-        inner.checksums.insert((file.0, index), block.checksum());
-        inner.bump_version(file.0);
+        let physical = self.physical(file);
+        let mut shared = self.shared.lock();
+        let index = shared.backend.append(physical, &block)?;
+        shared.checksums.insert((physical, index), block.checksum());
+        shared.bump_version(physical);
         Ok(index)
+    }
+
+    /// Samples the jittered duration for `op` from this view's RNG
+    /// and charges the clock, returning what was charged (zero under
+    /// a wall clock, where charges are free).
+    fn sample_charge(&self, op: DeviceOp) -> Duration {
+        if !self.clock.is_simulated() {
+            return Duration::ZERO;
+        }
+        let d = {
+            let mut local = self.local.lock();
+            self.profile.sample(op, &mut local.rng)
+        };
+        self.clock.charge(d);
+        d
     }
 
     /// Charges the clock for `op` (with jitter under a simulated
@@ -433,14 +621,7 @@ impl Disk {
             }
             _ => {}
         }
-        if !self.clock.is_simulated() {
-            return;
-        }
-        let d = {
-            let mut inner = self.inner.lock();
-            self.profile.sample(op, &mut inner.rng)
-        };
-        self.clock.charge(d);
+        self.sample_charge(op);
     }
 
     /// Snapshot of the physical activity counters.
@@ -453,12 +634,24 @@ impl Disk {
             checksum_verifies: self.verifies.load(Ordering::Relaxed),
         }
     }
+
+    /// Shared-draw counters for this view: `(blocks served from the
+    /// pool, device nanoseconds those fetches would have cost)`.
+    /// Kept out of [`DiskStats`] so per-job metric snapshots stay
+    /// identical whether or not a broker was armed.
+    pub fn sharing(&self) -> (u64, u64) {
+        (
+            self.shared_hits.load(Ordering::Relaxed),
+            self.saved_ns.load(Ordering::Relaxed),
+        )
+    }
 }
 
 impl std::fmt::Debug for Disk {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Disk")
             .field("block_size", &self.block_size)
+            .field("lane", &self.lane.is_some())
             .field("stats", &self.stats())
             .finish()
     }
@@ -802,5 +995,121 @@ mod tests {
         assert_eq!(stats.compares, 100);
         let expected = disk.profile().tuple_cpu * 5 + disk.profile().compare * 100;
         assert_eq!(clock.elapsed(), expected);
+    }
+
+    #[test]
+    fn lane_view_shares_bytes_but_charges_its_own_clock() {
+        let (root_clock, disk) = sim_disk();
+        let f = disk.create_file();
+        let mut b = Block::zeroed(disk.block_size());
+        b.bytes_mut()[3] = 0x33;
+        disk.append_block_uncharged(f, b.clone()).unwrap();
+        let before = root_clock.elapsed();
+
+        let lane_clock = Arc::new(SimClock::new());
+        let lane = disk.lane_view(lane_clock.clone(), 99, 0, None);
+        assert_eq!(*lane.read_block(f, 0).unwrap(), b, "same backend bytes");
+        assert_eq!(lane_clock.elapsed(), lane.profile().block_read);
+        assert_eq!(root_clock.elapsed(), before, "root clock untouched");
+        assert_eq!(lane.stats().block_reads, 1);
+        assert_eq!(disk.stats().block_reads, 0, "root counters untouched");
+    }
+
+    #[test]
+    fn lane_created_files_use_virtual_ids_and_round_trip() {
+        let (_, disk) = sim_disk();
+        let lane_a = disk.lane_view(Arc::new(SimClock::new()), 1, 0, None);
+        let lane_b = disk.lane_view(Arc::new(SimClock::new()), 2, 1, None);
+        // Allocation order across lanes must not influence the ids a
+        // lane sees: they are derived from the lane index alone.
+        let fa = lane_a.create_file();
+        let fb = lane_b.create_file();
+        let fa2 = lane_a.create_file();
+        assert_eq!(fa.0, LANE_FILE_TAG | (1 << 32));
+        assert_eq!(fa2.0, (LANE_FILE_TAG | (1 << 32)) + 1);
+        assert_eq!(fb.0, LANE_FILE_TAG | (2 << 32));
+        let mut b = Block::zeroed(disk.block_size());
+        b.bytes_mut()[1] = 0xAA;
+        lane_a.append_block(fa, b.clone()).unwrap();
+        assert_eq!(*lane_a.read_block(fa, 0).unwrap(), b);
+        assert!(lane_a.file_version(fa) > 0);
+        lane_a.free_file(fa);
+        assert!(lane_a.num_blocks(fa).is_err());
+        // The other lane's file is unaffected.
+        lane_b.append_block(fb, b.clone()).unwrap();
+        assert_eq!(lane_b.num_blocks(fb).unwrap(), 1);
+    }
+
+    #[test]
+    fn lane_fault_injectors_are_private_instances_of_the_armed_plan() {
+        let (_, disk) = sim_disk();
+        let f = disk.create_file();
+        for _ in 0..40 {
+            disk.append_block_uncharged(f, Block::zeroed(disk.block_size()))
+                .unwrap();
+        }
+        disk.set_fault_plan(crate::FaultPlan::new(5).with_transient(0.3));
+        let pattern = |lane: &Arc<Disk>| {
+            (0..40u64)
+                .map(|i| lane.read_block(f, i).is_err())
+                .collect::<Vec<_>>()
+        };
+        let lane_a = disk.lane_view(Arc::new(SimClock::new()), 1, 0, None);
+        let lane_b = disk.lane_view(Arc::new(SimClock::new()), 1, 1, None);
+        // Same plan, fresh attempt counters: both lanes see the same
+        // first-attempt pattern regardless of each other's reads.
+        assert_eq!(pattern(&lane_a), pattern(&lane_b));
+        assert!(disk.fault_stats().unwrap().transient_errors == 0);
+        assert!(lane_a.fault_stats().unwrap().transient_errors > 0);
+    }
+
+    #[test]
+    fn broker_pool_hit_is_charge_transparent() {
+        let (_, disk) = sim_disk();
+        let f = disk.create_file();
+        let mut b = Block::zeroed(disk.block_size());
+        b.bytes_mut()[5] = 0x55;
+        disk.append_block_uncharged(f, b.clone()).unwrap();
+
+        // Reference lane: no broker.
+        let solo_clock = Arc::new(SimClock::new());
+        let solo = disk.lane_view(solo_clock.clone(), 42, 0, None);
+        solo.read_block(f, 0).unwrap();
+
+        // Brokered pair: lane 0 publishes, lane 1 hits the pool.
+        let broker = SharedDrawBroker::new([f]);
+        let c0 = Arc::new(SimClock::new());
+        let l0 = disk.lane_view(c0.clone(), 42, 0, Some(Arc::clone(&broker)));
+        let c1 = Arc::new(SimClock::new());
+        let l1 = disk.lane_view(c1.clone(), 42, 1, Some(Arc::clone(&broker)));
+        assert_eq!(*l0.read_block(f, 0).unwrap(), b);
+        assert_eq!(*l1.read_block(f, 0).unwrap(), b);
+
+        // Identical seed ⇒ identical charge, broker or not; the hit
+        // only changes the sharing counters.
+        assert_eq!(c0.elapsed(), solo_clock.elapsed());
+        assert_eq!(c1.elapsed(), solo_clock.elapsed());
+        assert_eq!(l0.stats(), solo.stats());
+        assert_eq!(l1.stats(), solo.stats());
+        assert_eq!(l0.sharing().0, 0);
+        let (hits, saved) = l1.sharing();
+        assert_eq!(hits, 1);
+        assert!(saved > 0);
+        assert_eq!(broker.shared_hits(), 1);
+        assert_eq!(broker.published(), 1);
+    }
+
+    #[test]
+    fn broker_ignores_unregistered_files() {
+        let (_, disk) = sim_disk();
+        let f = disk.create_file();
+        disk.append_block_uncharged(f, Block::zeroed(disk.block_size()))
+            .unwrap();
+        let broker = SharedDrawBroker::new(std::iter::empty::<FileId>());
+        let lane = disk.lane_view(Arc::new(SimClock::new()), 1, 0, Some(Arc::clone(&broker)));
+        lane.read_block(f, 0).unwrap();
+        lane.read_block(f, 0).unwrap();
+        assert_eq!(broker.published(), 0);
+        assert_eq!(lane.sharing(), (0, 0));
     }
 }

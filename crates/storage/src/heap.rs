@@ -64,6 +64,16 @@ impl HeapFile {
         Ok(hf)
     }
 
+    /// Re-points this handle at another view of the same disk (the
+    /// file id is preserved — it must resolve on `disk`'s backend).
+    /// The executor re-bases a catalog relation onto a per-job lane
+    /// view this way, so the job's draws charge its own clock while
+    /// reading the shared backend bytes.
+    pub fn with_disk(mut self, disk: Arc<Disk>) -> Self {
+        self.disk = disk;
+        self
+    }
+
     /// The schema of the stored tuples.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -39,6 +39,7 @@
 
 pub mod backend;
 pub mod block;
+pub mod broker;
 pub mod cache;
 pub mod clock;
 pub mod columnar;
@@ -54,6 +55,7 @@ pub mod schema;
 pub mod tuple;
 
 pub use block::{Block, BlockId, BLOCK_SIZE};
+pub use broker::SharedDrawBroker;
 pub use cache::{BlockCache, RunCache};
 pub use clock::{Clock, Deadline, SimClock, WallClock};
 pub use columnar::{ColumnData, ColumnarBlock};

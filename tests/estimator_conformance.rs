@@ -22,7 +22,10 @@
 //! The harness is pure sampling-layer code (no database, no serde),
 //! so it runs identically under the offline stub toolchain — the stub
 //! rand is a different RNG, but conformance is a property of the
-//! estimator algebra, not of a particular random stream.
+//! estimator algebra, not of a particular random stream. One cell is
+//! the exception: the shared-draw validity cell at the bottom drives
+//! the full server to prove that pooled block draws leave every
+//! estimator's input stream untouched.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -249,6 +252,71 @@ fn distinct_count_matches_the_goodman_oracle_exactly() {
             algebra.estimate
         );
     }
+}
+
+/// Shared-draw validity cell: when the server pools co-resident
+/// base-relation reads (`--concurrency interleaved`), each
+/// subscriber still draws its *own* seeded sample stream and is
+/// charged for every read — the pool only dedups the physical device
+/// work. So each job's estimate and confidence interval must be
+/// byte-identical to the sequential oracle, where every job reads the
+/// device alone. Sharing is an I/O-layer optimization, not a
+/// statistical coupling: the unbiasedness and coverage properties
+/// proved by the cells above transfer verbatim to shared-draw
+/// execution.
+#[test]
+fn shared_draws_do_not_perturb_the_estimators() {
+    use eram_core::{Concurrency, Database, QueryServer, ServerJob};
+    use eram_relalg::Expr;
+    use eram_storage::{ColumnType, Schema, Tuple, Value};
+    use std::time::Duration;
+
+    let run = |mode: Concurrency| {
+        let mut db = Database::sim_default(77);
+        let schema = Schema::new(vec![("k", ColumnType::Int)]).padded_to(200);
+        db.load_relation(
+            "t",
+            schema,
+            (0..N).map(|i| Tuple::new(vec![Value::Int(i as i64)])),
+        )
+        .unwrap();
+        let jobs = vec![
+            ServerJob::count("x", Expr::relation("t"), Duration::from_secs(8)),
+            ServerJob::count("y", Expr::relation("t"), Duration::from_secs(16)),
+        ];
+        QueryServer::new().concurrency(mode).run(&mut db, jobs)
+    };
+    let seq = run(Concurrency::Sequential);
+    let inter = run(Concurrency::Interleaved);
+    assert_eq!(
+        seq.jobs, inter.jobs,
+        "per-job reports must not see the sharing"
+    );
+    for (s, i) in seq.jobs.iter().zip(&inter.jobs) {
+        let (se, ie) = (
+            s.estimate.expect("job completed"),
+            i.estimate.expect("job completed"),
+        );
+        assert_eq!(
+            se.estimate.to_bits(),
+            ie.estimate.to_bits(),
+            "{}: estimate must be bit-identical",
+            s.name
+        );
+        let (slo, shi) = se.ci(0.95);
+        let (ilo, ihi) = ie.ci(0.95);
+        assert_eq!(
+            (slo.to_bits(), shi.to_bits()),
+            (ilo.to_bits(), ihi.to_bits()),
+            "{}: CI must be bit-identical",
+            s.name
+        );
+    }
+    // And the sharing actually happened: two co-resident scans of the
+    // same relation fed from one pool.
+    let sched = inter.schedule.as_ref().expect("schedule rides the outcome");
+    assert!(sched.blocks_shared > 0, "no draws were pooled");
+    assert_eq!(seq.schedule.as_ref().unwrap().blocks_shared, 0);
 }
 
 proptest! {
